@@ -1,0 +1,79 @@
+//! Ablation (§5): windowed aggregation under out-of-order input with
+//! different grace periods — the cost of revisions and the effect of grace
+//! on late-record drops and retained state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::Bytes;
+use kstreams::dsl::ops::WindowAggregate;
+use kstreams::dsl::windows::TimeWindows;
+use kstreams::processor::driver::TaskEnv;
+use kstreams::processor::{Processor, ProcessorContext, StoreEntry};
+use kstreams::record::FlowRecord;
+use kstreams::state::{Store, StoreKind, StoreSpec};
+use simkit::DetRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn out_of_order_stream(n: usize, disorder_ms: i64, seed: u64) -> Vec<FlowRecord> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let base = i as i64 * 10;
+            let jitter = if disorder_ms > 0 { rng.range_i64(-disorder_ms, 1) } else { 0 };
+            FlowRecord::stream(
+                Some(Bytes::from(format!("k{}", i % 64))),
+                Some(Bytes::from_static(b"v")),
+                (base + jitter).max(0),
+            )
+        })
+        .collect()
+}
+
+fn run_agg(records: &[FlowRecord], grace_ms: i64) -> (u64, u64) {
+    let windows = TimeWindows::of(1_000).grace(grace_ms);
+    let mut agg = WindowAggregate {
+        store: "w".into(),
+        windows,
+        agg: Arc::new(|cur, _| {
+            let n = cur
+                .map(|b| i64::from_be_bytes(b.as_ref().try_into().unwrap()))
+                .unwrap_or(0);
+            Some(Bytes::copy_from_slice(&(n + 1).to_be_bytes()))
+        }),
+    };
+    let mut env = TaskEnv::new(0);
+    env.stores.insert(
+        "w".into(),
+        StoreEntry {
+            store: Store::new(StoreKind::Window),
+            spec: StoreSpec::new("w", StoreKind::Window).without_changelog(),
+        },
+    );
+    let mut queue = VecDeque::new();
+    for rec in records {
+        let mut ctx = ProcessorContext::new(&[], &mut queue, &mut env);
+        agg.process(&mut ctx, rec.clone());
+        queue.clear();
+    }
+    (env.metrics.revisions_emitted, env.metrics.late_dropped)
+}
+
+fn bench_grace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window-agg");
+    group.sample_size(20);
+    for &(label, disorder, grace) in &[
+        ("in-order/grace-0", 0i64, 0i64),
+        ("disorder-500ms/grace-0", 500, 0),
+        ("disorder-500ms/grace-1s", 500, 1_000),
+        ("disorder-500ms/grace-10s", 500, 10_000),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let records = out_of_order_stream(10_000, disorder, 7);
+            b.iter(|| run_agg(&records, grace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grace);
+criterion_main!(benches);

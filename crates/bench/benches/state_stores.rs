@@ -1,0 +1,74 @@
+//! Microbenchmarks for the state-store layer (§3.2): key/value puts and
+//! gets, window-store operations, and the grace-period GC sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bytes::Bytes;
+use kstreams::state::{KvStore, WindowStore};
+
+fn kv_key(i: usize) -> Bytes {
+    Bytes::from(format!("key-{:08}", i % 10_000))
+}
+
+fn bench_kv(c: &mut Criterion) {
+    c.bench_function("kv/put", |b| {
+        let mut store = KvStore::new();
+        let mut i = 0;
+        b.iter(|| {
+            store.put(kv_key(i), Some(Bytes::from_static(b"value")));
+            i += 1;
+        });
+    });
+    c.bench_function("kv/get-hit", |b| {
+        let mut store = KvStore::new();
+        for i in 0..10_000 {
+            store.put(kv_key(i), Some(Bytes::from_static(b"value")));
+        }
+        let mut i = 0;
+        b.iter(|| {
+            let v = store.get(&kv_key(i));
+            assert!(v.is_some());
+            i += 1;
+        });
+    });
+}
+
+fn bench_window(c: &mut Criterion) {
+    c.bench_function("window/put", |b| {
+        let mut store = WindowStore::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            store.put(kv_key(i as usize), (i / 100) * 100, Some(Bytes::from_static(b"v")));
+            i += 1;
+        });
+    });
+    c.bench_function("window/fetch-range", |b| {
+        let mut store = WindowStore::new();
+        for i in 0..10_000i64 {
+            store.put(kv_key(7), i * 10, Some(Bytes::from_static(b"v")));
+        }
+        b.iter(|| {
+            let hits = store.fetch_range(&kv_key(7), 40_000, 50_000);
+            assert!(!hits.is_empty());
+        });
+    });
+    c.bench_function("window/expire-sweep", |b| {
+        // The Figure 6.d GC path: expire an old window prefix.
+        b.iter_batched(
+            || {
+                let mut store = WindowStore::new();
+                for i in 0..1_000i64 {
+                    store.put(kv_key(i as usize), i * 100, Some(Bytes::from_static(b"v")));
+                }
+                store
+            },
+            |mut store| {
+                let evicted = store.expire_before(50_000);
+                assert_eq!(evicted.len(), 500);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_kv, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation (§4.2/§4.3): transaction commit cost vs number of registered
+//! partitions.
+//!
+//! The paper: "the write amplification cost of a transaction … is constant
+//! and independent of the number of records written within the transaction.
+//! Although this transaction cost is indeed dependent on the number of
+//! output partitions participated in a transaction, the impact is not
+//! massive…". The commit-per-partition sweep shows the marker fan-out
+//! growing linearly while commit-per-record-count stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::Bytes;
+use kbroker::{Cluster, TopicConfig, TopicPartition};
+use klog::batch::BatchMeta;
+use klog::Record;
+
+fn cluster_with_topic(partitions: u32) -> Cluster {
+    let c = Cluster::builder().brokers(3).replication(3).build();
+    c.create_topic("t", TopicConfig::new(partitions)).unwrap();
+    c
+}
+
+fn rec() -> Record {
+    Record::new(Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0)
+}
+
+/// Full transaction cycle writing one record to each of `n` partitions.
+fn bench_commit_vs_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn-commit/partitions");
+    for &parts in &[1u32, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
+            let cluster = cluster_with_topic(parts);
+            let (pid, epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
+            let tps: Vec<TopicPartition> =
+                (0..parts).map(|p| TopicPartition::new("t", p)).collect();
+            let mut seqs = vec![0i64; parts as usize];
+            b.iter(|| {
+                cluster.txn_add_partitions("bench", pid, epoch, &tps).unwrap();
+                for (i, tp) in tps.iter().enumerate() {
+                    cluster
+                        .produce(tp, BatchMeta::transactional(pid, epoch, seqs[i]), vec![rec()])
+                        .unwrap();
+                    seqs[i] += 1;
+                }
+                cluster.txn_end("bench", pid, epoch, true).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Transaction cycle with fixed partitions but growing record counts: the
+/// coordinator cost must NOT grow with records.
+fn bench_commit_vs_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn-commit/records");
+    for &n in &[1usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cluster = cluster_with_topic(1);
+            let (pid, epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
+            let tp = TopicPartition::new("t", 0);
+            let recs: Vec<Record> = (0..n).map(|_| rec()).collect();
+            let mut seq = 0i64;
+            b.iter(|| {
+                cluster.txn_add_partitions("bench", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+                cluster
+                    .produce(&tp, BatchMeta::transactional(pid, epoch, seq), recs.clone())
+                    .unwrap();
+                seq += n as i64;
+                cluster.txn_end("bench", pid, epoch, true).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_vs_partitions, bench_commit_vs_records);
+criterion_main!(benches);

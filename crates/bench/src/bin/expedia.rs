@@ -1,0 +1,136 @@
+//! §6.2 — Expedia Conversational Platform deployment insight.
+//!
+//! Two micro-services chained through Kafka, both exactly-once:
+//!
+//! 1. a **data-enrichment service** (PII redaction → localization →
+//!    translation, modelled as a stateless map chain) with a 100 ms commit
+//!    interval — the paper reports *sub-second* end-to-end latency through
+//!    the pipeline;
+//! 2. a **conversation-view aggregation service** with a 1500 ms commit
+//!    interval and output suppression enabled "to reduce disk and network
+//!    I/O" — we measure the output-record reduction suppression buys.
+
+use bench::{LatencyProbe, LoadGenerator};
+use kbroker::{Cluster, TopicConfig};
+use kstreams::{KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use simkit::{Clock, ManualClock};
+use std::sync::Arc;
+
+fn enrichment_topology() -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("conversations")
+        .map_values(|_k, msg| msg.replace("SSN", "[redacted]")) // PII redaction
+        .map_values(|_k, msg| format!("loc(en):{msg}")) // localization
+        .map_values(|_k, msg| format!("xlat:{msg}")) // translation
+        .to("enriched");
+    Arc::new(builder.build().expect("valid topology"))
+}
+
+fn view_topology(suppress: bool) -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    // Conversation view: per-conversation message count (a stand-in for the
+    // aggregated view queried by operational processors).
+    let table = builder
+        .stream::<String, String>("enriched")
+        .group_by_key()
+        .count("conversation-views");
+    let table = if suppress { table.suppress_until_time_limit(1_500) } else { table };
+    table.to_stream().to("views");
+    Arc::new(builder.build().expect("valid topology"))
+}
+
+struct Outcome {
+    enriched_mean_latency_ms: f64,
+    enriched_p99_ms: i64,
+    view_records_emitted: u64,
+    inputs: u64,
+}
+
+fn run_platform(suppress: bool, duration_ms: i64) -> Outcome {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    cluster.create_topic("conversations", TopicConfig::new(4)).unwrap();
+    cluster.create_topic("enriched", TopicConfig::new(4)).unwrap();
+    cluster.create_topic("views", TopicConfig::new(4)).unwrap();
+
+    let mut enricher = KafkaStreamsApp::new(
+        cluster.clone(),
+        enrichment_topology(),
+        StreamsConfig::new("cp-enrich")
+            .exactly_once()
+            .with_commit_interval_ms(100)
+            .with_producer_batch_size(16),
+        "e0",
+    );
+    let mut viewer = KafkaStreamsApp::new(
+        cluster.clone(),
+        view_topology(suppress),
+        StreamsConfig::new("cp-views")
+            .exactly_once()
+            .with_commit_interval_ms(1_500)
+            .with_producer_batch_size(16),
+        "v0",
+    );
+    enricher.start().unwrap();
+    viewer.start().unwrap();
+
+    // ~100 active conversations; each tick a few conversations get a
+    // message (the paper's per-app steady rate is low — 14 rec/s — so the
+    // interesting number is latency and I/O, not throughput).
+    let mut generator = LoadGenerator::new(&cluster, "conversations", 100);
+    let mut probe = LatencyProbe::new(&cluster, "enriched");
+    let end = clock.now_ms() + duration_ms;
+    while clock.now_ms() < end {
+        let now = clock.now_ms();
+        if now % 10 == 0 {
+            generator.emit_str(2, now);
+        }
+        enricher.step().unwrap();
+        viewer.step().unwrap();
+        probe.drain(now);
+        clock.advance(1);
+    }
+    for _ in 0..4 {
+        clock.advance(1_500);
+        enricher.step().unwrap();
+        viewer.step().unwrap();
+        probe.drain(clock.now_ms());
+    }
+    let view_records = cluster.topic_record_count("views").unwrap() as u64;
+    let out = Outcome {
+        enriched_mean_latency_ms: probe.histogram.mean_ms(),
+        enriched_p99_ms: probe.histogram.percentile_ms(0.99),
+        view_records_emitted: view_records,
+        inputs: generator.produced(),
+    };
+    enricher.close().unwrap();
+    viewer.close().unwrap();
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { 4_000 } else { 12_000 };
+    println!("# §6.2 Expedia Conversational Platform");
+    let plain = run_platform(false, duration);
+    let suppressed = run_platform(true, duration);
+    println!(
+        "enrichment service (100 ms commits):  mean e2e = {:.0} ms, p99 = {} ms  ({} messages)",
+        plain.enriched_mean_latency_ms, plain.enriched_p99_ms, plain.inputs
+    );
+    assert!(plain.enriched_mean_latency_ms < 1_000.0, "sub-second e2e expected");
+    println!(
+        "view service without suppression (1500 ms commits): {} output records",
+        plain.view_records_emitted
+    );
+    println!(
+        "view service WITH suppression    (1500 ms commits): {} output records  ({:.1}x fewer)",
+        suppressed.view_records_emitted,
+        plain.view_records_emitted as f64 / suppressed.view_records_emitted.max(1) as f64
+    );
+    println!();
+    println!("# Paper check: 100 ms commit interval keeps the enrichment hop sub-second");
+    println!("# end-to-end; suppression on the 1500 ms view aggregation collapses the");
+    println!("# per-message revision stream into ~1 update/conversation/interval.");
+}

@@ -1,0 +1,219 @@
+//! Aligned checkpoint barriers (Chandy–Lamport as used by Flink/IBM
+//! Streams, §7).
+//!
+//! Sources inject a numbered barrier into every output channel; an operator
+//! with multiple input channels must *align*: once a barrier arrives on one
+//! channel, that channel is blocked (its records buffered) until the same
+//! barrier arrives on every other channel, at which point the operator
+//! snapshots its state and forwards the barrier. The paper's §2.1 point —
+//! "checkpoint completion … is determined by the speed at which punctuations
+//! flow through the application", i.e. backpressure on one channel delays
+//! everyone — falls straight out of this structure.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// An element flowing through an in-memory channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Element {
+    Record { key: Bytes, value: Bytes, ts: i64 },
+    Barrier(u64),
+}
+
+/// One FIFO channel between operators.
+#[derive(Debug, Default)]
+pub struct Channel {
+    queue: VecDeque<Element>,
+}
+
+impl Channel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, e: Element) {
+        self.queue.push_back(e);
+    }
+
+    pub fn pop(&mut self) -> Option<Element> {
+        self.queue.pop_front()
+    }
+
+    pub fn peek(&self) -> Option<&Element> {
+        self.queue.front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Barrier aligner over N input channels.
+///
+/// Drives consumption: records are released in channel order except that a
+/// channel whose current barrier has arrived is *blocked* until all
+/// channels reach that barrier. When alignment completes, the aligner
+/// reports the barrier id — the moment the operator must snapshot.
+#[derive(Debug)]
+pub struct Aligner {
+    /// Barrier id each channel is currently blocked on (None = flowing).
+    blocked_on: Vec<Option<u64>>,
+}
+
+/// What the aligner released.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Released {
+    /// A data record from channel `from`.
+    Record { from: usize, key: Bytes, value: Bytes, ts: i64 },
+    /// All channels aligned on this barrier: snapshot now.
+    AlignedBarrier(u64),
+    /// Nothing available (all channels empty or blocked).
+    Idle,
+}
+
+impl Aligner {
+    pub fn new(num_channels: usize) -> Self {
+        assert!(num_channels >= 1);
+        Self { blocked_on: vec![None; num_channels] }
+    }
+
+    /// Pull the next element honouring alignment.
+    pub fn poll(&mut self, channels: &mut [Channel]) -> Released {
+        assert_eq!(channels.len(), self.blocked_on.len());
+        // If every channel is blocked on the same barrier, alignment is
+        // complete: unblock and emit the barrier.
+        if self.blocked_on.iter().all(|b| b.is_some()) {
+            let barrier = self.blocked_on[0].expect("checked");
+            debug_assert!(
+                self.blocked_on.iter().all(|b| *b == Some(barrier)),
+                "barriers must be injected in the same order on all channels"
+            );
+            for b in &mut self.blocked_on {
+                *b = None;
+            }
+            return Released::AlignedBarrier(barrier);
+        }
+        // Otherwise release a record from any unblocked channel; blocking a
+        // channel when its barrier surfaces.
+        for (i, ch) in channels.iter_mut().enumerate() {
+            if self.blocked_on[i].is_some() {
+                continue;
+            }
+            match ch.peek() {
+                Some(Element::Barrier(_)) => {
+                    let Some(Element::Barrier(id)) = ch.pop() else { unreachable!() };
+                    self.blocked_on[i] = Some(id);
+                    // Re-check: maybe this completed alignment.
+                    return self.poll(channels);
+                }
+                Some(Element::Record { .. }) => {
+                    let Some(Element::Record { key, value, ts }) = ch.pop() else {
+                        unreachable!()
+                    };
+                    return Released::Record { from: i, key, value, ts };
+                }
+                None => continue,
+            }
+        }
+        Released::Idle
+    }
+
+    /// Whether any channel is currently blocked waiting for alignment.
+    pub fn is_aligning(&self) -> bool {
+        self.blocked_on.iter().any(|b| b.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(v: u8) -> Element {
+        Element::Record { key: Bytes::from_static(b"k"), value: Bytes::from(vec![v]), ts: 0 }
+    }
+
+    fn released_value(r: &Released) -> Option<u8> {
+        match r {
+            Released::Record { value, .. } => Some(value[0]),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn single_channel_passes_through() {
+        let mut ch = vec![Channel::new()];
+        ch[0].push(rec(1));
+        ch[0].push(Element::Barrier(1));
+        ch[0].push(rec(2));
+        let mut a = Aligner::new(1);
+        assert_eq!(released_value(&a.poll(&mut ch)), Some(1));
+        assert_eq!(a.poll(&mut ch), Released::AlignedBarrier(1));
+        assert_eq!(released_value(&a.poll(&mut ch)), Some(2));
+        assert_eq!(a.poll(&mut ch), Released::Idle);
+    }
+
+    #[test]
+    fn two_channels_align_blocking_the_faster_one() {
+        let mut ch = vec![Channel::new(), Channel::new()];
+        // Channel 0 is "fast": barrier arrives immediately, then more data.
+        ch[0].push(Element::Barrier(1));
+        ch[0].push(rec(10)); // belongs to the NEXT epoch
+        // Channel 1 still has pre-barrier data.
+        ch[1].push(rec(1));
+        ch[1].push(rec(2));
+        ch[1].push(Element::Barrier(1));
+
+        let mut a = Aligner::new(2);
+        // Channel 0 blocks on its barrier; channel 1's records drain first.
+        let r1 = a.poll(&mut ch);
+        assert_eq!(released_value(&r1), Some(1));
+        assert!(a.is_aligning());
+        assert_eq!(released_value(&a.poll(&mut ch)), Some(2));
+        // Now both reach the barrier: aligned.
+        assert_eq!(a.poll(&mut ch), Released::AlignedBarrier(1));
+        assert!(!a.is_aligning());
+        // Post-barrier data from the fast channel only flows after.
+        assert_eq!(released_value(&a.poll(&mut ch)), Some(10));
+    }
+
+    #[test]
+    fn slow_channel_stalls_checkpoint() {
+        // §2.1: backpressure on one channel delays the checkpoint.
+        let mut ch = vec![Channel::new(), Channel::new()];
+        ch[0].push(Element::Barrier(1));
+        // Channel 1's barrier has not arrived at all.
+        let mut a = Aligner::new(2);
+        assert_eq!(a.poll(&mut ch), Released::Idle, "cannot align yet");
+        assert!(a.is_aligning());
+        // The barrier finally arrives.
+        ch[1].push(Element::Barrier(1));
+        assert_eq!(a.poll(&mut ch), Released::AlignedBarrier(1));
+    }
+
+    #[test]
+    fn records_before_barrier_always_precede_snapshot() {
+        let mut ch = vec![Channel::new(), Channel::new()];
+        ch[0].push(rec(1));
+        ch[0].push(Element::Barrier(1));
+        ch[1].push(rec(2));
+        ch[1].push(Element::Barrier(1));
+        let mut a = Aligner::new(2);
+        let mut seen = Vec::new();
+        loop {
+            match a.poll(&mut ch) {
+                Released::Record { value, .. } => seen.push(value[0]),
+                Released::AlignedBarrier(id) => {
+                    assert_eq!(id, 1);
+                    break;
+                }
+                Released::Idle => panic!("should align"),
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, vec![1, 2], "all pre-barrier records processed first");
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulated object store (the S3 stand-in for checkpoint snapshots).
+//!
+//! The cost model is what matters for Figure 5.b: every PUT pays a fixed
+//! per-file latency (object-store round trip) plus a size-proportional
+//! transfer cost. "Flink's checkpointing is per-file based and hence would
+//! take longer time when only a small number of keys are updated within the
+//! interval" (§4.3) — the per-file base cost dominates small incremental
+//! snapshots.
+
+use parking_lot::Mutex;
+use simkit::SharedClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Latency/cost model for the simulated store.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectStoreCostModel {
+    /// Fixed latency per PUT/GET (round trip + request overhead), ms.
+    pub per_file_ms: i64,
+    /// Additional latency per KiB transferred, ms.
+    pub per_kib_ms: f64,
+}
+
+impl Default for ObjectStoreCostModel {
+    fn default() -> Self {
+        // Ballpark S3 PUT from the same region: tens of ms fixed cost.
+        Self { per_file_ms: 40, per_kib_ms: 0.05 }
+    }
+}
+
+impl ObjectStoreCostModel {
+    /// Latency for transferring a file of `bytes`.
+    pub fn latency_ms(&self, bytes: usize) -> i64 {
+        self.per_file_ms + (bytes as f64 / 1024.0 * self.per_kib_ms) as i64
+    }
+}
+
+/// Cumulative I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectStoreStats {
+    pub puts: u64,
+    pub gets: u64,
+    pub bytes_written: u64,
+    pub simulated_latency_ms: u64,
+}
+
+/// An in-memory blob store whose operations consume (simulated or real)
+/// time through the shared clock.
+#[derive(Clone)]
+pub struct ObjectStore {
+    clock: SharedClock,
+    cost: ObjectStoreCostModel,
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    blobs: HashMap<String, Vec<u8>>,
+    stats: ObjectStoreStats,
+}
+
+impl ObjectStore {
+    pub fn new(clock: SharedClock, cost: ObjectStoreCostModel) -> Self {
+        Self { clock, cost, inner: Arc::new(Mutex::new(Inner::default())) }
+    }
+
+    /// Store a blob, paying the model's latency.
+    pub fn put(&self, key: &str, data: Vec<u8>) {
+        let latency = self.cost.latency_ms(data.len());
+        self.clock.sleep_ms(latency);
+        let mut inner = self.inner.lock();
+        inner.stats.puts += 1;
+        inner.stats.bytes_written += data.len() as u64;
+        inner.stats.simulated_latency_ms += latency as u64;
+        inner.blobs.insert(key.to_string(), data);
+    }
+
+    /// Fetch a blob, paying the model's latency.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let data = self.inner.lock().blobs.get(key).cloned();
+        if let Some(d) = &data {
+            let latency = self.cost.latency_ms(d.len());
+            self.clock.sleep_ms(latency);
+            let mut inner = self.inner.lock();
+            inner.stats.gets += 1;
+            inner.stats.simulated_latency_ms += latency as u64;
+        }
+        data
+    }
+
+    /// Delete blobs with the given prefix (checkpoint retention).
+    pub fn delete_prefix(&self, prefix: &str) {
+        self.inner.lock().blobs.retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// List keys with a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .inner
+            .lock()
+            .blobs
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    pub fn stats(&self) -> ObjectStoreStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Clock as _;
+    use simkit::ManualClock;
+
+    fn store(clock: &ManualClock) -> ObjectStore {
+        ObjectStore::new(clock.shared(), ObjectStoreCostModel { per_file_ms: 10, per_kib_ms: 1.0 })
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let clock = ManualClock::new();
+        let s = store(&clock);
+        s.put("ckpt/1/state", vec![1, 2, 3]);
+        assert_eq!(s.get("ckpt/1/state"), Some(vec![1, 2, 3]));
+        assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    fn put_pays_per_file_latency() {
+        let clock = ManualClock::new();
+        let s = store(&clock);
+        s.put("a", vec![0; 10]); // tiny file: latency ≈ base
+        assert_eq!(clock.now_ms(), 10);
+        s.put("b", vec![0; 2048]); // 2 KiB: base + 2ms
+        assert_eq!(clock.now_ms(), 22);
+    }
+
+    #[test]
+    fn small_files_dominated_by_base_cost() {
+        // The Figure 5.b argument: N tiny incremental files cost ≈ N × base.
+        let clock = ManualClock::new();
+        let s = store(&clock);
+        for i in 0..5 {
+            s.put(&format!("ckpt/{i}"), vec![0; 16]);
+        }
+        assert_eq!(clock.now_ms(), 50, "5 files × 10ms base");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let clock = ManualClock::new();
+        let s = store(&clock);
+        s.put("a", vec![0; 100]);
+        s.get("a");
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 1);
+        assert_eq!(st.bytes_written, 100);
+        assert!(st.simulated_latency_ms >= 20);
+    }
+
+    #[test]
+    fn delete_prefix_and_list() {
+        let clock = ManualClock::new();
+        let s = store(&clock);
+        s.put("ckpt/1/a", vec![1]);
+        s.put("ckpt/1/b", vec![2]);
+        s.put("ckpt/2/a", vec![3]);
+        assert_eq!(s.list("ckpt/1/").len(), 2);
+        s.delete_prefix("ckpt/1/");
+        assert_eq!(s.list("ckpt/1/").len(), 0);
+        assert_eq!(s.list("ckpt/").len(), 1);
+    }
+}

@@ -1,0 +1,619 @@
+//! One application instance: group membership, task ownership, and the
+//! commit loop (§3.3, §4.3).
+//!
+//! In **exactly-once** mode the instance owns one transactional producer
+//! (EOS-v2, Kafka 2.6: "the number of transactional producers … only
+//! increases with the total number of Kafka Streams threads", §6.1). Every
+//! commit interval it atomically commits, in one Kafka transaction:
+//! 1. all sink-topic records its tasks produced,
+//! 2. all state-store changelog appends,
+//! 3. all consumed input offsets (`send_offsets_to_transaction`).
+//!
+//! In **at-least-once** mode outputs are flushed first and offsets are then
+//! committed non-transactionally — a crash between the two replays input
+//! (§3.3's duplicate scenario), which tests demonstrate.
+//!
+//! Rebalances are detected at poll time via the group generation; revoked
+//! tasks are dropped (their state is disposable) and newly assigned tasks
+//! are rebuilt by changelog replay. A *zombie* instance — one that lost its
+//! membership or whose transactional producer was fenced — gets a
+//! [`StreamsError::Fenced`] / `IllegalGeneration` error and must stop,
+//! never corrupting committed results (§2.1, §4.2.1).
+
+use crate::assignment::assign_tasks;
+use crate::standby::{assign_standbys, StandbyTask};
+use crate::config::{ProcessingGuarantee, StreamsConfig};
+use crate::error::StreamsError;
+use crate::metrics::StreamsMetrics;
+use crate::task::StreamTask;
+use crate::topology::{TaskId, Topology};
+use bytes::Bytes;
+use kbroker::producer::{Producer, ProducerConfig};
+use kbroker::{Cluster, IsolationLevel, TopicConfig, TopicPartition};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What one [`KafkaStreamsApp::step`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepSummary {
+    /// Input records processed this step.
+    pub processed: usize,
+    /// Whether a commit happened this step.
+    pub committed: bool,
+}
+
+/// One instance of a streams application (one "thread" in the paper's
+/// terms; deploy several with the same `app_id` for §3.3's distributed
+/// execution).
+pub struct KafkaStreamsApp {
+    cluster: Cluster,
+    topology: Arc<Topology>,
+    config: StreamsConfig,
+    instance_id: String,
+    producer: Producer,
+    generation: i32,
+    tasks: HashMap<TaskId, StreamTask>,
+    standbys: HashMap<TaskId, StandbyTask>,
+    last_commit_ms: i64,
+    txn_open: bool,
+    started: bool,
+    /// Metrics of tasks that were revoked (so totals are cumulative).
+    retired_metrics: StreamsMetrics,
+    commits: u64,
+    transactions: u64,
+}
+
+impl KafkaStreamsApp {
+    pub fn new(
+        cluster: Cluster,
+        topology: Arc<Topology>,
+        config: StreamsConfig,
+        instance_id: impl Into<String>,
+    ) -> Self {
+        let instance_id = instance_id.into();
+        let producer_config = match config.guarantee {
+            ProcessingGuarantee::ExactlyOnce => {
+                // One transactional id per instance (EOS-v2). Includes the
+                // app id so epochs fence *incarnations of this instance*.
+                ProducerConfig::transactional(format!(
+                    "{}-{}",
+                    config.application_id, instance_id
+                ))
+                .with_batch_size(config.producer_batch_size)
+            }
+            ProcessingGuarantee::AtLeastOnce => ProducerConfig {
+                idempotent: false,
+                transactional_id: None,
+                batch_size: config.producer_batch_size,
+                ..ProducerConfig::default()
+            },
+        };
+        let producer = Producer::new(cluster.clone(), producer_config);
+        Self {
+            cluster,
+            topology,
+            config,
+            instance_id,
+            producer,
+            generation: 0,
+            tasks: HashMap::new(),
+            standbys: HashMap::new(),
+            last_commit_ms: 0,
+            txn_open: false,
+            started: false,
+            retired_metrics: StreamsMetrics::default(),
+            commits: 0,
+            transactions: 0,
+        }
+    }
+
+    fn app_id(&self) -> &str {
+        &self.config.application_id
+    }
+
+    /// The instance id (group member id).
+    pub fn instance_id(&self) -> &str {
+        &self.instance_id
+    }
+
+    /// Task ids currently owned.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn consume_isolation(&self) -> IsolationLevel {
+        match self.config.guarantee {
+            // EOS tasks read only committed data from (possibly
+            // transactional) upstream topics (§4.2.3).
+            ProcessingGuarantee::ExactlyOnce => IsolationLevel::ReadCommitted,
+            ProcessingGuarantee::AtLeastOnce => IsolationLevel::ReadUncommitted,
+        }
+    }
+
+    /// Compute how many tasks (partitions) each sub-topology runs, resolving
+    /// internal topic partition counts in the process (§3.3).
+    fn plan_partitions(&self) -> Result<HashMap<usize, u32>, StreamsError> {
+        // Default partition count for repartition topics: the max partition
+        // count among external source topics.
+        let mut default_parts = 1;
+        for st in &self.topology.subtopologies {
+            for t in &st.source_topics {
+                if !t.internal {
+                    default_parts =
+                        default_parts.max(self.cluster.partition_count(&t.name)?);
+                }
+            }
+        }
+        // Create repartition topics first (they are sub-topology sources).
+        for it in &self.topology.internal_topics {
+            if it.name.ends_with("-changelog") {
+                continue;
+            }
+            let physical = format!("{}-{}", self.app_id(), it.name);
+            let parts = it.partitions.unwrap_or(default_parts);
+            let mut cfg = TopicConfig::new(parts);
+            cfg.compacted = it.compacted;
+            self.cluster.create_topic(&physical, cfg)?;
+        }
+        // Task count per sub-topology = partitions of its source topics
+        // (which must agree).
+        let mut counts = HashMap::new();
+        for (si, st) in self.topology.subtopologies.iter().enumerate() {
+            let mut count: Option<u32> = None;
+            for t in &st.source_topics {
+                let physical = t.resolve(self.app_id());
+                let parts = self.cluster.partition_count(&physical)?;
+                match count {
+                    None => count = Some(parts),
+                    Some(c) if c == parts => {}
+                    Some(c) => {
+                        return Err(StreamsError::InvalidTopology(format!(
+                            "sub-topology {si} reads co-partitioned topics with \
+                             mismatched partition counts ({c} vs {parts})"
+                        )));
+                    }
+                }
+            }
+            counts.insert(si, count.expect("sub-topologies have sources"));
+        }
+        // Changelog topics: one partition per task of the owning
+        // sub-topology.
+        for (store, (spec, si)) in &self.topology.stores {
+            if spec.changelog {
+                let physical =
+                    format!("{}-{}", self.app_id(), Topology::changelog_topic(store));
+                self.cluster
+                    .create_topic(&physical, TopicConfig::new(counts[si]).compacted())?;
+            }
+        }
+        Ok(counts)
+    }
+
+    fn all_task_ids(&self, counts: &HashMap<usize, u32>) -> Vec<TaskId> {
+        let mut ids = Vec::new();
+        for (si, &parts) in counts {
+            for p in 0..parts {
+                ids.push(TaskId { subtopology: *si, partition: p });
+            }
+        }
+        ids.sort();
+        ids
+    }
+
+    fn subscribed_topics(&self) -> Vec<String> {
+        let mut topics = Vec::new();
+        for st in &self.topology.subtopologies {
+            for t in &st.source_topics {
+                let physical = t.resolve(self.app_id());
+                if !topics.contains(&physical) {
+                    topics.push(physical);
+                }
+            }
+        }
+        topics
+    }
+
+    /// Join the group, create internal topics, build and restore assigned
+    /// tasks, and (in exactly-once mode) register the transactional
+    /// producer — fencing any previous incarnation of this instance
+    /// (§4.2.1).
+    pub fn start(&mut self) -> Result<(), StreamsError> {
+        if self.config.guarantee == ProcessingGuarantee::ExactlyOnce {
+            self.producer.init_transactions()?;
+        }
+        let counts = self.plan_partitions()?;
+        let view = self.cluster.group_join(
+            self.app_id(),
+            &self.instance_id,
+            &self.subscribed_topics(),
+        )?;
+        self.generation = view.generation;
+        let all = self.all_task_ids(&counts);
+        let mine = assign_tasks(&all, &view.members)
+            .remove(&self.instance_id)
+            .unwrap_or_default();
+        self.adopt_tasks(mine)?;
+        let my_standbys =
+            assign_standbys(&all, &view.members, self.config.num_standby_replicas)
+                .remove(&self.instance_id)
+                .unwrap_or_default();
+        self.adopt_standbys(my_standbys)?;
+        self.last_commit_ms = self.cluster.now_ms();
+        self.started = true;
+        Ok(())
+    }
+
+    fn adopt_standbys(&mut self, target: Vec<TaskId>) -> Result<(), StreamsError> {
+        self.standbys.retain(|id, _| target.contains(id));
+        for id in target {
+            if self.standbys.contains_key(&id) || self.tasks.contains_key(&id) {
+                continue;
+            }
+            self.standbys.insert(id, StandbyTask::new(&self.topology, id, self.app_id())?);
+        }
+        Ok(())
+    }
+
+    fn adopt_tasks(&mut self, target: Vec<TaskId>) -> Result<(), StreamsError> {
+        // Drop revoked tasks (their state is disposable; offsets/state were
+        // committed by the last commit cycle). Keep sticky ones.
+        let revoked: Vec<TaskId> =
+            self.tasks.keys().filter(|id| !target.contains(id)).copied().collect();
+        for id in revoked {
+            if let Some(task) = self.tasks.remove(&id) {
+                self.retired_metrics.merge(task.metrics());
+            }
+        }
+        let isolation = self.consume_isolation();
+        for id in target {
+            if self.tasks.contains_key(&id) {
+                continue; // sticky: keep state and positions
+            }
+            let mut task = StreamTask::new(&self.topology, id, self.app_id())?;
+            // Promote a warm standby if we host one: only the changelog
+            // suffix written after the standby's positions replays (§3.3).
+            if let Some(standby) = self.standbys.remove(&id) {
+                let (stores, positions) = standby.into_parts();
+                task.adopt_warm_stores(stores, positions);
+            }
+            // Committed input offsets drive both the starting positions and
+            // the restore bound of source-as-changelog stores.
+            let mut starts = std::collections::HashMap::new();
+            for tp in task.input_partitions() {
+                let committed =
+                    self.cluster.group_committed_offset(self.app_id(), &tp)?;
+                let start = match committed {
+                    Some(off) => off,
+                    None => self.cluster.earliest_offset(&tp).unwrap_or(0),
+                };
+                starts.insert(tp, start);
+            }
+            task.restore(&self.cluster, isolation, &starts)?;
+            for (tp, start) in &starts {
+                task.set_position(tp, *start);
+            }
+            self.tasks.insert(id, task);
+        }
+        Ok(())
+    }
+
+    /// Detect and apply a rebalance; returns true if membership changed.
+    fn check_rebalance(&mut self) -> Result<bool, StreamsError> {
+        let view = self.cluster.group_view(self.app_id(), &self.instance_id)?;
+        if view.generation == self.generation {
+            return Ok(false);
+        }
+        // Commit what we have before adopting the new assignment. The
+        // rebalance may have overtaken us (our generation is already
+        // stale); in that case the in-flight work cannot be committed —
+        // abort it and close every task "dirty", rebuilding from committed
+        // changelogs/offsets so nothing half-processed leaks through.
+        self.commit_or_dirty_close()?;
+        self.generation = view.generation;
+        let counts = self.plan_partitions()?;
+        let all = self.all_task_ids(&counts);
+        let mine = assign_tasks(&all, &view.members)
+            .remove(&self.instance_id)
+            .unwrap_or_default();
+        self.adopt_tasks(mine)?;
+        let my_standbys =
+            assign_standbys(&all, &view.members, self.config.num_standby_replicas)
+                .remove(&self.instance_id)
+                .unwrap_or_default();
+        self.adopt_standbys(my_standbys)?;
+        Ok(true)
+    }
+
+    /// One poll-process-(maybe commit) round. Returns what happened.
+    pub fn step(&mut self) -> Result<StepSummary, StreamsError> {
+        if !self.started {
+            return Err(StreamsError::InvalidOperation("call start() first".into()));
+        }
+        self.check_rebalance()?;
+        let isolation = self.consume_isolation();
+        let mut processed = 0;
+        let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        for id in &task_ids {
+            let task = self.tasks.get_mut(id).expect("owned");
+            processed += task.poll_and_process(
+                &self.cluster,
+                self.config.max_poll_records,
+                isolation,
+            )?;
+            task.punctuate(self.cluster.now_ms())?;
+            // Collect the cycle's writes.
+            let outputs = task.take_outputs();
+            let changelog = task.take_changelog();
+            if !outputs.is_empty() || !changelog.is_empty() {
+                self.begin_txn_if_needed()?;
+            }
+            let app_id = self.config.application_id.clone();
+            for out in outputs {
+                let topic = out.topic.resolve(&app_id);
+                self.producer.send(&topic, out.key, out.value, out.ts)?;
+            }
+            for (tp, key, value) in changelog {
+                self.producer.send_to_partition(
+                    &tp,
+                    klog::Record { key: Some(key), value, timestamp: self.cluster.now_ms(), headers: Vec::new() },
+                )?;
+            }
+        }
+        // Standby replicas tail their changelogs (pure replay; no output,
+        // no commit, no effect on semantics).
+        for standby in self.standbys.values_mut() {
+            let applied = standby.poll(&self.cluster, isolation)?;
+            self.retired_metrics.standby_records_applied += applied;
+        }
+        // Even an all-filtered cycle advances input offsets, which must be
+        // committed through the transaction.
+        if processed > 0 {
+            self.begin_txn_if_needed()?;
+        }
+        // Send eagerly every cycle (linger = 0) in both modes, so batching
+        // behaviour is identical and the EOS/ALOS comparison isolates the
+        // transactional protocol cost. At-least-once outputs become visible
+        // as soon as they replicate — flat latency in Figure 5; exactly-once
+        // outputs stay invisible until the commit marker regardless.
+        self.producer.flush()?;
+        let now = self.cluster.now_ms();
+        let committed = if now - self.last_commit_ms >= self.config.commit_interval_ms {
+            // A concurrent member join can bump the generation between this
+            // step's rebalance check and the commit; treat it like any
+            // overtaken commit (abort + dirty close; the next step adopts
+            // the new assignment).
+            self.commit_or_dirty_close()?;
+            true
+        } else {
+            false
+        };
+        Ok(StepSummary { processed, committed })
+    }
+
+    fn begin_txn_if_needed(&mut self) -> Result<(), StreamsError> {
+        if self.config.guarantee == ProcessingGuarantee::ExactlyOnce && !self.txn_open {
+            self.producer.begin_transaction()?;
+            self.txn_open = true;
+        }
+        Ok(())
+    }
+
+    /// Commit the current cycle: the read-process-write atomicity point
+    /// (§4.2).
+    pub fn commit(&mut self) -> Result<(), StreamsError> {
+        let offsets: Vec<(TopicPartition, i64)> =
+            self.tasks.values().flat_map(|t| t.committable_offsets()).collect();
+        match self.config.guarantee {
+            ProcessingGuarantee::ExactlyOnce => {
+                if self.txn_open {
+                    let group = self.config.application_id.clone();
+                    let member = self.instance_id.clone();
+                    let generation = self.generation;
+                    self.producer.send_offsets_to_transaction(
+                        &group,
+                        &offsets,
+                        Some((&member, generation)),
+                    )?;
+                    self.producer.commit_transaction()?;
+                    self.txn_open = false;
+                    self.transactions += 1;
+                }
+            }
+            ProcessingGuarantee::AtLeastOnce => {
+                // Flush outputs and state first, then commit progress —
+                // the ordering whose failure window yields at-least-once
+                // duplicates (§3.3).
+                self.producer.flush()?;
+                if !offsets.is_empty() {
+                    self.cluster.group_commit_offsets(
+                        self.app_id(),
+                        &self.instance_id,
+                        self.generation,
+                        &offsets,
+                    )?;
+                }
+            }
+        }
+        self.commits += 1;
+        self.last_commit_ms = self.cluster.now_ms();
+        Ok(())
+    }
+
+    /// Run until no task makes progress for `idle_rounds` consecutive steps
+    /// (test/demo convenience; commits on exit).
+    pub fn run_until_idle(&mut self, idle_rounds: usize) -> Result<(), StreamsError> {
+        let mut idle = 0;
+        while idle < idle_rounds {
+            if self.step()?.processed == 0 {
+                idle += 1;
+            } else {
+                idle = 0;
+            }
+        }
+        self.commit()
+    }
+
+    /// Commit, tolerating a rebalance that has already overtaken this
+    /// instance's generation: in that case the in-flight work cannot be
+    /// committed — abort it and close every task "dirty", so the work is
+    /// reprocessed from committed changelogs/offsets by whoever owns the
+    /// tasks next. Nothing half-processed leaks through.
+    fn commit_or_dirty_close(&mut self) -> Result<(), StreamsError> {
+        match self.commit() {
+            Ok(()) => Ok(()),
+            Err(StreamsError::Broker(kbroker::BrokerError::IllegalGeneration { .. })) => {
+                if self.txn_open {
+                    self.producer.abort_transaction()?;
+                    self.txn_open = false;
+                }
+                for (_, task) in std::mem::take(&mut self.tasks) {
+                    self.retired_metrics.merge(task.metrics());
+                }
+                self.last_commit_ms = self.cluster.now_ms();
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Graceful shutdown: final commit and group leave.
+    pub fn close(&mut self) -> Result<(), StreamsError> {
+        if !self.started {
+            return Ok(());
+        }
+        self.commit_or_dirty_close()?;
+        match self.cluster.group_leave(self.app_id(), &self.instance_id) {
+            Ok(()) | Err(kbroker::BrokerError::UnknownMember { .. }) => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.started = false;
+        Ok(())
+    }
+
+    /// Simulate a crash: all in-memory state and uncommitted work vanish;
+    /// the group membership lingers until the session times out (exactly
+    /// the §2.1 processor-failure scenario). Consumes the instance.
+    pub fn crash(self) {
+        // Nothing to do: dropping without commit/leave *is* the crash.
+    }
+
+    /// Aggregated metrics across owned and retired tasks.
+    pub fn metrics(&self) -> StreamsMetrics {
+        let mut m = self.retired_metrics;
+        for t in self.tasks.values() {
+            m.merge(t.metrics());
+        }
+        m.commits = self.commits;
+        m.transactions = self.transactions;
+        m.active_tasks = self.tasks.len() as u64;
+        m.standby_tasks = self.standbys.len() as u64;
+        m
+    }
+
+    /// Task ids of hosted standby replicas.
+    pub fn standby_ids(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self.standbys.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Interactive query against a *standby* replica's KV store — the
+    /// remote-queryable-replica pattern of the paper's future work (§8).
+    pub fn query_standby_kv(&mut self, store: &str, key: &[u8]) -> Option<Bytes> {
+        self.standbys.values_mut().find_map(|s| s.query_kv(store, key))
+    }
+
+    /// Interactive query: read a key from any owned task's KV store
+    /// (the §6.1 state-catalog pattern).
+    pub fn query_kv(&mut self, store: &str, key: &[u8]) -> Option<Bytes> {
+        self.tasks.values_mut().find_map(|t| t.query_kv(store, key))
+    }
+
+    /// Interactive query over a window store.
+    pub fn query_window(&mut self, store: &str, key: &[u8], window_start: i64) -> Option<Bytes> {
+        self.tasks.values_mut().find_map(|t| t.query_window(store, key, window_start))
+    }
+
+    /// Producer-side stats (dedup counters etc. for benches).
+    pub fn producer_stats(&self) -> kbroker::producer::ProducerStats {
+        self.producer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::StreamsBuilder;
+    use kbroker::TopicConfig;
+
+    fn cluster() -> kbroker::Cluster {
+        kbroker::Cluster::builder().brokers(1).replication(1).build()
+    }
+
+    fn simple_topology() -> Arc<Topology> {
+        let builder = StreamsBuilder::new();
+        builder.stream::<String, String>("in").to("out");
+        Arc::new(builder.build().unwrap())
+    }
+
+    #[test]
+    fn step_before_start_is_rejected() {
+        let c = cluster();
+        c.create_topic("in", TopicConfig::new(1)).unwrap();
+        let mut app = KafkaStreamsApp::new(
+            c,
+            simple_topology(),
+            StreamsConfig::new("app"),
+            "i0",
+        );
+        assert!(matches!(app.step(), Err(StreamsError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn start_fails_on_missing_source_topic() {
+        let c = cluster();
+        let mut app = KafkaStreamsApp::new(
+            c,
+            simple_topology(),
+            StreamsConfig::new("app"),
+            "i0",
+        );
+        assert!(app.start().is_err(), "source topic does not exist");
+    }
+
+    #[test]
+    fn copartition_mismatch_is_rejected() {
+        // A join forces two sources into one sub-topology; mismatched
+        // partition counts must fail fast (§3.3's co-partitioning rule).
+        let c = cluster();
+        c.create_topic("a", TopicConfig::new(2)).unwrap();
+        c.create_topic("b", TopicConfig::new(3)).unwrap();
+        let builder = StreamsBuilder::new();
+        let left = builder.stream::<String, String>("a");
+        let right = builder.table::<String, String>("b", "b-store");
+        left.join_table(&right, |l, r| format!("{l}{r}")).to("out");
+        let topology = Arc::new(builder.build().unwrap());
+        let mut app =
+            KafkaStreamsApp::new(c, topology, StreamsConfig::new("app"), "i0");
+        let err = app.start().unwrap_err();
+        assert!(
+            matches!(&err, StreamsError::InvalidTopology(msg) if msg.contains("co-partitioned")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn close_without_start_is_a_noop() {
+        let c = cluster();
+        c.create_topic("in", TopicConfig::new(1)).unwrap();
+        let mut app = KafkaStreamsApp::new(
+            c,
+            simple_topology(),
+            StreamsConfig::new("app"),
+            "i0",
+        );
+        app.close().unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! Task assignment across application instances (§3.3).
+//!
+//! Every instance computes the same assignment from the (sorted) group
+//! membership, so no leader election is needed in the simulation. The
+//! assignment is deterministic and *sticky by construction*: as long as the
+//! member set is unchanged, every task stays where it was; membership
+//! changes move the minimum number of tasks consistent with round-robin
+//! balance ("workload balance among instances and task stickiness", §3.3).
+
+use crate::topology::TaskId;
+use std::collections::BTreeMap;
+
+/// Assign `tasks` to `members`, returning member → tasks.
+///
+/// Both inputs are sorted internally, so all instances agree. Round-robin by
+/// task order balances counts within ±1.
+pub fn assign_tasks(tasks: &[TaskId], members: &[String]) -> BTreeMap<String, Vec<TaskId>> {
+    let mut members: Vec<&String> = members.iter().collect();
+    members.sort();
+    members.dedup();
+    let mut tasks: Vec<TaskId> = tasks.to_vec();
+    tasks.sort();
+    let mut out: BTreeMap<String, Vec<TaskId>> =
+        members.iter().map(|m| ((*m).clone(), Vec::new())).collect();
+    if members.is_empty() {
+        return out;
+    }
+    for (i, task) in tasks.into_iter().enumerate() {
+        let member = members[i % members.len()];
+        out.get_mut(member).expect("initialized").push(task);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(s: usize, p: u32) -> TaskId {
+        TaskId { subtopology: s, partition: p }
+    }
+
+    #[test]
+    fn single_member_gets_all() {
+        let tasks = vec![tid(0, 0), tid(0, 1), tid(1, 0)];
+        let a = assign_tasks(&tasks, &["m1".into()]);
+        assert_eq!(a["m1"].len(), 3);
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let tasks: Vec<TaskId> = (0..7).map(|p| tid(0, p)).collect();
+        let a = assign_tasks(&tasks, &["a".into(), "b".into(), "c".into()]);
+        let counts: Vec<usize> = a.values().map(|v| v.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_input_order() {
+        let tasks = vec![tid(1, 1), tid(0, 0), tid(0, 1), tid(1, 0)];
+        let mut rev = tasks.clone();
+        rev.reverse();
+        let m1 = vec!["b".to_string(), "a".to_string()];
+        let m2 = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(assign_tasks(&tasks, &m1), assign_tasks(&rev, &m2));
+    }
+
+    #[test]
+    fn disjoint_and_complete() {
+        let tasks: Vec<TaskId> = (0..10).map(|p| tid(0, p)).collect();
+        let a = assign_tasks(&tasks, &["x".into(), "y".into(), "z".into()]);
+        let mut all: Vec<TaskId> = a.values().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, tasks);
+    }
+
+    #[test]
+    fn empty_members_yields_empty_map() {
+        let a = assign_tasks(&[tid(0, 0)], &[]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stable_when_membership_unchanged() {
+        let tasks: Vec<TaskId> = (0..6).map(|p| tid(0, p)).collect();
+        let members = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(assign_tasks(&tasks, &members), assign_tasks(&tasks, &members));
+    }
+}

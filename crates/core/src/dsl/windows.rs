@@ -1,0 +1,208 @@
+//! Window definitions and windowed keys (§3.2, §5).
+
+use crate::error::StreamsError;
+use crate::kserde::{decode_windowed_key, encode_windowed_key, KSerde};
+use bytes::Bytes;
+
+/// Fixed-size time windows (tumbling, or hopping when `advance < size`).
+///
+/// The per-operator **grace period** (§5) bounds how long out-of-order
+/// records are still accepted into a window; it controls *state retention*,
+/// not output delay — results are emitted speculatively and revised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindows {
+    pub size_ms: i64,
+    pub advance_ms: i64,
+    pub grace_ms: i64,
+}
+
+impl TimeWindows {
+    /// Tumbling windows of `size_ms` with zero grace.
+    pub fn of(size_ms: i64) -> Self {
+        assert!(size_ms > 0);
+        Self { size_ms, advance_ms: size_ms, grace_ms: 0 }
+    }
+
+    /// Turn into hopping windows advancing every `advance_ms`.
+    pub fn advance_by(mut self, advance_ms: i64) -> Self {
+        assert!(advance_ms > 0 && advance_ms <= self.size_ms);
+        self.advance_ms = advance_ms;
+        self
+    }
+
+    /// Accept out-of-order records up to `grace_ms` after the window ends.
+    pub fn grace(mut self, grace_ms: i64) -> Self {
+        assert!(grace_ms >= 0);
+        self.grace_ms = grace_ms;
+        self
+    }
+
+    /// Window start offsets containing `ts`, earliest first.
+    pub fn windows_for(&self, ts: i64) -> Vec<i64> {
+        if ts < 0 {
+            return vec![];
+        }
+        let last_start = (ts / self.advance_ms) * self.advance_ms;
+        let mut starts = Vec::new();
+        let mut start = last_start;
+        loop {
+            if start + self.size_ms > ts {
+                starts.push(start);
+            } else {
+                break;
+            }
+            if start < self.advance_ms {
+                break;
+            }
+            start -= self.advance_ms;
+        }
+        starts.reverse();
+        starts
+    }
+
+    /// Whether the window starting at `start` is closed (no longer accepts
+    /// records) at the given stream time: `window_end + grace <= stream_time`.
+    pub fn is_closed(&self, start: i64, stream_time: i64) -> bool {
+        start + self.size_ms + self.grace_ms <= stream_time
+    }
+}
+
+/// Session windows: records within `gap_ms` of each other merge into one
+/// session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionWindows {
+    pub gap_ms: i64,
+    pub grace_ms: i64,
+}
+
+impl SessionWindows {
+    pub fn with_gap(gap_ms: i64) -> Self {
+        assert!(gap_ms > 0);
+        Self { gap_ms, grace_ms: 0 }
+    }
+
+    pub fn grace(mut self, grace_ms: i64) -> Self {
+        assert!(grace_ms >= 0);
+        self.grace_ms = grace_ms;
+        self
+    }
+}
+
+/// Join windows for stream-stream joins: a left record at `t` joins right
+/// records in `[t - before, t + after]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinWindows {
+    pub before_ms: i64,
+    pub after_ms: i64,
+    pub grace_ms: i64,
+}
+
+impl JoinWindows {
+    /// Symmetric window: ±`diff_ms`.
+    pub fn of(diff_ms: i64) -> Self {
+        assert!(diff_ms >= 0);
+        Self { before_ms: diff_ms, after_ms: diff_ms, grace_ms: 0 }
+    }
+
+    pub fn before(mut self, ms: i64) -> Self {
+        self.before_ms = ms;
+        self
+    }
+
+    pub fn after(mut self, ms: i64) -> Self {
+        self.after_ms = ms;
+        self
+    }
+
+    pub fn grace(mut self, grace_ms: i64) -> Self {
+        assert!(grace_ms >= 0);
+        self.grace_ms = grace_ms;
+        self
+    }
+}
+
+/// A key qualified by the window it belongs to. Output type of windowed
+/// aggregations (indexed by window start, like Figure 6's emitted results).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Windowed<K> {
+    pub key: K,
+    pub window_start: i64,
+}
+
+impl<K> Windowed<K> {
+    pub fn new(key: K, window_start: i64) -> Self {
+        Self { key, window_start }
+    }
+}
+
+impl<K: KSerde> KSerde for Windowed<K> {
+    fn to_bytes(&self) -> Bytes {
+        encode_windowed_key(&self.key.to_bytes(), self.window_start)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, StreamsError> {
+        let (key, start) = decode_windowed_key(bytes)?;
+        Ok(Windowed { key: K::from_bytes(&key)?, window_start: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assigns_single_window() {
+        let w = TimeWindows::of(5000);
+        assert_eq!(w.windows_for(0), vec![0]);
+        assert_eq!(w.windows_for(4999), vec![0]);
+        assert_eq!(w.windows_for(5000), vec![5000]);
+        assert_eq!(w.windows_for(12_345), vec![10_000]);
+    }
+
+    #[test]
+    fn hopping_assigns_multiple_windows() {
+        let w = TimeWindows::of(10_000).advance_by(5000);
+        assert_eq!(w.windows_for(12_000), vec![5000, 10_000]);
+        assert_eq!(w.windows_for(3_000), vec![0]);
+        assert_eq!(w.windows_for(7_000), vec![0, 5000]);
+    }
+
+    #[test]
+    fn window_close_uses_grace() {
+        let w = TimeWindows::of(5000).grace(10_000);
+        // Window [10_000, 15_000), grace 10 s: closes at stream time 25_000.
+        assert!(!w.is_closed(10_000, 24_999));
+        assert!(w.is_closed(10_000, 25_000));
+    }
+
+    #[test]
+    fn zero_grace_closes_at_window_end() {
+        let w = TimeWindows::of(5000);
+        assert!(w.is_closed(0, 5000));
+        assert!(!w.is_closed(0, 4999));
+    }
+
+    #[test]
+    fn negative_ts_gets_no_window() {
+        assert!(TimeWindows::of(1000).windows_for(-5).is_empty());
+    }
+
+    #[test]
+    fn windowed_key_serde_round_trip() {
+        let w = Windowed::new("user".to_string(), 5000);
+        let b = w.to_bytes();
+        assert_eq!(Windowed::<String>::from_bytes(&b).unwrap(), w);
+    }
+
+    #[test]
+    fn join_windows_builders() {
+        let jw = JoinWindows::of(100).before(50).grace(10);
+        assert_eq!((jw.before_ms, jw.after_ms, jw.grace_ms), (50, 100, 10));
+    }
+
+    #[test]
+    fn session_windows_builders() {
+        let sw = SessionWindows::with_gap(30).grace(5);
+        assert_eq!((sw.gap_ms, sw.grace_ms), (30, 5));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the streams library.
+
+use kbroker::BrokerError;
+use std::fmt;
+
+/// Errors surfaced by topology building and stream execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamsError {
+    /// Underlying broker/cluster failure.
+    Broker(BrokerError),
+    /// The topology definition is invalid (duplicate names, dangling
+    /// references, …).
+    InvalidTopology(String),
+    /// Serialization/deserialization failed at an operator boundary.
+    Serde(String),
+    /// This instance has been fenced (a newer incarnation took over its
+    /// transactional id) and must shut down (§4.2.1's zombie handling).
+    Fenced(String),
+    /// Runtime misuse (processing before start, unknown store, …).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for StreamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamsError::Broker(e) => write!(f, "broker error: {e}"),
+            StreamsError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            StreamsError::Serde(msg) => write!(f, "serde error: {msg}"),
+            StreamsError::Fenced(msg) => write!(f, "instance fenced: {msg}"),
+            StreamsError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamsError {}
+
+impl From<BrokerError> for StreamsError {
+    fn from(e: BrokerError) -> Self {
+        match e {
+            BrokerError::ProducerFenced { transactional_id } => {
+                StreamsError::Fenced(transactional_id)
+            }
+            BrokerError::Log(klog::LogError::ProducerFenced { producer_id, .. }) => {
+                StreamsError::Fenced(format!("producer {producer_id}"))
+            }
+            other => StreamsError::Broker(other),
+        }
+    }
+}

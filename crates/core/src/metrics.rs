@@ -1,0 +1,63 @@
+//! Runtime metrics, used by tests to assert semantics and by the benchmark
+//! harness to report the paper's figures.
+
+/// Counters accumulated by one application instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamsMetrics {
+    /// Input records processed (post-restore, i.e. real processing work).
+    pub records_processed: u64,
+    /// Records produced to sink topics (user-visible outputs).
+    pub records_emitted: u64,
+    /// Revision records emitted by order-sensitive operators on
+    /// out-of-order input (§5).
+    pub revisions_emitted: u64,
+    /// Out-of-order records dropped because their window closed (grace
+    /// period elapsed, §5).
+    pub late_dropped: u64,
+    /// Records the suppress operator absorbed (consolidated away, §5/§6.2).
+    pub suppressed: u64,
+    /// Commit cycles completed.
+    pub commits: u64,
+    /// Transactions committed (exactly-once mode only).
+    pub transactions: u64,
+    /// Records replayed from changelogs during state restore.
+    pub restore_records: u64,
+    /// Tasks this instance currently runs.
+    pub active_tasks: u64,
+    /// Standby replicas this instance currently hosts.
+    pub standby_tasks: u64,
+    /// Changelog records applied by standby replicas.
+    pub standby_records_applied: u64,
+}
+
+impl StreamsMetrics {
+    /// Merge counters from another instance (fleet-wide totals in benches).
+    pub fn merge(&mut self, other: &StreamsMetrics) {
+        self.records_processed += other.records_processed;
+        self.records_emitted += other.records_emitted;
+        self.revisions_emitted += other.revisions_emitted;
+        self.late_dropped += other.late_dropped;
+        self.suppressed += other.suppressed;
+        self.commits += other.commits;
+        self.transactions += other.transactions;
+        self.restore_records += other.restore_records;
+        self.active_tasks += other.active_tasks;
+        self.standby_tasks += other.standby_tasks;
+        self.standby_records_applied += other.standby_records_applied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = StreamsMetrics { records_processed: 5, commits: 1, ..Default::default() };
+        let b = StreamsMetrics { records_processed: 7, late_dropped: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.records_processed, 12);
+        assert_eq!(a.late_dropped, 2);
+        assert_eq!(a.commits, 1);
+    }
+}

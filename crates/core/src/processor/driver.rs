@@ -1,0 +1,366 @@
+//! Executes one sub-topology's operator graph for one task.
+//!
+//! Records enter at a source node and are pushed through fused operators in
+//! FIFO order; sink nodes emit into the task's output buffer, which the task
+//! later sends through the (possibly transactional) producer. This is the
+//! "read-process" half of the read-process-write cycle (§4).
+
+use super::{Processor, ProcessorContext, StoreEntry};
+use crate::error::StreamsError;
+use crate::kserde::{decode_change, encode_change};
+use crate::metrics::StreamsMetrics;
+use crate::record::FlowRecord;
+use crate::topology::node::{NodeKind, TopicRef, ValueMode};
+use crate::topology::Topology;
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+
+/// One record bound for a sink topic.
+#[derive(Debug, Clone)]
+pub struct SinkOutput {
+    pub topic: TopicRef,
+    pub key: Option<Bytes>,
+    /// Wire value (change-encoded when the sink crosses a table boundary).
+    pub value: Option<Bytes>,
+    pub ts: i64,
+}
+
+/// Mutable task state shared with processors during execution.
+pub struct TaskEnv {
+    pub stores: HashMap<String, StoreEntry>,
+    /// Records produced to sinks this cycle.
+    pub outputs: Vec<SinkOutput>,
+    /// Captured store mutations: `(store, changelog key, value)`.
+    pub changelog: Vec<(String, Bytes, Option<Bytes>)>,
+    pub metrics: StreamsMetrics,
+    /// Max record timestamp observed by this task (§5's stream time).
+    pub stream_time: i64,
+    /// The task's partition number.
+    pub partition: u32,
+}
+
+impl TaskEnv {
+    pub fn new(partition: u32) -> Self {
+        Self {
+            stores: HashMap::new(),
+            outputs: Vec::new(),
+            changelog: Vec::new(),
+            metrics: StreamsMetrics::default(),
+            stream_time: i64::MIN,
+            partition,
+        }
+    }
+}
+
+enum RuntimeKind {
+    Source { mode: ValueMode },
+    Proc(Option<Box<dyn Processor>>),
+    Sink { topic: TopicRef, mode: ValueMode },
+}
+
+struct RuntimeNode {
+    kind: RuntimeKind,
+    children: Vec<usize>,
+}
+
+/// An instantiated sub-topology graph for one task.
+pub struct SubTopologyDriver {
+    /// Dense local nodes (re-indexed from the global topology).
+    nodes: Vec<RuntimeNode>,
+    /// Logical source-topic name → local source node.
+    sources: HashMap<String, usize>,
+    queue: VecDeque<(usize, FlowRecord)>,
+}
+
+impl SubTopologyDriver {
+    /// Instantiate the given sub-topology: fresh processor instances per
+    /// task (§3.3).
+    pub fn new(topology: &Topology, subtopology: usize) -> Result<Self, StreamsError> {
+        let st = topology
+            .subtopologies
+            .get(subtopology)
+            .ok_or_else(|| StreamsError::InvalidTopology("unknown sub-topology".into()))?;
+        let mut global_to_local: HashMap<usize, usize> = HashMap::new();
+        for (li, &gi) in st.nodes.iter().enumerate() {
+            global_to_local.insert(gi, li);
+        }
+        let mut nodes = Vec::with_capacity(st.nodes.len());
+        let mut sources = HashMap::new();
+        for (li, &gi) in st.nodes.iter().enumerate() {
+            let node = &topology.nodes[gi];
+            let children = node
+                .children
+                .iter()
+                .map(|c| {
+                    global_to_local.get(c).copied().ok_or_else(|| {
+                        StreamsError::InvalidTopology(format!(
+                            "edge from {} crosses a sub-topology without a topic",
+                            node.name
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<usize>, _>>()?;
+            let kind = match &node.kind {
+                NodeKind::Source { topic, mode } => {
+                    sources.insert(topic.name.clone(), li);
+                    RuntimeKind::Source { mode: *mode }
+                }
+                NodeKind::Processor { factory, .. } => RuntimeKind::Proc(Some(factory())),
+                NodeKind::Sink { topic, mode } => {
+                    RuntimeKind::Sink { topic: topic.clone(), mode: *mode }
+                }
+            };
+            nodes.push(RuntimeNode { kind, children });
+        }
+        Ok(Self { nodes, sources, queue: VecDeque::new() })
+    }
+
+    /// Feed one input record from `topic` through the graph, running every
+    /// downstream operator to completion.
+    pub fn process(
+        &mut self,
+        env: &mut TaskEnv,
+        topic: &str,
+        key: Option<Bytes>,
+        value: Option<Bytes>,
+        ts: i64,
+    ) -> Result<(), StreamsError> {
+        let &src = self
+            .sources
+            .get(topic)
+            .ok_or_else(|| StreamsError::InvalidOperation(format!("no source for {topic}")))?;
+        // Decode according to the source's value mode.
+        let record = match &self.nodes[src].kind {
+            RuntimeKind::Source { mode: ValueMode::Plain } => {
+                FlowRecord { key, new: value, old: None, ts }
+            }
+            RuntimeKind::Source { mode: ValueMode::Change } => {
+                let (old, new) = match &value {
+                    Some(v) => decode_change(v)?,
+                    None => (None, None),
+                };
+                FlowRecord { key, new, old, ts }
+            }
+            _ => unreachable!("sources index only holds source nodes"),
+        };
+        if ts > env.stream_time {
+            env.stream_time = ts;
+        }
+        env.metrics.records_processed += 1;
+        for &c in &self.nodes[src].children {
+            self.queue.push_back((c, record.clone()));
+        }
+        self.drain(env)
+    }
+
+    /// Run all processors' punctuators (time-driven output: suppress
+    /// flushes, outer-join padding, GC).
+    pub fn punctuate(&mut self, env: &mut TaskEnv, wall_time: i64) -> Result<(), StreamsError> {
+        let stream_time = env.stream_time;
+        for i in 0..self.nodes.len() {
+            if matches!(self.nodes[i].kind, RuntimeKind::Proc(_)) {
+                let mut p = match &mut self.nodes[i].kind {
+                    RuntimeKind::Proc(slot) => slot.take().expect("processor present"),
+                    _ => unreachable!(),
+                };
+                let children = std::mem::take(&mut self.nodes[i].children);
+                {
+                    let mut ctx =
+                        ProcessorContext { children: &children, queue: &mut self.queue, env };
+                    p.punctuate(&mut ctx, stream_time, wall_time);
+                }
+                self.nodes[i].children = children;
+                match &mut self.nodes[i].kind {
+                    RuntimeKind::Proc(slot) => *slot = Some(p),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        self.drain(env)
+    }
+
+    fn drain(&mut self, env: &mut TaskEnv) -> Result<(), StreamsError> {
+        while let Some((ni, record)) = self.queue.pop_front() {
+            match &mut self.nodes[ni].kind {
+                RuntimeKind::Source { .. } => {
+                    return Err(StreamsError::InvalidTopology(
+                        "record forwarded into a source node".into(),
+                    ));
+                }
+                RuntimeKind::Sink { topic, mode } => {
+                    let value = match mode {
+                        ValueMode::Plain => record.new.clone(),
+                        ValueMode::Change => Some(encode_change(&record.old, &record.new)),
+                    };
+                    env.metrics.records_emitted += 1;
+                    env.outputs.push(SinkOutput {
+                        topic: topic.clone(),
+                        key: record.key,
+                        value,
+                        ts: record.ts,
+                    });
+                }
+                RuntimeKind::Proc(slot) => {
+                    let mut p = slot.take().expect("processor present");
+                    let children = std::mem::take(&mut self.nodes[ni].children);
+                    {
+                        let mut ctx =
+                            ProcessorContext { children: &children, queue: &mut self.queue, env };
+                        p.process(&mut ctx, record);
+                    }
+                    self.nodes[ni].children = children;
+                    match &mut self.nodes[ni].kind {
+                        RuntimeKind::Proc(slot) => *slot = Some(p),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{Store, StoreKind, StoreSpec};
+    use crate::topology::builder::InternalBuilder;
+    use std::sync::Arc;
+
+    /// Doubles the numeric value and forwards.
+    struct Doubler;
+    impl Processor for Doubler {
+        fn process(&mut self, ctx: &mut ProcessorContext<'_>, mut record: FlowRecord) {
+            if let Some(v) = &record.new {
+                let n: i64 = i64::from_be_bytes(v.as_ref().try_into().unwrap());
+                record.new = Some(Bytes::copy_from_slice(&(n * 2).to_be_bytes()));
+            }
+            ctx.forward(record);
+        }
+    }
+
+    /// Counts records per key in a KV store.
+    struct Counter {
+        store: &'static str,
+    }
+    impl Processor for Counter {
+        fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord) {
+            let key = record.key.clone().unwrap();
+            let old = ctx.kv_get(self.store, &key);
+            let n = old.map(|b| i64::from_be_bytes(b.as_ref().try_into().unwrap())).unwrap_or(0);
+            let new = Bytes::copy_from_slice(&(n + 1).to_be_bytes());
+            ctx.kv_put(self.store, key.clone(), Some(new.clone()));
+            ctx.forward(FlowRecord { key: Some(key), new: Some(new), old: None, ts: record.ts });
+        }
+    }
+
+    fn env_with_store(name: &str, kind: StoreKind) -> TaskEnv {
+        let mut env = TaskEnv::new(0);
+        env.stores.insert(
+            name.to_string(),
+            StoreEntry { store: Store::new(kind), spec: StoreSpec::new(name, kind) },
+        );
+        env
+    }
+
+    fn i64b(n: i64) -> Bytes {
+        Bytes::copy_from_slice(&n.to_be_bytes())
+    }
+
+    #[test]
+    fn linear_pipeline_transforms_and_sinks() {
+        let mut b = InternalBuilder::new();
+        let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+        let p = b
+            .add_processor("d".into(), Arc::new(|| Box::new(Doubler)), &[src], vec![])
+            .unwrap();
+        b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Plain, &[p]).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = TaskEnv::new(0);
+        driver.process(&mut env, "in", Some(Bytes::from_static(b"k")), Some(i64b(21)), 7).unwrap();
+        assert_eq!(env.outputs.len(), 1);
+        assert_eq!(env.outputs[0].value, Some(i64b(42)));
+        assert_eq!(env.outputs[0].ts, 7);
+        assert_eq!(env.stream_time, 7);
+        assert_eq!(env.metrics.records_processed, 1);
+        assert_eq!(env.metrics.records_emitted, 1);
+    }
+
+    #[test]
+    fn stateful_processor_captures_changelog() {
+        let mut b = InternalBuilder::new();
+        let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+        b.add_store(StoreSpec::new("c", StoreKind::KeyValue)).unwrap();
+        let p = b
+            .add_processor(
+                "cnt".into(),
+                Arc::new(|| Box::new(Counter { store: "c" })),
+                &[src],
+                vec!["c".into()],
+            )
+            .unwrap();
+        b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Plain, &[p]).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = env_with_store("c", StoreKind::KeyValue);
+        for i in 0..3 {
+            driver
+                .process(&mut env, "in", Some(Bytes::from_static(b"k")), Some(i64b(0)), i)
+                .unwrap();
+        }
+        assert_eq!(env.changelog.len(), 3, "every state update captured as a log append");
+        assert_eq!(env.outputs.last().unwrap().value, Some(i64b(3)));
+        assert_eq!(env.stores["c"].store.len(), 1);
+    }
+
+    #[test]
+    fn change_mode_sink_and_source_round_trip() {
+        // Sink encodes (old, new); a Change source decodes it back.
+        let mut b = InternalBuilder::new();
+        let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Change).unwrap();
+        b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Change, &[src]).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = TaskEnv::new(0);
+        let wire = encode_change(&Some(i64b(1)), &Some(i64b(2)));
+        driver.process(&mut env, "in", Some(Bytes::from_static(b"k")), Some(wire.clone()), 0).unwrap();
+        assert_eq!(env.outputs[0].value, Some(wire));
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_children() {
+        let mut b = InternalBuilder::new();
+        let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+        b.add_sink("k1".into(), TopicRef::external("out1"), ValueMode::Plain, &[src]).unwrap();
+        b.add_sink("k2".into(), TopicRef::external("out2"), ValueMode::Plain, &[src]).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = TaskEnv::new(0);
+        driver.process(&mut env, "in", None, Some(i64b(1)), 0).unwrap();
+        assert_eq!(env.outputs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_source_topic_errors() {
+        let mut b = InternalBuilder::new();
+        b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = TaskEnv::new(0);
+        assert!(driver.process(&mut env, "other", None, None, 0).is_err());
+    }
+
+    #[test]
+    fn stream_time_is_monotone() {
+        let mut b = InternalBuilder::new();
+        let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+        b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Plain, &[src]).unwrap();
+        let t = b.build().unwrap();
+        let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+        let mut env = TaskEnv::new(0);
+        driver.process(&mut env, "in", None, Some(i64b(1)), 100).unwrap();
+        driver.process(&mut env, "in", None, Some(i64b(1)), 50).unwrap(); // out of order
+        assert_eq!(env.stream_time, 100, "stream time never regresses");
+    }
+}

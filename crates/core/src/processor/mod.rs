@@ -1,0 +1,219 @@
+//! The low-level Processor API and per-record execution context.
+//!
+//! Operators within a sub-topology are fused (§3.2): an upstream operator
+//! hands records directly to downstream operators in memory via
+//! [`ProcessorContext::forward`], with no network hop. The context also
+//! mediates all state-store access so every write is captured for the
+//! store's changelog topic (§3.2, §4) — this is what turns "state update"
+//! into "log append" and lets transactions cover it.
+
+pub mod driver;
+
+pub use driver::{SinkOutput, SubTopologyDriver, TaskEnv};
+
+use crate::record::FlowRecord;
+use crate::state::{Store, StoreSpec};
+use bytes::Bytes;
+
+/// A stream processor: receives one record at a time, may read/write stores
+/// and forward records downstream.
+pub trait Processor {
+    /// Process one input record.
+    fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord);
+
+    /// Called after each poll round with the task's current stream time and
+    /// wall-clock time. Used by operators with time-driven output (suppress,
+    /// outer-join null padding, window GC).
+    fn punctuate(&mut self, _ctx: &mut ProcessorContext<'_>, _stream_time: i64, _wall_time: i64) {
+    }
+}
+
+/// A store instance plus its changelogging flag, owned by a task.
+pub struct StoreEntry {
+    pub store: Store,
+    pub spec: StoreSpec,
+}
+
+/// The context a processor sees while handling one record.
+///
+/// Borrows the task's environment: stores, output buffers, metrics, and the
+/// forward queue of the driver.
+pub struct ProcessorContext<'a> {
+    /// Children of the currently executing node.
+    pub(crate) children: &'a [usize],
+    /// The driver's pending-record queue.
+    pub(crate) queue: &'a mut std::collections::VecDeque<(usize, FlowRecord)>,
+    /// Task environment: stores, outputs, metrics, time.
+    pub(crate) env: &'a mut TaskEnv,
+}
+
+impl<'a> ProcessorContext<'a> {
+    /// Build a context directly — for driving a single [`Processor`]
+    /// outside a task (unit tests, microbenchmarks).
+    pub fn new(
+        children: &'a [usize],
+        queue: &'a mut std::collections::VecDeque<(usize, FlowRecord)>,
+        env: &'a mut TaskEnv,
+    ) -> Self {
+        Self { children, queue, env }
+    }
+
+    /// Forward a record to all downstream operators of the current node.
+    pub fn forward(&mut self, record: FlowRecord) {
+        for &c in self.children {
+            self.queue.push_back((c, record.clone()));
+        }
+    }
+
+    /// Current task stream time: the maximum record timestamp observed so
+    /// far (drives grace periods and window GC, §5).
+    pub fn stream_time(&self) -> i64 {
+        self.env.stream_time
+    }
+
+    /// Advance stream time (monotone).
+    pub fn observe_ts(&mut self, ts: i64) {
+        if ts > self.env.stream_time {
+            self.env.stream_time = ts;
+        }
+    }
+
+    /// Partition this task processes (== the task's changelog partition).
+    pub fn partition(&self) -> u32 {
+        self.env.partition
+    }
+
+    /// Mutable access to task metrics.
+    pub fn metrics(&mut self) -> &mut crate::metrics::StreamsMetrics {
+        &mut self.env.metrics
+    }
+
+    // ---------------------------------------------------------------
+    // Store access. Every mutation is mirrored into the changelog buffer
+    // (drained by the task into the store's changelog topic) when the
+    // store is changelogged.
+    // ---------------------------------------------------------------
+
+    fn entry(&mut self, store: &str) -> &mut StoreEntry {
+        self.env
+            .stores
+            .get_mut(store)
+            .unwrap_or_else(|| panic!("processor accessed undeclared store {store}"))
+    }
+
+    fn log_change(&mut self, store: &str, key: Bytes, value: Option<Bytes>) {
+        if self.env.stores[store].spec.changelog {
+            self.env.changelog.push((store.to_string(), key, value));
+        }
+    }
+
+    /// Key/value get.
+    pub fn kv_get(&mut self, store: &str, key: &[u8]) -> Option<Bytes> {
+        self.entry(store).store.as_kv().get(key)
+    }
+
+    /// Key/value put (None deletes); returns the prior value.
+    pub fn kv_put(&mut self, store: &str, key: Bytes, value: Option<Bytes>) -> Option<Bytes> {
+        let old = self.entry(store).store.as_kv().put(key.clone(), value.clone());
+        self.log_change(store, key, value);
+        old
+    }
+
+    /// Ordered scan of a KV store over `[from, to)` (interactive queries,
+    /// table scans).
+    pub fn kv_range(&mut self, store: &str, from: &[u8], to: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.entry(store)
+            .store
+            .as_kv()
+            .range(from, to)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All entries of a KV store (suppress-buffer flush scans, interactive
+    /// queries).
+    pub fn kv_entries(&mut self, store: &str) -> Vec<(Bytes, Bytes)> {
+        self.entry(store).store.as_kv().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Windowed fetch.
+    pub fn window_fetch(&mut self, store: &str, key: &[u8], window_start: i64) -> Option<Bytes> {
+        self.entry(store).store.as_window().fetch(key, window_start)
+    }
+
+    /// Windowed put; returns the prior value (the `old` of a revision).
+    pub fn window_put(
+        &mut self,
+        store: &str,
+        key: Bytes,
+        window_start: i64,
+        value: Option<Bytes>,
+    ) -> Option<Bytes> {
+        let old =
+            self.entry(store).store.as_window().put(key.clone(), window_start, value.clone());
+        self.log_change(store, Store::windowed_changelog_key(&key, window_start), value);
+        old
+    }
+
+    /// Windowed range fetch for one key.
+    pub fn window_fetch_range(
+        &mut self,
+        store: &str,
+        key: &[u8],
+        from: i64,
+        to: i64,
+    ) -> Vec<(i64, Bytes)> {
+        self.entry(store).store.as_window().fetch_range(key, from, to)
+    }
+
+    /// Expire windows with start `< before` (grace-period GC, Figure 6.d).
+    /// Evictions are *not* changelogged: the changelog bounds its growth via
+    /// compaction and restore-side re-expiry instead, mirroring Kafka's
+    /// retention-based windowed changelogs.
+    pub fn window_expire(&mut self, store: &str, before: i64) -> Vec<(i64, Bytes, Bytes)> {
+        self.entry(store).store.as_window().expire_before(before)
+    }
+
+    /// Iterate all windowed entries (suppress flush scans).
+    pub fn window_entries(&mut self, store: &str) -> Vec<(i64, Bytes, Bytes)> {
+        self.entry(store)
+            .store
+            .as_window()
+            .iter()
+            .map(|(s, k, v)| (s, k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Sessions of `key` overlapping `ts ± gap`.
+    pub fn session_find(
+        &mut self,
+        store: &str,
+        key: &[u8],
+        ts: i64,
+        gap: i64,
+    ) -> Vec<crate::state::session::SessionEntry> {
+        self.entry(store).store.as_session().find_overlapping(key, ts, gap)
+    }
+
+    /// Store a session.
+    pub fn session_put(&mut self, store: &str, key: Bytes, start: i64, end: i64, value: Bytes) {
+        self.entry(store).store.as_session().put(key.clone(), start, end, value.clone());
+        self.log_change(
+            store,
+            crate::state::session::encode_session_key(&key, start, end),
+            Some(value),
+        );
+    }
+
+    /// Remove a session.
+    pub fn session_remove(&mut self, store: &str, key: &[u8], start: i64, end: i64) {
+        self.entry(store).store.as_session().remove(key, start, end);
+        self.log_change(store, crate::state::session::encode_session_key(key, start, end), None);
+    }
+
+    /// Expire sessions ended before `horizon` (grace GC; not changelogged,
+    /// same rationale as [`window_expire`](Self::window_expire)).
+    pub fn session_expire(&mut self, store: &str, horizon: i64) {
+        self.entry(store).store.as_session().expire_before(horizon);
+    }
+}

@@ -1,0 +1,94 @@
+//! In-flight record representation.
+//!
+//! Every record flowing between operators carries a `new` value and an
+//! optional `old` value. Plain stream records have `old = None`; records of
+//! table-valued (changelog) streams may carry the prior value so downstream
+//! operators can retract it before accumulating the update — the paper's
+//! revision processing (§5).
+
+use bytes::Bytes;
+
+/// A typed revision: the old and new value for a key of an evolving table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change<V> {
+    pub old: Option<V>,
+    pub new: Option<V>,
+}
+
+impl<V> Change<V> {
+    pub fn new_value(new: V) -> Self {
+        Self { old: None, new: Some(new) }
+    }
+
+    pub fn update(old: V, new: V) -> Self {
+        Self { old: Some(old), new: Some(new) }
+    }
+
+    pub fn delete(old: V) -> Self {
+        Self { old: Some(old), new: None }
+    }
+}
+
+/// The untyped record the runtime moves between operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    pub key: Option<Bytes>,
+    /// Current value; `None` is a delete/tombstone.
+    pub new: Option<Bytes>,
+    /// Prior value being retracted, if this is a revision of a table entry.
+    pub old: Option<Bytes>,
+    /// Event-time timestamp (ms).
+    pub ts: i64,
+}
+
+impl FlowRecord {
+    /// A plain stream record (no retraction payload).
+    pub fn stream(key: impl Into<Option<Bytes>>, value: impl Into<Option<Bytes>>, ts: i64) -> Self {
+        Self { key: key.into(), new: value.into(), old: None, ts }
+    }
+
+    /// A revision record carrying both prior and updated values.
+    pub fn revision(
+        key: impl Into<Option<Bytes>>,
+        old: Option<Bytes>,
+        new: Option<Bytes>,
+        ts: i64,
+    ) -> Self {
+        Self { key: key.into(), new, old, ts }
+    }
+
+    /// Whether this record retracts a prior value.
+    pub fn is_revision(&self) -> bool {
+        self.old.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_record_has_no_old() {
+        let r = FlowRecord::stream(Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 5);
+        assert!(!r.is_revision());
+        assert_eq!(r.ts, 5);
+    }
+
+    #[test]
+    fn revision_record_flags() {
+        let r = FlowRecord::revision(
+            Some(Bytes::from_static(b"k")),
+            Some(Bytes::from_static(b"1")),
+            Some(Bytes::from_static(b"2")),
+            5,
+        );
+        assert!(r.is_revision());
+    }
+
+    #[test]
+    fn change_constructors() {
+        assert_eq!(Change::new_value(1), Change { old: None, new: Some(1) });
+        assert_eq!(Change::update(1, 2), Change { old: Some(1), new: Some(2) });
+        assert_eq!(Change::delete(1), Change { old: Some(1), new: None });
+    }
+}

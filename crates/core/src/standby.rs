@@ -1,0 +1,206 @@
+//! Standby tasks: warm state replicas for fast failover (§3.3).
+//!
+//! The paper notes that Kafka Streams aims for "task stickiness to minimize
+//! the amount of state migration required"; the complementary mechanism in
+//! Kafka Streams (and the enabler of its future-work goal of "consistent
+//! state query serving", §8) is the **standby replica**: an instance that
+//! does not own a task still tails the task's changelog topics into local
+//! store copies. When a rebalance moves the active task to that instance,
+//! only the un-replayed changelog *suffix* needs applying — instead of the
+//! whole (compacted) changelog.
+//!
+//! A standby is pure replay: it never processes input records, never
+//! produces, and never commits — so it has no effect on exactly-once
+//! semantics. Its stores are disposable views like any other (§4).
+
+use crate::error::StreamsError;
+use crate::processor::StoreEntry;
+use crate::state::Store;
+use crate::topology::{TaskId, Topology};
+use kbroker::{Cluster, IsolationLevel, TopicPartition};
+use std::collections::HashMap;
+
+/// A warm replica of one task's stores, fed by changelog tailing.
+pub struct StandbyTask {
+    pub id: TaskId,
+    stores: HashMap<String, StoreEntry>,
+    /// Next changelog offset to apply, per store.
+    positions: HashMap<String, (TopicPartition, i64)>,
+    /// Changelog records applied so far (metrics/tests).
+    records_applied: u64,
+}
+
+impl StandbyTask {
+    /// Create an empty standby for `id` with the sub-topology's stores.
+    pub fn new(topology: &Topology, id: TaskId, app_id: &str) -> Result<Self, StreamsError> {
+        let st = topology
+            .subtopologies
+            .get(id.subtopology)
+            .ok_or_else(|| StreamsError::InvalidTopology("unknown sub-topology".into()))?;
+        let mut stores = HashMap::new();
+        let mut positions = HashMap::new();
+        for store_name in &st.stores {
+            let (spec, _) = &topology.stores[store_name];
+            if !spec.changelog {
+                continue; // nothing to tail — the store cannot be replicated
+            }
+            stores.insert(
+                store_name.clone(),
+                StoreEntry { store: Store::new(spec.kind), spec: spec.clone() },
+            );
+            let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
+            positions
+                .insert(store_name.clone(), (TopicPartition::new(topic, id.partition), 0));
+        }
+        Ok(Self { id, stores, positions, records_applied: 0 })
+    }
+
+    /// Tail the changelogs: apply all newly committed records. Returns how
+    /// many were applied.
+    pub fn poll(
+        &mut self,
+        cluster: &Cluster,
+        isolation: IsolationLevel,
+    ) -> Result<u64, StreamsError> {
+        let mut applied = 0;
+        for (store_name, (tp, pos)) in self.positions.iter_mut() {
+            if !cluster.topic_exists(&tp.topic) {
+                continue;
+            }
+            if *pos == 0 {
+                *pos = cluster.earliest_offset(tp)?;
+            }
+            loop {
+                let fetch = match cluster.fetch(tp, *pos, 4096, isolation) {
+                    Ok(f) => f,
+                    Err(kbroker::BrokerError::NoLeader { .. }) => break,
+                    Err(e) => return Err(e.into()),
+                };
+                if fetch.count() == 0 && fetch.next_offset == *pos {
+                    break;
+                }
+                for (_, rec) in fetch.records() {
+                    if let Some(key) = &rec.key {
+                        self.stores
+                            .get_mut(store_name)
+                            .expect("store exists")
+                            .store
+                            .apply_changelog(key, rec.value.clone());
+                        applied += 1;
+                    }
+                }
+                *pos = fetch.next_offset;
+            }
+        }
+        self.records_applied += applied;
+        Ok(applied)
+    }
+
+    /// Total changelog records applied over this standby's lifetime.
+    pub fn records_applied(&self) -> u64 {
+        self.records_applied
+    }
+
+    /// Hand the warm stores (and their changelog positions) to a task being
+    /// promoted to active. The promotion replays only the suffix written
+    /// after `positions`.
+    pub fn into_parts(
+        self,
+    ) -> (HashMap<String, StoreEntry>, HashMap<String, (TopicPartition, i64)>) {
+        (self.stores, self.positions)
+    }
+
+    /// Read a key from a standby KV store (remote-queryable replicas — the
+    /// §8 future-work pattern).
+    pub fn query_kv(&mut self, store: &str, key: &[u8]) -> Option<bytes::Bytes> {
+        self.stores.get_mut(store).and_then(|e| match &mut e.store {
+            Store::Kv(s) => s.get(key),
+            _ => None,
+        })
+    }
+}
+
+/// Standby assignment: for each task, the `replicas` members after the
+/// active owner in the sorted member ring host standbys.
+pub fn assign_standbys(
+    tasks: &[TaskId],
+    members: &[String],
+    replicas: usize,
+) -> std::collections::BTreeMap<String, Vec<TaskId>> {
+    let mut members_sorted: Vec<&String> = members.iter().collect();
+    members_sorted.sort();
+    members_sorted.dedup();
+    let mut tasks_sorted: Vec<TaskId> = tasks.to_vec();
+    tasks_sorted.sort();
+    let mut out: std::collections::BTreeMap<String, Vec<TaskId>> =
+        members_sorted.iter().map(|m| ((*m).clone(), Vec::new())).collect();
+    let n = members_sorted.len();
+    if n <= 1 || replicas == 0 {
+        return out;
+    }
+    for (i, task) in tasks_sorted.into_iter().enumerate() {
+        // Active owner is members[i % n] (mirrors assignment::assign_tasks);
+        // standbys go to the next `replicas` distinct members.
+        for r in 1..=replicas.min(n - 1) {
+            let member = members_sorted[(i + r) % n];
+            out.get_mut(member).expect("initialized").push(task);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(p: u32) -> TaskId {
+        TaskId { subtopology: 0, partition: p }
+    }
+
+    #[test]
+    fn no_standbys_with_single_member() {
+        let a = assign_standbys(&[tid(0), tid(1)], &["only".into()], 1);
+        assert!(a.values().all(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn standby_never_colocated_with_active() {
+        let tasks: Vec<TaskId> = (0..6).map(tid).collect();
+        let members = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let actives = crate::assignment::assign_tasks(&tasks, &members);
+        let standbys = assign_standbys(&tasks, &members, 1);
+        for (member, stand) in &standbys {
+            for t in stand {
+                assert!(
+                    !actives[member].contains(t),
+                    "{member} hosts {t} both active and standby"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_task_gets_requested_replicas() {
+        let tasks: Vec<TaskId> = (0..5).map(tid).collect();
+        let members = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let standbys = assign_standbys(&tasks, &members, 2);
+        let mut per_task: HashMap<TaskId, usize> = HashMap::new();
+        for stand in standbys.values() {
+            for t in stand {
+                *per_task.entry(*t).or_default() += 1;
+            }
+        }
+        for t in &tasks {
+            assert_eq!(per_task[t], 2);
+        }
+    }
+
+    #[test]
+    fn replicas_clamped_to_cluster_size() {
+        let tasks = vec![tid(0)];
+        let members = vec!["a".to_string(), "b".to_string()];
+        let standbys = assign_standbys(&tasks, &members, 5);
+        let total: usize = standbys.values().map(|v| v.len()).sum();
+        assert_eq!(total, 1, "only one other member exists");
+    }
+}

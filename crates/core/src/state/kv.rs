@@ -1,0 +1,99 @@
+//! In-memory key/value store (ordered, range-scannable).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered key/value store. `put(key, None)` deletes.
+#[derive(Debug, Default, Clone)]
+pub struct KvStore {
+    map: BTreeMap<Bytes, Bytes>,
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.map.get(key).cloned()
+    }
+
+    /// Insert or delete; returns the previous value (the `old` half of a
+    /// revision record, §5).
+    pub fn put(&mut self, key: Bytes, value: Option<Bytes>) -> Option<Bytes> {
+        match value {
+            Some(v) => self.map.insert(key, v),
+            None => self.map.remove(&key),
+        }
+    }
+
+    /// Iterate entries with keys in `[from, to)` in key order.
+    pub fn range(&self, from: &[u8], to: &[u8]) -> impl Iterator<Item = (&Bytes, &Bytes)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(from), Bound::Excluded(to)))
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Bytes)> {
+        self.map.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = KvStore::new();
+        assert_eq!(s.put(b("a"), Some(b("1"))), None);
+        assert_eq!(s.get(b"a"), Some(b("1")));
+        assert_eq!(s.put(b("a"), Some(b("2"))), Some(b("1")), "old value returned");
+        assert_eq!(s.put(b("a"), None), Some(b("2")));
+        assert_eq!(s.get(b"a"), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delete_missing_is_noop() {
+        let mut s = KvStore::new();
+        assert_eq!(s.put(b("x"), None), None);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut s = KvStore::new();
+        for k in ["a", "b", "c", "d"] {
+            s.put(b(k), Some(b("v")));
+        }
+        let keys: Vec<&[u8]> = s.range(b"b", b"d").map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"b".as_slice(), b"c".as_slice()]);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut s = KvStore::new();
+        for k in ["c", "a", "b"] {
+            s.put(b(k), Some(b("v")));
+        }
+        let keys: Vec<&[u8]> = s.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b".as_slice(), b"c".as_slice()]);
+    }
+}

@@ -1,0 +1,174 @@
+//! State stores (§3.2, §4).
+//!
+//! Stateful operators read and write local stores; every write is also
+//! captured as an append to a compacted *changelog topic*, making the store
+//! a "disposable materialized view" (§4): a migrated or recovered task
+//! rebuilds the store by replaying the changelog.
+//!
+//! Three store shapes cover the DSL:
+//! * [`kv::KvStore`] — plain key/value (non-windowed aggregates, table
+//!   materializations),
+//! * [`window::WindowStore`] — `(key, window_start)` → value, with
+//!   stream-time-driven expiry implementing the grace period (§5),
+//! * [`session::SessionStore`] — variable-length session windows per key.
+
+pub mod kv;
+pub mod session;
+pub mod window;
+
+pub use kv::KvStore;
+pub use session::SessionStore;
+pub use window::WindowStore;
+
+use crate::kserde::{decode_windowed_key, encode_windowed_key};
+use bytes::Bytes;
+
+/// What shape of store an operator needs (declared in the topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    KeyValue,
+    Window,
+    Session,
+}
+
+/// A store declaration attached to a processor node.
+#[derive(Debug, Clone)]
+pub struct StoreSpec {
+    pub name: String,
+    pub kind: StoreKind,
+    /// Whether writes replicate to a changelog topic (§3.2: on by default).
+    pub changelog: bool,
+}
+
+impl StoreSpec {
+    pub fn new(name: impl Into<String>, kind: StoreKind) -> Self {
+        Self { name: name.into(), kind, changelog: true }
+    }
+
+    /// Disable changelogging (volatile store).
+    pub fn without_changelog(mut self) -> Self {
+        self.changelog = false;
+        self
+    }
+}
+
+/// A concrete store instance owned by one task.
+#[derive(Debug)]
+pub enum Store {
+    Kv(KvStore),
+    Window(WindowStore),
+    Session(SessionStore),
+}
+
+impl Store {
+    pub fn new(kind: StoreKind) -> Self {
+        match kind {
+            StoreKind::KeyValue => Store::Kv(KvStore::new()),
+            StoreKind::Window => Store::Window(WindowStore::new()),
+            StoreKind::Session => Store::Session(SessionStore::new()),
+        }
+    }
+
+    /// Apply one changelog record during restore-by-replay. The changelog
+    /// key encodes the store-shape-specific composite key.
+    pub fn apply_changelog(&mut self, key: &Bytes, value: Option<Bytes>) {
+        match self {
+            Store::Kv(s) => {
+                s.put(key.clone(), value);
+            }
+            Store::Window(s) => {
+                if let Ok((k, start)) = decode_windowed_key(key) {
+                    s.put(k, start, value);
+                }
+            }
+            Store::Session(s) => {
+                if let Ok((k, range)) = session::decode_session_key(key) {
+                    match value {
+                        Some(v) => s.put(k, range.0, range.1, v),
+                        None => s.remove(&k, range.0, range.1),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encode the changelog key for a windowed entry.
+    pub fn windowed_changelog_key(key: &[u8], window_start: i64) -> Bytes {
+        encode_windowed_key(key, window_start)
+    }
+
+    /// Total entries (tests, metrics).
+    pub fn len(&self) -> usize {
+        match self {
+            Store::Kv(s) => s.len(),
+            Store::Window(s) => s.len(),
+            Store::Session(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_kv(&mut self) -> &mut KvStore {
+        match self {
+            Store::Kv(s) => s,
+            _ => panic!("store is not key-value"),
+        }
+    }
+
+    pub fn as_window(&mut self) -> &mut WindowStore {
+        match self {
+            Store::Window(s) => s,
+            _ => panic!("store is not windowed"),
+        }
+    }
+
+    pub fn as_session(&mut self) -> &mut SessionStore {
+        match self {
+            Store::Session(s) => s,
+            _ => panic!("store is not session"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_new_matches_kind() {
+        assert!(matches!(Store::new(StoreKind::KeyValue), Store::Kv(_)));
+        assert!(matches!(Store::new(StoreKind::Window), Store::Window(_)));
+        assert!(matches!(Store::new(StoreKind::Session), Store::Session(_)));
+    }
+
+    #[test]
+    fn kv_changelog_replay() {
+        let mut s = Store::new(StoreKind::KeyValue);
+        s.apply_changelog(&Bytes::from_static(b"a"), Some(Bytes::from_static(b"1")));
+        s.apply_changelog(&Bytes::from_static(b"a"), Some(Bytes::from_static(b"2")));
+        s.apply_changelog(&Bytes::from_static(b"b"), Some(Bytes::from_static(b"9")));
+        s.apply_changelog(&Bytes::from_static(b"b"), None);
+        assert_eq!(s.as_kv().get(b"a"), Some(Bytes::from_static(b"2")));
+        assert_eq!(s.as_kv().get(b"b"), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn window_changelog_replay() {
+        let mut s = Store::new(StoreKind::Window);
+        let key = Store::windowed_changelog_key(b"k", 5000);
+        s.apply_changelog(&key, Some(Bytes::from_static(b"v")));
+        assert_eq!(s.as_window().fetch(b"k", 5000), Some(Bytes::from_static(b"v")));
+        s.apply_changelog(&key, None);
+        assert_eq!(s.as_window().fetch(b"k", 5000), None);
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = StoreSpec::new("agg", StoreKind::Window).without_changelog();
+        assert!(!spec.changelog);
+        assert_eq!(spec.kind, StoreKind::Window);
+    }
+}

@@ -1,0 +1,196 @@
+//! Session-window store: per key, a set of `[start, end]` sessions with an
+//! aggregate value each.
+//!
+//! Session windows grow and *merge*: a record at time `t` extends any
+//! session within the inactivity gap, possibly fusing two sessions into one.
+//! The store supports the find-overlapping / remove / re-insert cycle the
+//! session aggregation operator runs per record.
+
+use crate::error::StreamsError;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One stored session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    pub start: i64,
+    /// Timestamp of the last record in the session (inclusive bound).
+    pub end: i64,
+    pub value: Bytes,
+}
+
+/// Changelog key for a session entry: key bytes + start + end.
+pub fn encode_session_key(key: &[u8], start: i64, end: i64) -> Bytes {
+    let mut out = Vec::with_capacity(key.len() + 16);
+    out.extend_from_slice(key);
+    out.extend_from_slice(&start.to_be_bytes());
+    out.extend_from_slice(&end.to_be_bytes());
+    Bytes::from(out)
+}
+
+/// Inverse of [`encode_session_key`].
+pub fn decode_session_key(bytes: &[u8]) -> Result<(Bytes, (i64, i64)), StreamsError> {
+    if bytes.len() < 16 {
+        return Err(StreamsError::Serde("session key too short".into()));
+    }
+    let split = bytes.len() - 16;
+    let start = i64::from_be_bytes(bytes[split..split + 8].try_into().expect("checked"));
+    let end = i64::from_be_bytes(bytes[split + 8..].try_into().expect("checked"));
+    Ok((Bytes::copy_from_slice(&bytes[..split]), (start, end)))
+}
+
+/// In-memory session store.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStore {
+    map: BTreeMap<Bytes, Vec<SessionEntry>>,
+}
+
+impl SessionStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sessions of `key` overlapping the closed interval
+    /// `[ts - gap, ts + gap]` — the candidates a new record at `ts` merges
+    /// with.
+    pub fn find_overlapping(&self, key: &[u8], ts: i64, gap: i64) -> Vec<SessionEntry> {
+        let lo = ts.saturating_sub(gap);
+        let hi = ts.saturating_add(gap);
+        self.map
+            .get(key)
+            .map(|sessions| {
+                sessions.iter().filter(|s| s.end >= lo && s.start <= hi).cloned().collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Insert or replace the session `[start, end]`.
+    pub fn put(&mut self, key: Bytes, start: i64, end: i64, value: Bytes) {
+        let sessions = self.map.entry(key).or_default();
+        match sessions.iter_mut().find(|s| s.start == start && s.end == end) {
+            Some(s) => s.value = value,
+            None => {
+                sessions.push(SessionEntry { start, end, value });
+                sessions.sort_by_key(|s| (s.start, s.end));
+            }
+        }
+    }
+
+    /// Remove the session `[start, end]` of `key`.
+    pub fn remove(&mut self, key: &[u8], start: i64, end: i64) {
+        if let Some(sessions) = self.map.get_mut(key) {
+            sessions.retain(|s| !(s.start == start && s.end == end));
+            if sessions.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// All sessions of a key (tests / queries).
+    pub fn sessions(&self, key: &[u8]) -> Vec<SessionEntry> {
+        self.map.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Remove all sessions whose end is `< before` (grace GC). Returns the
+    /// evicted `(key, entry)` pairs.
+    pub fn expire_before(&mut self, before: i64) -> Vec<(Bytes, SessionEntry)> {
+        let mut evicted = Vec::new();
+        self.map.retain(|key, sessions| {
+            sessions.retain(|s| {
+                if s.end < before {
+                    evicted.push((key.clone(), s.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            !sessions.is_empty()
+        });
+        evicted
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.values().map(|v| v.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn session_key_round_trip() {
+        let enc = encode_session_key(b"user", 100, 250);
+        let (k, (s, e)) = decode_session_key(&enc).unwrap();
+        assert_eq!(k.as_ref(), b"user");
+        assert_eq!((s, e), (100, 250));
+    }
+
+    #[test]
+    fn put_and_find_overlapping() {
+        let mut s = SessionStore::new();
+        s.put(b("k"), 100, 200, b("a"));
+        s.put(b("k"), 500, 600, b("b"));
+        // Record at 250 with gap 60: overlaps [190, 310] → session [100,200].
+        let hits = s.find_overlapping(b"k", 250, 60);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].start, 100);
+        // Record at 350 with gap 60: overlaps nothing.
+        assert!(s.find_overlapping(b"k", 350, 60).is_empty());
+        // Record at 450 with gap 60: overlaps [390, 510] → session [500,600].
+        assert_eq!(s.find_overlapping(b"k", 450, 60).len(), 1);
+    }
+
+    #[test]
+    fn merging_record_overlaps_both() {
+        let mut s = SessionStore::new();
+        s.put(b("k"), 100, 200, b("a"));
+        s.put(b("k"), 300, 400, b("b"));
+        // Gap 60, record at 250 → overlaps [190,310] → both sessions.
+        assert_eq!(s.find_overlapping(b"k", 250, 60).len(), 2);
+    }
+
+    #[test]
+    fn remove_session() {
+        let mut s = SessionStore::new();
+        s.put(b("k"), 100, 200, b("a"));
+        s.remove(b"k", 100, 200);
+        assert!(s.is_empty());
+        s.remove(b"k", 1, 2); // removing a missing session is a no-op
+    }
+
+    #[test]
+    fn replace_same_bounds_updates_value() {
+        let mut s = SessionStore::new();
+        s.put(b("k"), 100, 200, b("a"));
+        s.put(b("k"), 100, 200, b("b"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.sessions(b"k")[0].value, b("b"));
+    }
+
+    #[test]
+    fn expire_before_evicts_old_sessions() {
+        let mut s = SessionStore::new();
+        s.put(b("k"), 0, 100, b("old"));
+        s.put(b("k"), 500, 600, b("new"));
+        let evicted = s.expire_before(200);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].1.end, 100);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let mut s = SessionStore::new();
+        s.put(b("a"), 0, 10, b("x"));
+        assert!(s.find_overlapping(b"b", 5, 100).is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Stream tasks: the unit of parallelism and the read-process-write cycle
+//! (§3.3, §4).
+//!
+//! A task owns one partition of one sub-topology: it consumes that partition
+//! of every source topic, drives records through the instantiated operator
+//! graph in **timestamp order across inputs** (the deterministic record
+//! choice of §7), accumulates sink outputs and changelog appends for the
+//! instance's producer, and tracks the input offsets to commit.
+//!
+//! Tasks are *disposable*: all durable state lives in Kafka (input offsets,
+//! changelog topics), so a migrated task is rebuilt anywhere by
+//! [`StreamTask::restore`]-ing its stores from the changelogs (§3.3, §4).
+
+use crate::error::StreamsError;
+use crate::metrics::StreamsMetrics;
+use crate::processor::driver::{SinkOutput, SubTopologyDriver, TaskEnv};
+use crate::processor::StoreEntry;
+use crate::state::Store;
+use crate::topology::{TaskId, Topology};
+use bytes::Bytes;
+use kbroker::{Cluster, IsolationLevel, TopicPartition};
+use std::collections::{HashMap, VecDeque};
+
+/// One buffered input record.
+#[derive(Debug, Clone)]
+struct PendingRecord {
+    offset: i64,
+    key: Option<Bytes>,
+    value: Option<Bytes>,
+    ts: i64,
+}
+
+/// A runnable task instance.
+pub struct StreamTask {
+    pub id: TaskId,
+    app_id: String,
+    driver: SubTopologyDriver,
+    env: TaskEnv,
+    /// `(logical topic, physical partition)` inputs.
+    inputs: Vec<(String, TopicPartition)>,
+    /// Next offset to fetch, per input partition.
+    fetch_positions: HashMap<TopicPartition, i64>,
+    /// Next offset to commit (last processed + 1), per input partition.
+    processed_positions: HashMap<TopicPartition, i64>,
+    /// Fetched-but-unprocessed records, per input partition.
+    buffers: HashMap<TopicPartition, VecDeque<PendingRecord>>,
+    /// Physical changelog partition per store.
+    changelog_tps: HashMap<String, TopicPartition>,
+    /// Where restore should begin per store (set when promoted from a
+    /// standby replica; default is the changelog's earliest offset).
+    restore_from: HashMap<String, i64>,
+    /// Stores restored from a *source topic* instead of a changelog (§3.3
+    /// optimization): store → source partition.
+    source_restore_tps: HashMap<String, TopicPartition>,
+}
+
+impl StreamTask {
+    /// Instantiate the task's operator graph and empty stores.
+    pub fn new(topology: &Topology, id: TaskId, app_id: &str) -> Result<Self, StreamsError> {
+        let st = topology
+            .subtopologies
+            .get(id.subtopology)
+            .ok_or_else(|| StreamsError::InvalidTopology("unknown sub-topology".into()))?;
+        let driver = SubTopologyDriver::new(topology, id.subtopology)?;
+        let mut env = TaskEnv::new(id.partition);
+        let mut changelog_tps = HashMap::new();
+        let mut source_restore_tps = HashMap::new();
+        for store_name in &st.stores {
+            let (spec, _) = &topology.stores[store_name];
+            env.stores.insert(
+                store_name.clone(),
+                StoreEntry { store: Store::new(spec.kind), spec: spec.clone() },
+            );
+            if spec.changelog {
+                let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
+                changelog_tps
+                    .insert(store_name.clone(), TopicPartition::new(topic, id.partition));
+            } else if let Some(source) = topology.source_changelogs.get(store_name) {
+                source_restore_tps.insert(
+                    store_name.clone(),
+                    TopicPartition::new(source.resolve(app_id), id.partition),
+                );
+            }
+        }
+        let inputs = st
+            .source_topics
+            .iter()
+            .map(|t| (t.name.clone(), TopicPartition::new(t.resolve(app_id), id.partition)))
+            .collect();
+        Ok(Self {
+            id,
+            app_id: app_id.to_string(),
+            driver,
+            env,
+            inputs,
+            fetch_positions: HashMap::new(),
+            processed_positions: HashMap::new(),
+            buffers: HashMap::new(),
+            changelog_tps,
+            restore_from: HashMap::new(),
+            source_restore_tps,
+        })
+    }
+
+    /// Adopt the warm stores of a standby replica (§3.3): restore will then
+    /// replay only the changelog suffix written after the standby's
+    /// positions, instead of the full changelog.
+    pub fn adopt_warm_stores(
+        &mut self,
+        stores: HashMap<String, crate::processor::StoreEntry>,
+        positions: HashMap<String, (TopicPartition, i64)>,
+    ) {
+        for (name, entry) in stores {
+            if self.env.stores.contains_key(&name) {
+                self.env.stores.insert(name, entry);
+            }
+        }
+        for (name, (_tp, pos)) in positions {
+            self.restore_from.insert(name, pos);
+        }
+    }
+
+    /// The physical input partitions this task consumes.
+    pub fn input_partitions(&self) -> Vec<TopicPartition> {
+        self.inputs.iter().map(|(_, tp)| tp.clone()).collect()
+    }
+
+    /// The application id this task belongs to.
+    pub fn app_id(&self) -> &str {
+        &self.app_id
+    }
+
+    /// Restore state stores by replaying their changelog topics from the
+    /// beginning — "an exact copy of the state is restored by replaying the
+    /// corresponding changelog topics" (§3.3). With exactly-once, the replay
+    /// reads committed data only, so the restored state matches the last
+    /// committed transaction (§4.2.3).
+    /// `committed` carries the group's committed input offsets: stores that
+    /// use their *source topic* as changelog (§3.3 optimization) restore up
+    /// to exactly the committed offset, so state never runs ahead of
+    /// processing progress.
+    pub fn restore(
+        &mut self,
+        cluster: &Cluster,
+        isolation: IsolationLevel,
+        committed: &HashMap<TopicPartition, i64>,
+    ) -> Result<(), StreamsError> {
+        // Source-as-changelog stores: replay the source prefix we already
+        // processed (per committed offsets).
+        for (store_name, tp) in self.source_restore_tps.clone() {
+            let Some(&bound) = committed.get(&tp) else { continue };
+            if !cluster.topic_exists(&tp.topic) {
+                continue;
+            }
+            let mut pos = cluster.earliest_offset(&tp)?;
+            while pos < bound {
+                let fetch = cluster.fetch(&tp, pos, 4096, isolation)?;
+                if fetch.count() == 0 && fetch.next_offset == pos {
+                    break;
+                }
+                for (off, rec) in fetch.records() {
+                    if off >= bound {
+                        break;
+                    }
+                    if let Some(key) = &rec.key {
+                        let entry =
+                            self.env.stores.get_mut(&store_name).expect("store exists");
+                        entry.store.apply_changelog(key, rec.value.clone());
+                        self.env.metrics.restore_records += 1;
+                    }
+                }
+                pos = fetch.next_offset;
+            }
+        }
+        for (store_name, tp) in self.changelog_tps.clone() {
+            if !cluster.topic_exists(&tp.topic) {
+                continue;
+            }
+            let mut pos = match self.restore_from.get(&store_name) {
+                Some(&warm) if warm > 0 => warm.max(cluster.earliest_offset(&tp)?),
+                _ => cluster.earliest_offset(&tp)?,
+            };
+            loop {
+                let fetch = cluster.fetch(&tp, pos, 4096, isolation)?;
+                if fetch.count() == 0 && fetch.next_offset == pos {
+                    break;
+                }
+                for (_, rec) in fetch.records() {
+                    if let Some(key) = &rec.key {
+                        let entry =
+                            self.env.stores.get_mut(&store_name).expect("store exists");
+                        entry.store.apply_changelog(key, rec.value.clone());
+                        self.env.metrics.restore_records += 1;
+                    }
+                }
+                pos = fetch.next_offset;
+            }
+        }
+        Ok(())
+    }
+
+    /// Set the consume position of an input partition (from the group's
+    /// committed offsets, or earliest).
+    pub fn set_position(&mut self, tp: &TopicPartition, offset: i64) {
+        self.fetch_positions.insert(tp.clone(), offset);
+        self.processed_positions.insert(tp.clone(), offset);
+    }
+
+    /// Fetch available records into per-partition buffers, then process up
+    /// to `max_records` of them in timestamp order across inputs. Returns
+    /// the number processed.
+    pub fn poll_and_process(
+        &mut self,
+        cluster: &Cluster,
+        max_records: usize,
+        isolation: IsolationLevel,
+    ) -> Result<usize, StreamsError> {
+        // Fetch phase.
+        for (_, tp) in self.inputs.clone() {
+            let pos = *self.fetch_positions.get(&tp).unwrap_or(&0);
+            let fetch = match cluster.fetch(&tp, pos, max_records, isolation) {
+                Ok(f) => f,
+                // Transient unavailability (broker failover in progress).
+                Err(kbroker::BrokerError::NoLeader { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if fetch.next_offset > pos {
+                let buf = self.buffers.entry(tp.clone()).or_default();
+                for (offset, rec) in fetch.records() {
+                    buf.push_back(PendingRecord {
+                        offset,
+                        key: rec.key.clone(),
+                        value: rec.value.clone(),
+                        ts: rec.timestamp,
+                    });
+                }
+                self.fetch_positions.insert(tp.clone(), fetch.next_offset);
+                // Mark skipped trailing markers/aborted data as processed if
+                // no data records were returned for them.
+                if fetch.count() == 0 {
+                    let processed =
+                        self.processed_positions.entry(tp.clone()).or_insert(pos);
+                    if *processed == pos {
+                        *processed = fetch.next_offset;
+                    }
+                }
+            }
+        }
+        // Process phase: repeatedly pick the buffered head with the smallest
+        // timestamp (§7's deterministic choice).
+        let mut processed = 0;
+        while processed < max_records {
+            let mut best: Option<(usize, i64)> = None;
+            for (i, (_, tp)) in self.inputs.iter().enumerate() {
+                if let Some(head) = self.buffers.get(tp).and_then(|b| b.front()) {
+                    if best.is_none_or(|(_, ts)| head.ts < ts) {
+                        best = Some((i, head.ts));
+                    }
+                }
+            }
+            let Some((input_idx, _)) = best else { break };
+            let (logical, tp) = self.inputs[input_idx].clone();
+            let rec = self
+                .buffers
+                .get_mut(&tp)
+                .and_then(|b| b.pop_front())
+                .expect("head existed");
+            self.driver.process(&mut self.env, &logical, rec.key, rec.value, rec.ts)?;
+            self.processed_positions.insert(tp.clone(), rec.offset + 1);
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// Run time-driven operators (suppress flushes, join padding, GC).
+    pub fn punctuate(&mut self, wall_time: i64) -> Result<(), StreamsError> {
+        self.driver.punctuate(&mut self.env, wall_time)
+    }
+
+    /// Drain this cycle's sink outputs.
+    pub fn take_outputs(&mut self) -> Vec<SinkOutput> {
+        std::mem::take(&mut self.env.outputs)
+    }
+
+    /// Drain this cycle's changelog appends as `(partition, key, value)`.
+    pub fn take_changelog(&mut self) -> Vec<(TopicPartition, Bytes, Option<Bytes>)> {
+        std::mem::take(&mut self.env.changelog)
+            .into_iter()
+            .filter_map(|(store, key, value)| {
+                self.changelog_tps.get(&store).map(|tp| (tp.clone(), key, value))
+            })
+            .collect()
+    }
+
+    /// Offsets to commit: next unprocessed offset per input partition.
+    pub fn committable_offsets(&self) -> Vec<(TopicPartition, i64)> {
+        self.processed_positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect()
+    }
+
+    /// This task's metrics (cumulative).
+    pub fn metrics(&self) -> &StreamsMetrics {
+        &self.env.metrics
+    }
+
+    /// Current stream time.
+    pub fn stream_time(&self) -> i64 {
+        self.env.stream_time
+    }
+
+    /// Read a value from a local KV store (interactive queries — the
+    /// Bloomberg state-catalog pattern, §6.1).
+    pub fn query_kv(&mut self, store: &str, key: &[u8]) -> Option<Bytes> {
+        self.env.stores.get_mut(store).and_then(|e| match &mut e.store {
+            Store::Kv(s) => s.get(key),
+            _ => None,
+        })
+    }
+
+    /// Read a windowed value from a local window store.
+    pub fn query_window(&mut self, store: &str, key: &[u8], window_start: i64) -> Option<Bytes> {
+        self.env.stores.get_mut(store).and_then(|e| match &mut e.store {
+            Store::Window(s) => s.fetch(key, window_start),
+            _ => None,
+        })
+    }
+
+    /// Number of entries in a store (tests).
+    pub fn store_len(&self, store: &str) -> Option<usize> {
+        self.env.stores.get(store).map(|e| e.store.len())
+    }
+}

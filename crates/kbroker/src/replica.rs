@@ -1,0 +1,338 @@
+//! Replica sets: leader/follower logs, synchronous replication, ISR
+//! tracking, and leader election (§4 intro).
+//!
+//! The paper: "every record written to a topic partition is persisted and
+//! replicated on n different broker machines … once a record has been
+//! appended successfully to the leader replica, it will be replicated to all
+//! available replicas", and a failed leader is replaced by electing a
+//! follower. We model replication synchronously (equivalent to `acks=all`
+//! with all ISR members fetching immediately): an append lands on the leader
+//! log, is copied to every alive follower, and then the high watermark
+//! advances. A new leader rebuilds its producer dedup/transaction state from
+//! its local log, exactly as §4.1 describes.
+
+use crate::error::BrokerError;
+use crate::topic::TopicPartition;
+use klog::batch::{BatchMeta, ControlType};
+use klog::{AppendOutcome, FetchResult, IsolationLevel, Offset, PartitionLog, Record};
+
+/// All replicas of one partition. Lives behind a per-partition mutex in the
+/// cluster, so methods take `&mut self`.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    tp: TopicPartition,
+    /// Broker id of the current leader. `None` when every replica's broker
+    /// is down.
+    leader: Option<usize>,
+    /// `(broker_id, log)` for every assigned replica, leader included.
+    replicas: Vec<(usize, PartitionLog)>,
+    /// Brokers currently in sync (alive and caught up).
+    isr: Vec<usize>,
+    /// Leader epoch, bumped on every election (observable by tests).
+    leader_epoch: u32,
+}
+
+impl ReplicaSet {
+    /// Create a replica set on `brokers` (first entry is the initial
+    /// leader). All brokers are assumed alive at creation.
+    pub fn new(tp: TopicPartition, brokers: Vec<usize>) -> Self {
+        assert!(!brokers.is_empty(), "a partition needs at least one replica");
+        let replicas = brokers
+            .iter()
+            .map(|&b| (b, PartitionLog::new().with_managed_watermark()))
+            .collect();
+        Self {
+            tp,
+            leader: Some(brokers[0]),
+            isr: brokers.clone(),
+            replicas,
+            leader_epoch: 0,
+        }
+    }
+
+    pub fn topic_partition(&self) -> &TopicPartition {
+        &self.tp
+    }
+
+    pub fn leader(&self) -> Option<usize> {
+        self.leader
+    }
+
+    pub fn leader_epoch(&self) -> u32 {
+        self.leader_epoch
+    }
+
+    pub fn isr(&self) -> &[usize] {
+        &self.isr
+    }
+
+    /// Brokers assigned to this partition.
+    pub fn assigned_brokers(&self) -> Vec<usize> {
+        self.replicas.iter().map(|(b, _)| *b).collect()
+    }
+
+    fn leader_log_mut(&mut self) -> Result<&mut PartitionLog, BrokerError> {
+        let leader = self.leader.ok_or(BrokerError::NoLeader {
+            topic: self.tp.topic.clone(),
+            partition: self.tp.partition,
+        })?;
+        Ok(self
+            .replicas
+            .iter_mut()
+            .find(|(b, _)| *b == leader)
+            .map(|(_, l)| l)
+            .expect("leader is always an assigned replica"))
+    }
+
+    /// Leader log, read-only.
+    pub fn leader_log(&self) -> Result<&PartitionLog, BrokerError> {
+        let leader = self.leader.ok_or(BrokerError::NoLeader {
+            topic: self.tp.topic.clone(),
+            partition: self.tp.partition,
+        })?;
+        Ok(self
+            .replicas
+            .iter()
+            .find(|(b, _)| *b == leader)
+            .map(|(_, l)| l)
+            .expect("leader is always an assigned replica"))
+    }
+
+    /// Append a data batch through the leader and replicate to the ISR.
+    pub fn append(
+        &mut self,
+        meta: BatchMeta,
+        records: Vec<Record>,
+    ) -> Result<AppendOutcome, BrokerError> {
+        let outcome = self.leader_log_mut()?.append(meta.clone(), records.clone())?;
+        if !outcome.duplicate {
+            self.replicate(|log| {
+                // Followers replay the leader's append verbatim; errors
+                // cannot occur because follower logs mirror the leader.
+                log.append(meta.clone(), records.clone()).expect("follower replay");
+            });
+        }
+        self.advance_watermarks();
+        Ok(outcome)
+    }
+
+    /// Append a transaction control marker through the leader (§4.2.2).
+    pub fn append_control(
+        &mut self,
+        producer_id: i64,
+        epoch: i32,
+        ctl: ControlType,
+        timestamp: i64,
+    ) -> Result<Offset, BrokerError> {
+        let off = self.leader_log_mut()?.append_control(producer_id, epoch, ctl, timestamp)?;
+        self.replicate(|log| {
+            log.append_control(producer_id, epoch, ctl, timestamp).expect("follower replay");
+        });
+        self.advance_watermarks();
+        Ok(off)
+    }
+
+    fn replicate(&mut self, mut f: impl FnMut(&mut PartitionLog)) {
+        let leader = self.leader.expect("checked by caller");
+        let isr = self.isr.clone();
+        for (b, log) in &mut self.replicas {
+            if *b != leader && isr.contains(b) {
+                f(log);
+            }
+        }
+    }
+
+    /// Advance the high watermark to the minimum log-end offset across the
+    /// ISR (all of which just replicated synchronously).
+    fn advance_watermarks(&mut self) {
+        let min_leo = self
+            .replicas
+            .iter()
+            .filter(|(b, _)| self.isr.contains(b))
+            .map(|(_, l)| l.log_end())
+            .min()
+            .unwrap_or(0);
+        for (b, log) in &mut self.replicas {
+            if self.isr.contains(b) {
+                log.advance_high_watermark(min_leo);
+            }
+        }
+    }
+
+    /// Fetch from the leader.
+    pub fn fetch(
+        &self,
+        from: Offset,
+        max_records: usize,
+        isolation: IsolationLevel,
+    ) -> Result<FetchResult, BrokerError> {
+        Ok(self.leader_log()?.fetch(from, max_records, isolation)?)
+    }
+
+    /// Apply a maintenance operation to every replica log (compaction,
+    /// record deletion) and return the leader's result — or, with no leader,
+    /// the first replica's.
+    pub fn for_each_log<T>(&mut self, mut f: impl FnMut(&mut PartitionLog) -> T) -> T {
+        let leader = self.leader.unwrap_or_else(|| self.replicas[0].0);
+        let mut leader_result = None;
+        for (b, log) in &mut self.replicas {
+            let r = f(log);
+            if *b == leader {
+                leader_result = Some(r);
+            }
+        }
+        leader_result.expect("leader is always an assigned replica")
+    }
+
+    /// A broker died: remove it from the ISR; if it led this partition,
+    /// elect the first remaining ISR member (rebuilding its producer state
+    /// from its local log, §4.1).
+    pub fn on_broker_down(&mut self, broker: usize) {
+        self.isr.retain(|&b| b != broker);
+        if self.leader == Some(broker) {
+            self.leader = self.isr.first().copied();
+            self.leader_epoch += 1;
+            if self.leader.is_some() {
+                self.leader_log_mut()
+                    .expect("just elected")
+                    .recover_producer_state();
+            }
+        }
+    }
+
+    /// A broker came back: catch its replica up from the leader and restore
+    /// it to the ISR. (We copy the leader log wholesale — the simulation
+    /// equivalent of follower truncation + re-fetch.)
+    pub fn on_broker_up(&mut self, broker: usize) {
+        if !self.assigned_brokers().contains(&broker) || self.isr.contains(&broker) {
+            return;
+        }
+        if let Some(leader) = self.leader {
+            let leader_log = self
+                .replicas
+                .iter()
+                .find(|(b, _)| *b == leader)
+                .map(|(_, l)| l.clone())
+                .expect("leader is assigned");
+            if let Some((_, log)) = self.replicas.iter_mut().find(|(b, _)| *b == broker) {
+                *log = leader_log;
+            }
+            self.isr.push(broker);
+        } else {
+            // Everyone was down; the recovered broker becomes leader with
+            // whatever it had (it was in sync when it died — synchronous
+            // replication keeps replicas identical).
+            self.leader = Some(broker);
+            self.leader_epoch += 1;
+            self.isr.push(broker);
+            self.leader_log_mut().expect("just elected").recover_producer_state();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klog::batch::BatchMeta;
+
+    fn tp() -> TopicPartition {
+        TopicPartition::new("t", 0)
+    }
+
+    fn recs(n: usize) -> Vec<Record> {
+        (0..n).map(|i| Record::of_str("k", &format!("v{i}"), i as i64)).collect()
+    }
+
+    #[test]
+    fn append_replicates_to_all() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
+        rs.append(BatchMeta::plain(), recs(3)).unwrap();
+        for (_, log) in &rs.replicas {
+            assert_eq!(log.log_end(), 3);
+            assert_eq!(log.high_watermark(), 3);
+        }
+    }
+
+    #[test]
+    fn leader_failure_elects_follower_with_full_log() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
+        rs.append(BatchMeta::plain(), recs(5)).unwrap();
+        rs.on_broker_down(0);
+        assert_eq!(rs.leader(), Some(1));
+        assert_eq!(rs.leader_epoch(), 1);
+        let f = rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 5, "no records lost on failover");
+    }
+
+    #[test]
+    fn survives_n_minus_1_failures() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
+        rs.append(BatchMeta::plain(), recs(2)).unwrap();
+        rs.on_broker_down(0);
+        rs.on_broker_down(1);
+        assert_eq!(rs.leader(), Some(2));
+        rs.append(BatchMeta::plain(), recs(1)).unwrap();
+        assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 3);
+        rs.on_broker_down(2);
+        assert_eq!(rs.leader(), None);
+        assert!(matches!(
+            rs.append(BatchMeta::plain(), recs(1)),
+            Err(BrokerError::NoLeader { .. })
+        ));
+    }
+
+    #[test]
+    fn new_leader_dedups_like_old_leader() {
+        // §4.1: the new leader re-populates its sequence cache from the log.
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
+        rs.append(BatchMeta::idempotent(7, 0, 0), recs(2)).unwrap();
+        rs.on_broker_down(0);
+        let retry = rs.append(BatchMeta::idempotent(7, 0, 0), recs(2)).unwrap();
+        assert!(retry.duplicate, "retried batch must be deduped by new leader");
+        assert_eq!(rs.leader_log().unwrap().log_end(), 2);
+    }
+
+    #[test]
+    fn recovered_broker_catches_up_and_rejoins() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
+        rs.append(BatchMeta::plain(), recs(1)).unwrap();
+        rs.on_broker_down(1);
+        rs.append(BatchMeta::plain(), recs(2)).unwrap(); // broker 1 misses these
+        rs.on_broker_up(1);
+        assert_eq!(rs.isr(), &[0, 1]);
+        // Fail the leader; the recovered follower must serve the full log.
+        rs.on_broker_down(0);
+        assert_eq!(rs.leader(), Some(1));
+        assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn total_outage_then_recovery() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
+        rs.append(BatchMeta::plain(), recs(4)).unwrap();
+        rs.on_broker_down(0);
+        rs.on_broker_down(1);
+        rs.on_broker_up(1);
+        assert_eq!(rs.leader(), Some(1));
+        assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn control_markers_replicate() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
+        rs.append(BatchMeta::transactional(9, 0, 0), recs(2)).unwrap();
+        rs.append_control(9, 0, ControlType::Commit, 0).unwrap();
+        rs.on_broker_down(0);
+        // New leader must expose the committed data to read-committed.
+        let f = rs.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn down_follower_does_not_block_appends() {
+        let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
+        rs.on_broker_down(2);
+        rs.append(BatchMeta::plain(), recs(3)).unwrap();
+        assert_eq!(rs.leader_log().unwrap().high_watermark(), 3);
+    }
+}

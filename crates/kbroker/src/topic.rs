@@ -1,0 +1,134 @@
+//! Topic naming, partition addressing, and per-topic configuration (§3.1).
+
+use std::fmt;
+
+/// Address of one partition of one topic — the unit of ordering, leadership,
+/// replication, and parallelism.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicPartition {
+    pub topic: String,
+    pub partition: u32,
+}
+
+impl TopicPartition {
+    pub fn new(topic: impl Into<String>, partition: u32) -> Self {
+        Self { topic: topic.into(), partition }
+    }
+}
+
+impl fmt::Display for TopicPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.topic, self.partition)
+    }
+}
+
+/// Per-topic configuration.
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Replication factor (clamped to cluster size at creation).
+    pub replication: usize,
+    /// Whether the topic is log-compacted (changelog topics are, §3.2).
+    pub compacted: bool,
+    /// Delete records older than this (ms), enforced by
+    /// `Cluster::enforce_retention`.
+    pub retention_ms: Option<i64>,
+    /// Keep at most this many bytes per partition.
+    pub retention_bytes: Option<usize>,
+}
+
+impl TopicConfig {
+    /// A plain topic with `partitions` partitions and the cluster's default
+    /// replication factor.
+    pub fn new(partitions: u32) -> Self {
+        Self {
+            partitions,
+            replication: 0,
+            compacted: false,
+            retention_ms: None,
+            retention_bytes: None,
+        }
+    }
+
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    pub fn compacted(mut self) -> Self {
+        self.compacted = true;
+        self
+    }
+
+    /// Delete records older than `ms` on the next retention pass.
+    pub fn with_retention_ms(mut self, ms: i64) -> Self {
+        assert!(ms >= 0);
+        self.retention_ms = Some(ms);
+        self
+    }
+
+    /// Keep at most `bytes` per partition.
+    pub fn with_retention_bytes(mut self, bytes: usize) -> Self {
+        self.retention_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Kafka's default partitioner: hash of the key modulo partition count.
+/// Records with the same key always land in the same partition, which is the
+/// data-locality guarantee key-based operators rely on (§3.3).
+pub fn partition_for_key(key: &[u8], num_partitions: u32) -> u32 {
+    debug_assert!(num_partitions > 0);
+    // FNV-1a: stable across runs (unlike `DefaultHasher`), cheap, good
+    // dispersion for short keys.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (hash % num_partitions as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let tp = TopicPartition::new("orders", 3);
+        assert_eq!(tp.to_string(), "orders-3");
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        for np in [1u32, 2, 7, 100] {
+            for key in [b"a".as_slice(), b"hello", b"", b"key-42"] {
+                let p1 = partition_for_key(key, np);
+                let p2 = partition_for_key(key, np);
+                assert_eq!(p1, p2);
+                assert!(p1 < np);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_disperses() {
+        let np = 16;
+        let mut hits = vec![0u32; np as usize];
+        for i in 0..1600 {
+            let key = format!("key-{i}");
+            hits[partition_for_key(key.as_bytes(), np) as usize] += 1;
+        }
+        // Every partition should get a decent share.
+        assert!(hits.iter().all(|&h| h > 30), "skewed: {hits:?}");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = TopicConfig::new(4).with_replication(3).compacted();
+        assert_eq!(c.partitions, 4);
+        assert_eq!(c.replication, 3);
+        assert!(c.compacted);
+    }
+}

@@ -1,0 +1,723 @@
+//! The transaction coordinator (§4.2).
+//!
+//! Each coordinator owns a subset of transactional ids (hash of the id maps
+//! it to one partition of the internal `__transaction_state` topic). The
+//! coordinator keeps per-transaction metadata in memory *and* persists every
+//! transition to the transaction log, so a failed-over coordinator rebuilds
+//! its state by replaying that log (§4.2.1 — "we leverage Kafka's own
+//! replication protocol to ensure that the transaction coordinators are
+//! highly available").
+//!
+//! The two-phase commit of §4.2.2:
+//!
+//! 1. **Prepare** — the coordinator writes `PrepareCommit` (or
+//!    `PrepareAbort`) to the transaction log. This is the synchronization
+//!    barrier: once replicated, the outcome is decided even if the
+//!    coordinator crashes immediately after.
+//! 2. **Markers** — commit/abort control records are written to every
+//!    partition registered in the transaction (data, changelog, and offsets
+//!    partitions alike). Read-committed consumers only see the data once the
+//!    marker lands.
+//! 3. **Complete** — the coordinator records `CompleteCommit`/
+//!    `CompleteAbort`, letting the producer start its next transaction.
+//!
+//! Zombie fencing (§4.2.1): re-registering a transactional id bumps its
+//! epoch; writes and commits bearing an older epoch are rejected.
+
+use crate::cluster::Cluster;
+use crate::error::BrokerError;
+use crate::topic::{partition_for_key, TopicPartition};
+use crate::TXN_TOPIC;
+use bytes::Bytes;
+use klog::batch::{BatchMeta, ControlType};
+use klog::{IsolationLevel, Record};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+
+/// Coordinator-side transaction states (§4.2.1, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Registered, no transaction in flight.
+    Empty,
+    /// Partitions registered; data may be flowing.
+    Ongoing,
+    /// Commit decided and durably logged; markers may still be in flight.
+    PrepareCommit,
+    /// Abort decided and durably logged; markers may still be in flight.
+    PrepareAbort,
+    /// Commit finished (markers acked).
+    CompleteCommit,
+    /// Abort finished (markers acked).
+    CompleteAbort,
+}
+
+impl TxnState {
+    fn as_str(&self) -> &'static str {
+        match self {
+            TxnState::Empty => "Empty",
+            TxnState::Ongoing => "Ongoing",
+            TxnState::PrepareCommit => "PrepareCommit",
+            TxnState::PrepareAbort => "PrepareAbort",
+            TxnState::CompleteCommit => "CompleteCommit",
+            TxnState::CompleteAbort => "CompleteAbort",
+        }
+    }
+
+    fn parse(s: &str) -> Option<TxnState> {
+        Some(match s {
+            "Empty" => TxnState::Empty,
+            "Ongoing" => TxnState::Ongoing,
+            "PrepareCommit" => TxnState::PrepareCommit,
+            "PrepareAbort" => TxnState::PrepareAbort,
+            "CompleteCommit" => TxnState::CompleteCommit,
+            "CompleteAbort" => TxnState::CompleteAbort,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything the coordinator tracks per transactional id. Note it stores
+/// only *metadata* — never the records sent within the transaction (§4.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnMetadata {
+    pub producer_id: i64,
+    pub epoch: i32,
+    pub state: TxnState,
+    /// Partitions registered with the current transaction.
+    pub partitions: BTreeSet<TopicPartition>,
+    /// When the current transaction became Ongoing (for expiry).
+    pub txn_start_ms: i64,
+    pub timeout_ms: i64,
+}
+
+impl TxnMetadata {
+    /// Serialize to the transaction-log record value. Assumes topic names
+    /// contain none of `| ; :` (enforced nowhere because topic names in this
+    /// simulation are plain identifiers).
+    pub fn encode(&self) -> Bytes {
+        let parts: Vec<String> = self
+            .partitions
+            .iter()
+            .map(|tp| format!("{}:{}", tp.topic, tp.partition))
+            .collect();
+        Bytes::from(format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.producer_id,
+            self.epoch,
+            self.state.as_str(),
+            self.txn_start_ms,
+            self.timeout_ms,
+            parts.join(";")
+        ))
+    }
+
+    /// Parse a transaction-log record value.
+    pub fn decode(value: &[u8]) -> Option<TxnMetadata> {
+        let s = std::str::from_utf8(value).ok()?;
+        let mut it = s.split('|');
+        let producer_id = it.next()?.parse().ok()?;
+        let epoch = it.next()?.parse().ok()?;
+        let state = TxnState::parse(it.next()?)?;
+        let txn_start_ms = it.next()?.parse().ok()?;
+        let timeout_ms = it.next()?.parse().ok()?;
+        let parts_str = it.next()?;
+        let mut partitions = BTreeSet::new();
+        if !parts_str.is_empty() {
+            for p in parts_str.split(';') {
+                let (topic, part) = p.rsplit_once(':')?;
+                partitions.insert(TopicPartition::new(topic, part.parse().ok()?));
+            }
+        }
+        Some(TxnMetadata { producer_id, epoch, state, partitions, txn_start_ms, timeout_ms })
+    }
+}
+
+/// In-memory coordinator state, sharded by transaction-log partition.
+pub struct TxnRegistry {
+    shards: Vec<Mutex<HashMap<String, TxnMetadata>>>,
+}
+
+impl TxnRegistry {
+    pub fn new(partitions: u32) -> Self {
+        Self { shards: (0..partitions).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Which transaction-log partition (and coordinator) owns `tid`.
+    pub fn shard_of(&self, tid: &str) -> u32 {
+        partition_for_key(tid.as_bytes(), self.shards.len() as u32)
+    }
+
+    fn shard(&self, tid: &str) -> &Mutex<HashMap<String, TxnMetadata>> {
+        &self.shards[self.shard_of(tid) as usize]
+    }
+}
+
+impl Cluster {
+    fn txn_log_tp(&self, tid: &str) -> TopicPartition {
+        TopicPartition::new(TXN_TOPIC, self.inner.txn.shard_of(tid))
+    }
+
+    /// Persist a metadata transition to the transaction log.
+    fn txn_persist(&self, tid: &str, meta: &TxnMetadata) -> Result<(), BrokerError> {
+        let rec = Record {
+            key: Some(Bytes::copy_from_slice(tid.as_bytes())),
+            value: Some(meta.encode()),
+            timestamp: self.now_ms(),
+            headers: Vec::new(),
+        };
+        self.produce(&self.txn_log_tp(tid), BatchMeta::plain(), vec![rec])?;
+        Ok(())
+    }
+
+    /// Write the second-phase markers to every registered partition,
+    /// charging the configured per-marker RPC cost to the clock — this is
+    /// why end-to-end latency grows with partition count in Figure 5.a.
+    fn txn_write_markers(
+        &self,
+        meta: &TxnMetadata,
+        ctl: ControlType,
+    ) -> Result<(), BrokerError> {
+        for tp in &meta.partitions {
+            self.append_control_marker(tp, meta.producer_id, meta.epoch, ctl)?;
+        }
+        let cost = self.inner.marker_rpc_cost_ms * meta.partitions.len() as f64;
+        if cost > 0.0 {
+            self.inner.clock.sleep_ms(cost.round() as i64);
+        }
+        Ok(())
+    }
+
+    /// Complete a decided (Prepare*) transaction: write markers, then record
+    /// the Complete state. Returns the updated metadata.
+    fn txn_finish(&self, tid: &str, mut meta: TxnMetadata) -> Result<TxnMetadata, BrokerError> {
+        let (ctl, done) = match meta.state {
+            TxnState::PrepareCommit => (ControlType::Commit, TxnState::CompleteCommit),
+            TxnState::PrepareAbort => (ControlType::Abort, TxnState::CompleteAbort),
+            _ => return Ok(meta),
+        };
+        self.txn_write_markers(&meta, ctl)?;
+        meta.state = done;
+        meta.partitions.clear();
+        self.txn_persist(tid, &meta)?;
+        Ok(meta)
+    }
+
+    /// Register a transactional producer (§4.2.1, Figure 4.b).
+    ///
+    /// Completes any transaction left open by a previous incarnation — rolls
+    /// *forward* if already past the PrepareCommit barrier, aborts otherwise
+    /// — then bumps the epoch, fencing all older incarnations. Returns the
+    /// `(producer_id, epoch)` the new incarnation must use.
+    pub fn txn_init_producer(
+        &self,
+        tid: &str,
+        timeout_ms: i64,
+    ) -> Result<(i64, i32), BrokerError> {
+        let shard = self.inner.txn.shard(tid);
+        let mut map = shard.lock();
+        let mut meta = match map.get(tid).cloned() {
+            Some(m) => m,
+            None => TxnMetadata {
+                producer_id: self.alloc_producer_id(),
+                epoch: -1, // bumped to 0 below
+                state: TxnState::Empty,
+                partitions: BTreeSet::new(),
+                txn_start_ms: 0,
+                timeout_ms,
+            },
+        };
+        // Finish whatever the previous incarnation left behind.
+        meta = match meta.state {
+            TxnState::Ongoing => {
+                meta.state = TxnState::PrepareAbort;
+                self.txn_persist(tid, &meta)?;
+                self.txn_finish(tid, meta)?
+            }
+            TxnState::PrepareCommit | TxnState::PrepareAbort => self.txn_finish(tid, meta)?,
+            _ => meta,
+        };
+        meta.epoch += 1;
+        meta.state = TxnState::Empty;
+        meta.timeout_ms = timeout_ms;
+        self.txn_persist(tid, &meta)?;
+        let result = (meta.producer_id, meta.epoch);
+        map.insert(tid.to_string(), meta);
+        Ok(result)
+    }
+
+    fn txn_validated<'a>(
+        map: &'a mut HashMap<String, TxnMetadata>,
+        tid: &str,
+        pid: i64,
+        epoch: i32,
+    ) -> Result<&'a mut TxnMetadata, BrokerError> {
+        let meta = map
+            .get_mut(tid)
+            .ok_or_else(|| BrokerError::UnknownTransactionalId(tid.to_string()))?;
+        if meta.producer_id != pid {
+            return Err(BrokerError::InvalidTxnTransition {
+                transactional_id: tid.to_string(),
+                detail: format!("producer id mismatch: {} != {}", pid, meta.producer_id),
+            });
+        }
+        if epoch < meta.epoch {
+            return Err(BrokerError::ProducerFenced { transactional_id: tid.to_string() });
+        }
+        if epoch > meta.epoch {
+            return Err(BrokerError::InvalidTxnTransition {
+                transactional_id: tid.to_string(),
+                detail: format!("epoch from the future: {} > {}", epoch, meta.epoch),
+            });
+        }
+        Ok(meta)
+    }
+
+    /// Register partitions with the producer's current transaction
+    /// (Figure 4.c). Opens the transaction if none is ongoing.
+    pub fn txn_add_partitions(
+        &self,
+        tid: &str,
+        pid: i64,
+        epoch: i32,
+        partitions: &[TopicPartition],
+    ) -> Result<(), BrokerError> {
+        let shard = self.inner.txn.shard(tid);
+        let mut map = shard.lock();
+        let now = self.now_ms();
+        let meta = Self::txn_validated(&mut map, tid, pid, epoch)?;
+        match meta.state {
+            TxnState::Empty | TxnState::CompleteCommit | TxnState::CompleteAbort => {
+                meta.state = TxnState::Ongoing;
+                meta.txn_start_ms = now;
+                meta.partitions.clear();
+            }
+            TxnState::Ongoing => {}
+            s @ (TxnState::PrepareCommit | TxnState::PrepareAbort) => {
+                return Err(BrokerError::InvalidTxnTransition {
+                    transactional_id: tid.to_string(),
+                    detail: format!("cannot add partitions in state {}", s.as_str()),
+                });
+            }
+        }
+        let before = meta.partitions.len();
+        meta.partitions.extend(partitions.iter().cloned());
+        if meta.partitions.len() != before || meta.state == TxnState::Ongoing {
+            let snapshot = meta.clone();
+            self.txn_persist(tid, &snapshot)?;
+        }
+        Ok(())
+    }
+
+    /// Commit or abort the producer's current transaction (Figure 4.e/f).
+    pub fn txn_end(
+        &self,
+        tid: &str,
+        pid: i64,
+        epoch: i32,
+        commit: bool,
+    ) -> Result<(), BrokerError> {
+        let shard = self.inner.txn.shard(tid);
+        let mut map = shard.lock();
+        let meta = Self::txn_validated(&mut map, tid, pid, epoch)?;
+        match (meta.state, commit) {
+            (TxnState::Ongoing, _) => {
+                meta.state = if commit { TxnState::PrepareCommit } else { TxnState::PrepareAbort };
+                // Phase 1: the barrier — once this lands in the txn log the
+                // outcome is decided.
+                let snapshot = meta.clone();
+                self.txn_persist(tid, &snapshot)?;
+                // Phase 2: markers + completion.
+                let finished = self.txn_finish(tid, snapshot)?;
+                map.insert(tid.to_string(), finished);
+                Ok(())
+            }
+            // Retried requests after a completed transition are idempotent.
+            (TxnState::CompleteCommit, true) | (TxnState::CompleteAbort, false) => Ok(()),
+            // A commit/abort with no work is a no-op.
+            (TxnState::Empty, _) => Ok(()),
+            // Resume a decided transaction whose markers may be missing.
+            (TxnState::PrepareCommit, true) | (TxnState::PrepareAbort, false) => {
+                let snapshot = meta.clone();
+                let finished = self.txn_finish(tid, snapshot)?;
+                map.insert(tid.to_string(), finished);
+                Ok(())
+            }
+            (s, _) => Err(BrokerError::InvalidTxnTransition {
+                transactional_id: tid.to_string(),
+                detail: format!(
+                    "cannot {} in state {}",
+                    if commit { "commit" } else { "abort" },
+                    s.as_str()
+                ),
+            }),
+        }
+    }
+
+    /// Current coordinator state for a transactional id (tests, metrics).
+    pub fn txn_state(&self, tid: &str) -> Option<TxnState> {
+        self.inner.txn.shard(tid).lock().get(tid).map(|m| m.state)
+    }
+
+    /// Producer id and epoch for a transactional id (tests).
+    pub fn txn_producer(&self, tid: &str) -> Option<(i64, i32)> {
+        self.inner.txn.shard(tid).lock().get(tid).map(|m| (m.producer_id, m.epoch))
+    }
+
+    /// Abort every Ongoing transaction older than its timeout. The epoch is
+    /// bumped so the stalled producer is fenced when it returns (§4.2.2 —
+    /// "the transaction coordinator itself could also abort an ongoing
+    /// transaction when the transaction times out"). Returns the number of
+    /// transactions aborted.
+    pub fn abort_expired_transactions(&self) -> usize {
+        let now = self.now_ms();
+        let mut aborted = 0;
+        for shard in &self.inner.txn.shards {
+            let mut map = shard.lock();
+            let expired: Vec<String> = map
+                .iter()
+                .filter(|(_, m)| {
+                    m.state == TxnState::Ongoing && now - m.txn_start_ms > m.timeout_ms
+                })
+                .map(|(tid, _)| tid.clone())
+                .collect();
+            for tid in expired {
+                let mut meta = map.get(&tid).cloned().expect("still present");
+                meta.state = TxnState::PrepareAbort;
+                if self.txn_persist(&tid, &meta).is_err() {
+                    continue; // coordinator log unavailable; retry later
+                }
+                match self.txn_finish(&tid, meta) {
+                    Ok(mut finished) => {
+                        finished.epoch += 1; // fence the zombie
+                        if self.txn_persist(&tid, &finished).is_ok() {
+                            map.insert(tid, finished);
+                            aborted += 1;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        aborted
+    }
+
+    /// Rebuild every coordinator shard from the transaction log and finish
+    /// transactions already past their barrier — the coordinator-failover
+    /// path (§4.2.1). Invoked by broker kill/restore.
+    pub(crate) fn txn_recover_all(&self) {
+        for (i, shard) in self.inner.txn.shards.iter().enumerate() {
+            let tp = TopicPartition::new(TXN_TOPIC, i as u32);
+            // Unavailable txn-log partition ⇒ coordinator unavailable; its
+            // ids simply cannot make progress until brokers return.
+            let Ok(Some(_)) = self.leader_of(&tp) else { continue };
+            let mut rebuilt: HashMap<String, TxnMetadata> = HashMap::new();
+            let mut pos = match self.earliest_offset(&tp) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            loop {
+                let Ok(fetch) = self.fetch(&tp, pos, 1024, IsolationLevel::ReadUncommitted)
+                else {
+                    break;
+                };
+                if fetch.count() == 0 {
+                    break;
+                }
+                for (_, rec) in fetch.records() {
+                    let (Some(k), Some(v)) = (&rec.key, &rec.value) else { continue };
+                    let Ok(tid) = std::str::from_utf8(k) else { continue };
+                    if let Some(meta) = TxnMetadata::decode(v) {
+                        rebuilt.insert(tid.to_string(), meta);
+                    }
+                }
+                pos = fetch.next_offset;
+            }
+            let mut map = shard.lock();
+            *map = rebuilt;
+            // Roll forward decided transactions (markers may be missing).
+            let pending: Vec<String> = map
+                .iter()
+                .filter(|(_, m)| {
+                    matches!(m.state, TxnState::PrepareCommit | TxnState::PrepareAbort)
+                })
+                .map(|(tid, _)| tid.clone())
+                .collect();
+            for tid in pending {
+                let meta = map.get(&tid).cloned().expect("present");
+                if let Ok(finished) = self.txn_finish(&tid, meta) {
+                    map.insert(tid, finished);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::builder().brokers(3).replication(3).build()
+    }
+
+    fn rec(key: &str, val: &str) -> Record {
+        Record::of_str(key, val, 0)
+    }
+
+    fn committed_count(c: &Cluster, tp: &TopicPartition) -> usize {
+        c.fetch(tp, 0, 10_000, IsolationLevel::ReadCommitted).unwrap().count()
+    }
+
+    #[test]
+    fn metadata_encode_decode_round_trip() {
+        let meta = TxnMetadata {
+            producer_id: 42,
+            epoch: 7,
+            state: TxnState::PrepareCommit,
+            partitions: [TopicPartition::new("a", 0), TopicPartition::new("b", 3)]
+                .into_iter()
+                .collect(),
+            txn_start_ms: 12345,
+            timeout_ms: 60_000,
+        };
+        assert_eq!(TxnMetadata::decode(&meta.encode()), Some(meta));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(TxnMetadata::decode(b"not|valid"), None);
+        assert_eq!(TxnMetadata::decode(&[0xff, 0xfe]), None);
+    }
+
+    #[test]
+    fn init_then_commit_cycle() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(2)).unwrap();
+        let (pid, epoch) = c.txn_init_producer("app-1", 60_000).unwrap();
+        assert_eq!(epoch, 0);
+        let tp0 = TopicPartition::new("out", 0);
+        let tp1 = TopicPartition::new("out", 1);
+        c.txn_add_partitions("app-1", pid, epoch, &[tp0.clone(), tp1.clone()]).unwrap();
+        assert_eq!(c.txn_state("app-1"), Some(TxnState::Ongoing));
+        c.produce(&tp0, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        assert_eq!(committed_count(&c, &tp0), 0, "invisible before commit");
+        c.txn_end("app-1", pid, epoch, true).unwrap();
+        assert_eq!(c.txn_state("app-1"), Some(TxnState::CompleteCommit));
+        assert_eq!(committed_count(&c, &tp0), 1);
+        // Registered-but-unwritten partition got a marker harmlessly.
+        assert_eq!(committed_count(&c, &tp1), 0);
+    }
+
+    #[test]
+    fn abort_hides_data() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        c.txn_end("app", pid, epoch, false).unwrap();
+        assert_eq!(c.txn_state("app"), Some(TxnState::CompleteAbort));
+        assert_eq!(committed_count(&c, &tp), 0);
+    }
+
+    #[test]
+    fn second_txn_after_commit() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        for i in 0..3 {
+            c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+            c.produce(&tp, BatchMeta::transactional(pid, epoch, i), vec![rec("k", "v")])
+                .unwrap();
+            c.txn_end("app", pid, epoch, true).unwrap();
+        }
+        assert_eq!(committed_count(&c, &tp), 3);
+    }
+
+    #[test]
+    fn reinit_bumps_epoch_and_fences_zombie() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, e0) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, e0, std::slice::from_ref(&tp)).unwrap();
+        // A "new incarnation" registers the same transactional id.
+        let (pid2, e1) = c.txn_init_producer("app", 60_000).unwrap();
+        assert_eq!(pid2, pid, "same producer id across incarnations");
+        assert_eq!(e1, e0 + 1, "epoch bumped");
+        // The zombie's coordinator calls are rejected.
+        assert!(matches!(
+            c.txn_add_partitions("app", pid, e0, std::slice::from_ref(&tp)),
+            Err(BrokerError::ProducerFenced { .. })
+        ));
+        assert!(matches!(
+            c.txn_end("app", pid, e0, true),
+            Err(BrokerError::ProducerFenced { .. })
+        ));
+        // And the zombie's data writes are rejected by the partition log
+        // (its epoch is stale there too, because init wrote markers… only if
+        // data existed; write with new epoch first to record it).
+        c.txn_add_partitions("app", pid, e1, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, e1, 0), vec![rec("k", "v")]).unwrap();
+        assert!(matches!(
+            c.produce(&tp, BatchMeta::transactional(pid, e0, 0), vec![rec("k", "z")]),
+            Err(BrokerError::Log(klog::LogError::ProducerFenced { .. }))
+        ));
+    }
+
+    #[test]
+    fn reinit_aborts_ongoing_txn_of_previous_incarnation() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, e0) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, e0, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, e0, 0), vec![rec("k", "orphan")]).unwrap();
+        // Crash & restart: init must abort the dangling transaction.
+        let (_, e1) = c.txn_init_producer("app", 60_000).unwrap();
+        assert_eq!(e1, e0 + 1);
+        assert_eq!(committed_count(&c, &tp), 0, "orphaned txn data aborted");
+        // LSO released: read-committed consumers are not blocked forever.
+        assert_eq!(c.last_stable_offset(&tp).unwrap(), c.latest_offset(&tp).unwrap());
+    }
+
+    #[test]
+    fn commit_retry_is_idempotent() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        c.txn_end("app", pid, epoch, true).unwrap();
+        c.txn_end("app", pid, epoch, true).unwrap(); // retried ack-lost commit
+        assert_eq!(committed_count(&c, &tp), 1);
+        // But mismatched retry (abort after commit) is rejected.
+        assert!(matches!(
+            c.txn_end("app", pid, epoch, false),
+            Err(BrokerError::InvalidTxnTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let c = cluster();
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_end("app", pid, epoch, true).unwrap();
+        assert_eq!(c.txn_state("app"), Some(TxnState::Empty));
+    }
+
+    #[test]
+    fn unknown_tid_rejected() {
+        let c = cluster();
+        assert!(matches!(
+            c.txn_end("ghost", 0, 0, true),
+            Err(BrokerError::UnknownTransactionalId(_))
+        ));
+    }
+
+    #[test]
+    fn expired_txn_aborted_and_producer_fenced() {
+        let clock = simkit::ManualClock::new();
+        let c = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 1_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        clock.advance(500);
+        assert_eq!(c.abort_expired_transactions(), 0, "not expired yet");
+        clock.advance(1_000);
+        assert_eq!(c.abort_expired_transactions(), 1);
+        assert_eq!(committed_count(&c, &tp), 0);
+        // The stalled producer is fenced on its next coordinator call.
+        assert!(matches!(
+            c.txn_end("app", pid, epoch, true),
+            Err(BrokerError::ProducerFenced { .. })
+        ));
+    }
+
+    #[test]
+    fn coordinator_failover_preserves_completed_state() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        c.txn_end("app", pid, epoch, true).unwrap();
+        // Kill every broker's coordinator state by failing broker 0 (forces
+        // txn_recover_all) — state must survive via the txn log.
+        c.kill_broker(0);
+        assert_eq!(c.txn_state("app"), Some(TxnState::CompleteCommit));
+        assert_eq!(c.txn_producer("app"), Some((pid, epoch)));
+        assert_eq!(committed_count(&c, &tp), 1);
+        // The producer can carry on transacting with the new coordinator.
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 1), vec![rec("k", "w")]).unwrap();
+        c.txn_end("app", pid, epoch, true).unwrap();
+        assert_eq!(committed_count(&c, &tp), 2);
+    }
+
+    #[test]
+    fn failover_rolls_forward_prepared_commit() {
+        // Simulate a coordinator crash between the PrepareCommit barrier and
+        // the marker writes by constructing that state directly in the log.
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        // Write the PrepareCommit barrier record manually (phase 1 only).
+        let meta = TxnMetadata {
+            producer_id: pid,
+            epoch,
+            state: TxnState::PrepareCommit,
+            partitions: [tp.clone()].into_iter().collect(),
+            txn_start_ms: 0,
+            timeout_ms: 60_000,
+        };
+        c.txn_persist("app", &meta).unwrap();
+        assert_eq!(committed_count(&c, &tp), 0, "markers not yet written");
+        // Coordinator failover: recovery must finish phase 2.
+        c.kill_broker(1);
+        assert_eq!(c.txn_state("app"), Some(TxnState::CompleteCommit));
+        assert_eq!(committed_count(&c, &tp), 1, "rolled forward after barrier");
+    }
+
+    #[test]
+    fn failover_rolls_forward_prepared_abort() {
+        let c = cluster();
+        c.create_topic("out", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("out", 0);
+        let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
+        c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
+        c.produce(&tp, BatchMeta::transactional(pid, epoch, 0), vec![rec("k", "v")]).unwrap();
+        let meta = TxnMetadata {
+            producer_id: pid,
+            epoch,
+            state: TxnState::PrepareAbort,
+            partitions: [tp.clone()].into_iter().collect(),
+            txn_start_ms: 0,
+            timeout_ms: 60_000,
+        };
+        c.txn_persist("app", &meta).unwrap();
+        c.kill_broker(2);
+        assert_eq!(c.txn_state("app"), Some(TxnState::CompleteAbort));
+        assert_eq!(committed_count(&c, &tp), 0);
+        // LSO released after the abort marker.
+        assert_eq!(c.last_stable_offset(&tp).unwrap(), c.latest_offset(&tp).unwrap());
+    }
+
+    #[test]
+    fn distinct_tids_get_distinct_pids() {
+        let c = cluster();
+        let (p1, _) = c.txn_init_producer("a", 60_000).unwrap();
+        let (p2, _) = c.txn_init_producer("b", 60_000).unwrap();
+        assert_ne!(p1, p2);
+    }
+}

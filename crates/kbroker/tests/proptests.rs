@@ -1,0 +1,211 @@
+//! Property-based tests for the broker cluster: exactly-once under random
+//! fault injection, replication consistency across failovers, and group
+//! assignment invariants.
+
+use bytes::Bytes;
+use kbroker::producer::{Producer, ProducerConfig};
+use kbroker::{Cluster, IsolationLevel, TopicConfig, TopicPartition};
+use proptest::prelude::*;
+use simkit::{FaultPlan, FaultPoint};
+use std::collections::HashMap;
+
+fn all_records(cluster: &Cluster, topic: &str, iso: IsolationLevel) -> Vec<(Bytes, Bytes)> {
+    let mut out = Vec::new();
+    for tp in cluster.partitions_of(topic).unwrap() {
+        let mut pos = cluster.earliest_offset(&tp).unwrap();
+        loop {
+            let f = cluster.fetch(&tp, pos, usize::MAX, iso).unwrap();
+            if f.count() == 0 && f.next_offset == pos {
+                break;
+            }
+            for (_, r) in f.records() {
+                out.push((r.key.clone().unwrap_or_default(), r.value.clone().unwrap_or_default()));
+            }
+            pos = f.next_offset;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Idempotent producers deliver each record exactly once no matter what
+    /// combination of ack losses and request losses the network throws at
+    /// them (§2.1 → §4.1).
+    #[test]
+    fn idempotent_producer_exactly_once_under_faults(
+        seed in 0u64..1000,
+        ack_loss in 0.0f64..0.5,
+        req_loss in 0.0f64..0.3,
+        n in 1usize..60,
+    ) {
+        let faults = FaultPlan::seeded(seed)
+            .with_ack_loss(FaultPoint::ProduceAckLost, ack_loss)
+            .with_request_loss(FaultPoint::ProduceAckLost, req_loss);
+        let cluster = Cluster::builder().brokers(1).replication(1).faults(faults).build();
+        cluster.create_topic("t", TopicConfig::new(2)).unwrap();
+        let mut p = Producer::new(
+            cluster.clone(),
+            ProducerConfig { max_retries: 100, ..ProducerConfig::idempotent_only() },
+        );
+        for i in 0..n {
+            p.send(
+                "t",
+                Some(Bytes::from(format!("k{}", i % 5))),
+                Some(Bytes::from(format!("v{i}"))),
+                i as i64,
+            ).unwrap();
+        }
+        p.flush().unwrap();
+        let got = all_records(&cluster, "t", IsolationLevel::ReadUncommitted);
+        prop_assert_eq!(got.len(), n, "exactly one copy of each record");
+        // All distinct payloads present.
+        let mut values: Vec<&Bytes> = got.iter().map(|(_, v)| v).collect();
+        values.sort();
+        values.dedup();
+        prop_assert_eq!(values.len(), n);
+    }
+
+    /// Without idempotence, the same fault patterns produce at-least-once:
+    /// never fewer records than sent (sanity check of the fault model).
+    #[test]
+    fn plain_producer_at_least_once_under_ack_loss(
+        seed in 0u64..1000,
+        ack_loss in 0.0f64..0.5,
+        n in 1usize..40,
+    ) {
+        let faults =
+            FaultPlan::seeded(seed).with_ack_loss(FaultPoint::ProduceAckLost, ack_loss);
+        let cluster = Cluster::builder().brokers(1).replication(1).faults(faults).build();
+        cluster.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(
+            cluster.clone(),
+            ProducerConfig { max_retries: 100, ..ProducerConfig::at_least_once() },
+        );
+        for i in 0..n {
+            p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from(format!("v{i}"))), 0)
+                .unwrap();
+        }
+        p.flush().unwrap();
+        let got = all_records(&cluster, "t", IsolationLevel::ReadUncommitted);
+        prop_assert!(got.len() >= n, "at-least-once: {} >= {n}", got.len());
+    }
+
+    /// Data survives any sequence of broker kills/restores that leaves at
+    /// least one replica alive at each step.
+    #[test]
+    fn replication_tolerates_failover_sequences(
+        kills in prop::collection::vec(0usize..3, 1..8),
+        n in 1usize..30,
+    ) {
+        let cluster = Cluster::builder().brokers(3).replication(3).build();
+        cluster.create_topic("t", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        let mut p = Producer::new(cluster.clone(), ProducerConfig::default().with_batch_size(1));
+        let mut sent = 0usize;
+        for (round, &victim) in kills.iter().enumerate() {
+            for i in 0..n {
+                p.send(
+                    "t",
+                    Some(Bytes::from(format!("k{round}-{i}"))),
+                    Some(Bytes::from_static(b"v")),
+                    0,
+                ).unwrap();
+                sent += 1;
+            }
+            p.flush().unwrap();
+            // Kill one broker and immediately restore a (possibly
+            // different) one, so at least two stay alive at all times.
+            cluster.kill_broker(victim);
+            cluster.restore_broker(victim);
+        }
+        let f = cluster.fetch(&tp, 0, usize::MAX, IsolationLevel::ReadUncommitted).unwrap();
+        prop_assert_eq!(f.count(), sent, "no record lost across failovers");
+    }
+
+    /// Transactions: any prefix of (begin, send, commit/abort) cycles yields
+    /// read-committed output equal to exactly the committed transactions.
+    #[test]
+    fn txn_visibility_matches_outcomes(outcomes in prop::collection::vec(any::<bool>(), 1..12)) {
+        let cluster = Cluster::builder().brokers(1).replication(1).build();
+        cluster.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(cluster.clone(), ProducerConfig::transactional("app"));
+        p.init_transactions().unwrap();
+        let mut expected = Vec::new();
+        for (i, &commit) in outcomes.iter().enumerate() {
+            p.begin_transaction().unwrap();
+            let val = Bytes::from(format!("txn{i}"));
+            p.send("t", Some(Bytes::from_static(b"k")), Some(val.clone()), i as i64).unwrap();
+            if commit {
+                p.commit_transaction().unwrap();
+                expected.push(val);
+            } else {
+                p.abort_transaction().unwrap();
+            }
+        }
+        let got: Vec<Bytes> = all_records(&cluster, "t", IsolationLevel::ReadCommitted)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Group range assignment is a partition of the topic's partitions:
+    /// disjoint, complete, balanced within one.
+    #[test]
+    fn group_assignment_is_a_partition(
+        parts in 1u32..20,
+        members in 1usize..6,
+    ) {
+        let cluster = Cluster::builder().brokers(1).replication(1).build();
+        cluster.create_topic("t", TopicConfig::new(parts)).unwrap();
+        for m in 0..members {
+            cluster.group_join("g", &format!("m{m}"), &["t".to_string()]).unwrap();
+        }
+        let mut counts: HashMap<TopicPartition, usize> = HashMap::new();
+        let mut sizes = Vec::new();
+        for m in 0..members {
+            let view = cluster.group_view("g", &format!("m{m}")).unwrap();
+            sizes.push(view.assignment.len());
+            for tp in view.assignment {
+                *counts.entry(tp).or_default() += 1;
+            }
+        }
+        prop_assert_eq!(counts.len(), parts as usize, "complete");
+        prop_assert!(counts.values().all(|&c| c == 1), "disjoint");
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "balanced: {sizes:?}");
+    }
+
+    /// Committed offsets always reflect the latest committed value per
+    /// group/partition, regardless of commit interleaving across groups.
+    #[test]
+    fn offset_commits_latest_wins(
+        commits in prop::collection::vec((0usize..3, 0i64..1000), 1..30),
+    ) {
+        let cluster = Cluster::builder().brokers(1).replication(1).build();
+        cluster.create_topic("t", TopicConfig::new(1)).unwrap();
+        let tp = TopicPartition::new("t", 0);
+        let mut gens = Vec::new();
+        for g in 0..3 {
+            let v = cluster
+                .group_join(&format!("g{g}"), "m", &["t".to_string()])
+                .unwrap();
+            gens.push(v.generation);
+        }
+        let mut latest: HashMap<usize, i64> = HashMap::new();
+        for (g, off) in commits {
+            cluster
+                .group_commit_offsets(&format!("g{g}"), "m", gens[g], &[(tp.clone(), off)])
+                .unwrap();
+            latest.insert(g, off);
+        }
+        for (g, off) in latest {
+            prop_assert_eq!(
+                cluster.group_committed_offset(&format!("g{g}"), &tp).unwrap(),
+                Some(off)
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Timestamp → offset index.
+//!
+//! Mirrors Kafka's sparse time index: entries are `(max_timestamp_so_far,
+//! base_offset)` pairs with strictly increasing timestamps, appended only
+//! when a batch advances the partition's max timestamp. Lookup returns the
+//! earliest indexed offset whose timestamp is `>=` the target — the starting
+//! point for a timestamp-based seek (`offsetsForTimes` in Kafka).
+
+use crate::Offset;
+
+/// Sparse, monotone time index for one partition.
+#[derive(Debug, Clone, Default)]
+pub struct TimeIndex {
+    /// `(timestamp, offset)`, strictly increasing in both fields.
+    entries: Vec<(i64, Offset)>,
+}
+
+impl TimeIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entry if `ts` advances the index's max timestamp.
+    pub fn maybe_add(&mut self, ts: i64, offset: Offset) {
+        match self.entries.last() {
+            Some(&(last_ts, _)) if ts <= last_ts => {}
+            _ => self.entries.push((ts, offset)),
+        }
+    }
+
+    /// Earliest indexed offset with timestamp `>= ts`, or `None` when every
+    /// indexed timestamp is smaller.
+    pub fn lookup(&self, ts: i64) -> Option<Offset> {
+        let idx = self.entries.partition_point(|&(t, _)| t < ts);
+        self.entries.get(idx).map(|&(_, o)| o)
+    }
+
+    /// Number of index entries (sparseness check in tests).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lookup_is_none() {
+        assert_eq!(TimeIndex::new().lookup(0), None);
+    }
+
+    #[test]
+    fn monotone_entries_only() {
+        let mut idx = TimeIndex::new();
+        idx.maybe_add(100, 0);
+        idx.maybe_add(50, 5); // out-of-order timestamp: not indexed
+        idx.maybe_add(100, 7); // equal: not indexed
+        idx.maybe_add(200, 9);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_first_at_or_after() {
+        let mut idx = TimeIndex::new();
+        idx.maybe_add(100, 0);
+        idx.maybe_add(200, 10);
+        idx.maybe_add(300, 20);
+        assert_eq!(idx.lookup(0), Some(0));
+        assert_eq!(idx.lookup(100), Some(0));
+        assert_eq!(idx.lookup(101), Some(10));
+        assert_eq!(idx.lookup(300), Some(20));
+        assert_eq!(idx.lookup(301), None);
+    }
+}

@@ -1,0 +1,904 @@
+//! The partition log: append, fetch, watermarks, and transaction visibility.
+//!
+//! This is the storage half of the paper's design. One `PartitionLog` holds
+//! an immutable sequence of record batches with:
+//!
+//! * **log-end offset** (LEO) — where the next batch lands,
+//! * **high watermark** (HW) — highest offset replicated to all in-sync
+//!   replicas; consumers never read past it (§4),
+//! * **last stable offset** (LSO) — first offset still covered by an *open*
+//!   transaction; read-committed consumers never read past `min(HW, LSO)`
+//!   (§4.2.3),
+//! * an **aborted-transaction index** so read-committed fetches can skip
+//!   batches whose transaction aborted — this is how Kafka "leverages the
+//!   append offset ordering to avoid exposing aborted data" without a
+//!   write-ahead log (§4.2),
+//! * the **producer state table** for idempotent dedup (§4.1).
+
+use crate::batch::{BatchMeta, ControlType, StoredBatch};
+use crate::error::LogError;
+use crate::index::TimeIndex;
+use crate::producer_state::{ProducerStateTable, SequenceCheck};
+use crate::record::Record;
+use crate::segment::SegmentList;
+use crate::{Offset, ProducerEpoch, ProducerId, NO_SEQUENCE, NO_TIMESTAMP};
+
+/// Consumer isolation level (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// See everything below the high watermark, including records of
+    /// ongoing and aborted transactions.
+    #[default]
+    ReadUncommitted,
+    /// See only records of committed transactions, below min(HW, LSO).
+    ReadCommitted,
+}
+
+/// A transaction that was aborted: its data batches must be skipped by
+/// read-committed fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortedTxn {
+    pub producer_id: ProducerId,
+    /// First data offset the transaction wrote on this partition.
+    pub first_offset: Offset,
+    /// Offset of the abort marker.
+    pub marker_offset: Offset,
+}
+
+/// Result of an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    pub base_offset: Offset,
+    pub last_offset: Offset,
+    /// True when the batch was recognised as an idempotent-producer
+    /// duplicate and **not** re-appended; offsets are the original ones.
+    pub duplicate: bool,
+}
+
+/// Result of a fetch: batches (possibly trimmed), plus log metadata the
+/// consumer client needs to make progress.
+#[derive(Debug, Clone)]
+pub struct FetchResult {
+    pub batches: Vec<StoredBatch>,
+    /// Where the consumer should fetch from next. Advances past skipped
+    /// control batches and aborted data so pollers never spin.
+    pub next_offset: Offset,
+    pub high_watermark: Offset,
+    pub last_stable_offset: Offset,
+    pub log_start: Offset,
+}
+
+impl FetchResult {
+    /// Flatten to `(offset, record)` pairs in offset order.
+    pub fn records(&self) -> impl Iterator<Item = (Offset, &Record)> {
+        self.batches.iter().flat_map(|b| b.entries.iter().map(|(o, r)| (*o, r)))
+    }
+
+    /// Total record count across batches.
+    pub fn count(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+}
+
+/// A single partition's log. Single-threaded; `kbroker` provides locking.
+#[derive(Debug, Clone)]
+pub struct PartitionLog {
+    segments: SegmentList,
+    /// Earliest addressable offset. Advanced only by [`truncate_prefix`];
+    /// compaction leaves it alone (compacted-away offsets simply yield no
+    /// records, exactly like Kafka).
+    ///
+    /// [`truncate_prefix`]: PartitionLog::truncate_prefix
+    log_start: Offset,
+    next_offset: Offset,
+    high_watermark: Offset,
+    producers: ProducerStateTable,
+    aborted: Vec<AbortedTxn>,
+    time_index: TimeIndex,
+    max_timestamp: i64,
+    /// When true (default), the high watermark tracks the log end — the
+    /// single-replica behaviour. The replication layer switches this off and
+    /// advances the watermark itself as followers catch up.
+    auto_advance_hw: bool,
+}
+
+impl Default for PartitionLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionLog {
+    pub fn new() -> Self {
+        Self {
+            segments: SegmentList::new(),
+            log_start: 0,
+            next_offset: 0,
+            high_watermark: 0,
+            producers: ProducerStateTable::new(),
+            aborted: Vec::new(),
+            time_index: TimeIndex::new(),
+            max_timestamp: NO_TIMESTAMP,
+            auto_advance_hw: true,
+        }
+    }
+
+    /// Put the log under external (replication-layer) high-watermark
+    /// management.
+    pub fn with_managed_watermark(mut self) -> Self {
+        self.auto_advance_hw = false;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Append path
+    // ------------------------------------------------------------------
+
+    /// Append a batch of records with the given metadata.
+    ///
+    /// Validates idempotent sequences and producer epochs; duplicates are
+    /// acked (with their original offsets) without re-appending.
+    pub fn append(
+        &mut self,
+        meta: BatchMeta,
+        records: Vec<Record>,
+    ) -> Result<AppendOutcome, LogError> {
+        if records.is_empty() {
+            return Err(LogError::CorruptBatch("empty batch".into()));
+        }
+        if meta.is_control() {
+            return Err(LogError::CorruptBatch(
+                "control batches must use append_control".into(),
+            ));
+        }
+        if meta.transactional && meta.producer_id < 0 {
+            return Err(LogError::InvalidTxnState(
+                "transactional batch without producer id".into(),
+            ));
+        }
+        if meta.is_idempotent() {
+            match self.producers.check(
+                meta.producer_id,
+                meta.producer_epoch,
+                meta.base_sequence,
+                records.len(),
+            )? {
+                SequenceCheck::Duplicate { base_offset, last_offset } => {
+                    return Ok(AppendOutcome { base_offset, last_offset, duplicate: true });
+                }
+                SequenceCheck::InOrder => {}
+            }
+        } else if meta.producer_id >= 0 {
+            // Epoch check still applies to non-sequenced writes from a known
+            // producer (e.g. a fenced zombie must not write at all).
+            if let Some(current) = self.producers.epoch_of(meta.producer_id) {
+                if meta.producer_epoch < current {
+                    return Err(LogError::ProducerFenced {
+                        producer_id: meta.producer_id,
+                        current_epoch: current,
+                        got_epoch: meta.producer_epoch,
+                    });
+                }
+            }
+        }
+
+        let base_offset = self.next_offset;
+        let entries: Vec<(Offset, Record)> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (base_offset + i as i64, r))
+            .collect();
+        let last_offset = entries.last().expect("non-empty").0;
+        let batch = StoredBatch { meta: meta.clone(), entries };
+        let max_ts = batch.max_timestamp();
+        if max_ts > self.max_timestamp {
+            self.max_timestamp = max_ts;
+            self.time_index.maybe_add(max_ts, base_offset);
+        }
+        self.segments.append(batch);
+        self.next_offset = last_offset + 1;
+        if meta.producer_id >= 0 {
+            self.producers.on_append(
+                meta.producer_id,
+                meta.producer_epoch,
+                meta.base_sequence,
+                base_offset,
+                last_offset,
+                meta.transactional,
+            );
+        }
+        if self.auto_advance_hw {
+            self.high_watermark = self.next_offset;
+        }
+        Ok(AppendOutcome { base_offset, last_offset, duplicate: false })
+    }
+
+    /// Append a transaction control marker (commit or abort) for
+    /// `producer_id`. Written by the transaction coordinator (§4.2.2).
+    ///
+    /// Closes the producer's open transaction on this partition; for aborts,
+    /// the covered offset range is added to the aborted-transaction index.
+    pub fn append_control(
+        &mut self,
+        producer_id: ProducerId,
+        epoch: ProducerEpoch,
+        ctl: ControlType,
+        timestamp: i64,
+    ) -> Result<Offset, LogError> {
+        if let Some(current) = self.producers.epoch_of(producer_id) {
+            if epoch < current {
+                return Err(LogError::ProducerFenced {
+                    producer_id,
+                    current_epoch: current,
+                    got_epoch: epoch,
+                });
+            }
+        }
+        let marker_offset = self.next_offset;
+        let marker_record = Record {
+            key: None,
+            value: None,
+            timestamp,
+            headers: Vec::new(),
+        };
+        let batch = StoredBatch {
+            meta: BatchMeta::control(producer_id, epoch, ctl),
+            entries: vec![(marker_offset, marker_record)],
+        };
+        self.segments.append(batch);
+        self.next_offset = marker_offset + 1;
+        // Close the open transaction; Kafka tolerates markers for
+        // transactions with no data on this partition (e.g. retried
+        // registration), so a missing open txn is not an error.
+        self.producers.on_append(producer_id, epoch, NO_SEQUENCE, marker_offset, marker_offset, false);
+        if let Some(first) = self.producers.end_txn(producer_id) {
+            if ctl == ControlType::Abort {
+                self.aborted.push(AbortedTxn { producer_id, first_offset: first, marker_offset });
+            }
+        }
+        if self.auto_advance_hw {
+            self.high_watermark = self.next_offset;
+        }
+        Ok(marker_offset)
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch path
+    // ------------------------------------------------------------------
+
+    /// Fetch up to `max_records` records starting at `from`, honouring the
+    /// isolation level. Control batches are never returned; read-committed
+    /// fetches additionally skip aborted transactional data.
+    pub fn fetch(
+        &self,
+        from: Offset,
+        max_records: usize,
+        isolation: IsolationLevel,
+    ) -> Result<FetchResult, LogError> {
+        let bound = self.visible_bound(isolation);
+        if from < self.log_start() {
+            return Err(LogError::OffsetOutOfRange {
+                requested: from,
+                log_start: self.log_start(),
+                log_end: self.next_offset,
+            });
+        }
+        if from > self.next_offset {
+            return Err(LogError::OffsetOutOfRange {
+                requested: from,
+                log_start: self.log_start(),
+                log_end: self.next_offset,
+            });
+        }
+        let mut out: Vec<StoredBatch> = Vec::new();
+        let mut taken = 0usize;
+        let mut next_offset = from;
+        for batch in self.segments.iter_from(from) {
+            if batch.base_offset() >= bound || taken >= max_records {
+                break;
+            }
+            // Whole batch is below `from`? iter_from already skips those.
+            let skip_data = batch.meta.is_control()
+                || (isolation == IsolationLevel::ReadCommitted && self.is_aborted(batch));
+            if skip_data {
+                // Advance position past it without delivering records, but
+                // only if the batch is fully below the visibility bound.
+                if batch.last_offset() < bound {
+                    next_offset = next_offset.max(batch.last_offset() + 1);
+                }
+                continue;
+            }
+            let mut entries: Vec<(Offset, Record)> = batch
+                .entries
+                .iter()
+                .filter(|(o, _)| *o >= from && *o < bound)
+                .take(max_records - taken)
+                .cloned()
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            taken += entries.len();
+            let last = entries.last().expect("non-empty").0;
+            next_offset = next_offset.max(last + 1);
+            out.push(StoredBatch { meta: batch.meta.clone(), entries: std::mem::take(&mut entries) });
+        }
+        Ok(FetchResult {
+            batches: out,
+            next_offset,
+            high_watermark: self.high_watermark,
+            last_stable_offset: self.last_stable_offset(),
+            log_start: self.log_start(),
+        })
+    }
+
+    fn is_aborted(&self, batch: &StoredBatch) -> bool {
+        if !batch.meta.transactional || batch.meta.is_control() {
+            return false;
+        }
+        let (pid, base) = (batch.meta.producer_id, batch.base_offset());
+        self.aborted
+            .iter()
+            .any(|a| a.producer_id == pid && a.first_offset <= base && base < a.marker_offset)
+    }
+
+    fn visible_bound(&self, isolation: IsolationLevel) -> Offset {
+        match isolation {
+            IsolationLevel::ReadUncommitted => self.high_watermark,
+            IsolationLevel::ReadCommitted => self.high_watermark.min(self.last_stable_offset()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata
+    // ------------------------------------------------------------------
+
+    /// Offset at which the next append will land (LEO).
+    pub fn log_end(&self) -> Offset {
+        self.next_offset
+    }
+
+    /// Earliest addressable offset.
+    pub fn log_start(&self) -> Offset {
+        self.log_start
+    }
+
+    pub fn high_watermark(&self) -> Offset {
+        self.high_watermark
+    }
+
+    /// Advance the high watermark (replication layer). Never moves backward
+    /// and never exceeds the log end.
+    pub fn advance_high_watermark(&mut self, to: Offset) {
+        self.high_watermark = self.high_watermark.max(to.min(self.next_offset));
+    }
+
+    /// First offset still covered by an open transaction, or the log end if
+    /// none — everything strictly below is "stable" (decided).
+    pub fn last_stable_offset(&self) -> Offset {
+        self.producers.earliest_open_txn_offset().unwrap_or(self.next_offset)
+    }
+
+    /// The aborted-transaction index (visible for tests and the consumer
+    /// client simulation).
+    pub fn aborted_txns(&self) -> &[AbortedTxn] {
+        &self.aborted
+    }
+
+    /// Maximum record timestamp ever appended.
+    pub fn max_timestamp(&self) -> i64 {
+        self.max_timestamp
+    }
+
+    /// Earliest offset whose batch max-timestamp is `>= ts` (time index
+    /// lookup; approximate exactly the way Kafka's is).
+    pub fn offset_for_timestamp(&self, ts: i64) -> Option<Offset> {
+        self.time_index.lookup(ts)
+    }
+
+    /// Direct record access (tests / state restore).
+    pub fn get(&self, offset: Offset) -> Option<&Record> {
+        self.segments
+            .iter_from(offset)
+            .next()
+            .and_then(|b| b.entries.iter().find(|(o, _)| *o == offset).map(|(_, r)| r))
+    }
+
+    /// Number of data records currently retained (excludes control markers).
+    pub fn record_count(&self) -> usize {
+        self.segments
+            .iter_from(self.log_start())
+            .filter(|b| !b.meta.is_control())
+            .map(|b| b.len())
+            .sum()
+    }
+
+    /// Total approximate bytes retained.
+    pub fn size_bytes(&self) -> usize {
+        self.segments.iter_from(self.log_start()).map(|b| b.approximate_size()).sum()
+    }
+
+    /// Per-producer state (tests; leader-failover simulation).
+    pub fn producer_state(&self) -> &ProducerStateTable {
+        &self.producers
+    }
+
+    /// Iterate all retained batches in offset order.
+    pub fn batches(&self) -> impl Iterator<Item = &StoredBatch> {
+        self.segments.iter_from(i64::MIN)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Delete whole batches entirely below `new_start` (repartition-topic
+    /// purging / retention, §3.2). The high watermark and producer state are
+    /// unaffected.
+    pub fn truncate_prefix(&mut self, new_start: Offset) {
+        let new_start = new_start.min(self.next_offset);
+        if new_start <= self.log_start {
+            return;
+        }
+        self.segments.truncate_prefix(new_start);
+        self.log_start = new_start;
+    }
+
+    /// Truncate the log suffix so that `log_end <= to` (follower divergence
+    /// repair after leader change). Also rolls back watermark bookkeeping.
+    pub fn truncate_suffix(&mut self, to: Offset) {
+        self.segments.truncate_suffix(to);
+        self.next_offset = self
+            .segments
+            .last_offset()
+            .map(|o| o + 1)
+            .unwrap_or_else(|| self.log_start.min(to.max(self.log_start)));
+        self.high_watermark = self.high_watermark.min(self.next_offset);
+        self.aborted.retain(|a| a.marker_offset < self.next_offset);
+        self.recover_producer_state();
+    }
+
+    /// First offset to retain under the given policies, or `None` when
+    /// nothing expires. Whole batches expire together (Kafka deletes whole
+    /// segments; we are finer-grained but keep batch granularity):
+    ///
+    /// * `retention_ms`: batches whose max timestamp is older than
+    ///   `now - retention_ms` expire,
+    /// * `retention_bytes`: oldest batches expire until the retained size
+    ///   fits the budget.
+    ///
+    /// Only stable data (below min(HW, LSO)) is considered so an open
+    /// transaction is never cut.
+    pub fn retention_cutoff(
+        &self,
+        now_ms: i64,
+        retention_ms: Option<i64>,
+        retention_bytes: Option<usize>,
+    ) -> Option<Offset> {
+        let stable = self.high_watermark.min(self.last_stable_offset());
+        let mut cutoff: Option<Offset> = None;
+        if let Some(ms) = retention_ms {
+            let horizon = now_ms.saturating_sub(ms);
+            for batch in self.segments.iter_from(self.log_start) {
+                if batch.last_offset() >= stable {
+                    break;
+                }
+                if batch.max_timestamp() < horizon {
+                    cutoff = Some(batch.last_offset() + 1);
+                } else {
+                    break;
+                }
+            }
+        }
+        if let Some(budget) = retention_bytes {
+            let total: usize =
+                self.segments.iter_from(self.log_start).map(|b| b.approximate_size()).sum();
+            let mut excess = total.saturating_sub(budget);
+            if excess > 0 {
+                for batch in self.segments.iter_from(self.log_start) {
+                    if excess == 0 || batch.last_offset() >= stable {
+                        break;
+                    }
+                    excess = excess.saturating_sub(batch.approximate_size());
+                    let candidate = batch.last_offset() + 1;
+                    if cutoff.is_none_or(|c| candidate > c) {
+                        cutoff = Some(candidate);
+                    }
+                }
+            }
+        }
+        cutoff.filter(|&c| c > self.log_start)
+    }
+
+    /// Rebuild producer dedup state and the aborted-transaction index by
+    /// scanning the retained log — simulates a broker restart / new leader
+    /// election (§4.1, §4.2.1).
+    pub fn recover_producer_state(&mut self) {
+        let batches: Vec<&StoredBatch> = self.segments.iter_from(i64::MIN).collect();
+        // Rebuild aborted index from markers.
+        let mut aborted = Vec::new();
+        let mut open: std::collections::HashMap<ProducerId, Offset> =
+            std::collections::HashMap::new();
+        for b in &batches {
+            if b.meta.producer_id < 0 {
+                continue;
+            }
+            match b.meta.control {
+                Some(ControlType::Abort) => {
+                    if let Some(first) = open.remove(&b.meta.producer_id) {
+                        aborted.push(AbortedTxn {
+                            producer_id: b.meta.producer_id,
+                            first_offset: first,
+                            marker_offset: b.base_offset(),
+                        });
+                    }
+                }
+                Some(ControlType::Commit) => {
+                    open.remove(&b.meta.producer_id);
+                }
+                None => {
+                    if b.meta.transactional {
+                        open.entry(b.meta.producer_id).or_insert_with(|| b.base_offset());
+                    }
+                }
+            }
+        }
+        self.producers = ProducerStateTable::rebuild_from(batches);
+        self.aborted = aborted;
+    }
+
+    /// Replace the retained batches (used by compaction). Offsets must be
+    /// preserved by the caller.
+    pub(crate) fn replace_batches(&mut self, batches: Vec<StoredBatch>) {
+        self.segments = SegmentList::from_batches(batches);
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(n: usize, ts0: i64) -> Vec<Record> {
+        (0..n).map(|i| Record::of_str("k", &format!("v{i}"), ts0 + i as i64)).collect()
+    }
+
+    #[test]
+    fn append_assigns_dense_offsets() {
+        let mut log = PartitionLog::new();
+        let a = log.append(BatchMeta::plain(), recs(3, 0)).unwrap();
+        assert_eq!((a.base_offset, a.last_offset), (0, 2));
+        let b = log.append(BatchMeta::plain(), recs(2, 10)).unwrap();
+        assert_eq!((b.base_offset, b.last_offset), (3, 4));
+        assert_eq!(log.log_end(), 5);
+        assert_eq!(log.high_watermark(), 5);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut log = PartitionLog::new();
+        assert!(matches!(
+            log.append(BatchMeta::plain(), vec![]),
+            Err(LogError::CorruptBatch(_))
+        ));
+    }
+
+    #[test]
+    fn idempotent_duplicate_not_reappended() {
+        let mut log = PartitionLog::new();
+        let first = log.append(BatchMeta::idempotent(1, 0, 0), recs(3, 0)).unwrap();
+        assert!(!first.duplicate);
+        // Retry of the same batch (same pid/epoch/base sequence).
+        let retry = log.append(BatchMeta::idempotent(1, 0, 0), recs(3, 0)).unwrap();
+        assert!(retry.duplicate);
+        assert_eq!(retry.base_offset, first.base_offset);
+        assert_eq!(log.log_end(), 3, "duplicate must not grow the log");
+    }
+
+    #[test]
+    fn sequence_gap_rejected() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::idempotent(1, 0, 0), recs(1, 0)).unwrap();
+        assert!(matches!(
+            log.append(BatchMeta::idempotent(1, 0, 5), recs(1, 0)),
+            Err(LogError::OutOfOrderSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn fenced_producer_rejected() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::idempotent(1, 3, 0), recs(1, 0)).unwrap();
+        assert!(matches!(
+            log.append(BatchMeta::idempotent(1, 2, 1), recs(1, 0)),
+            Err(LogError::ProducerFenced { .. })
+        ));
+    }
+
+    #[test]
+    fn fetch_returns_appended_records() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(5, 100)).unwrap();
+        let f = log.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 5);
+        assert_eq!(f.next_offset, 5);
+        let offsets: Vec<Offset> = f.records().map(|(o, _)| o).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fetch_respects_max_records_and_resumes() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(10, 0)).unwrap();
+        let f1 = log.fetch(0, 4, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f1.count(), 4);
+        assert_eq!(f1.next_offset, 4);
+        let f2 = log.fetch(f1.next_offset, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f2.count(), 6);
+    }
+
+    #[test]
+    fn fetch_bounded_by_high_watermark() {
+        let mut log = PartitionLog::new().with_managed_watermark();
+        log.append(BatchMeta::plain(), recs(5, 0)).unwrap();
+        // HW still 0: nothing visible.
+        let f = log.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 0);
+        log.advance_high_watermark(3);
+        let f = log.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 3);
+        assert_eq!(f.high_watermark, 3);
+    }
+
+    #[test]
+    fn read_committed_blocks_on_open_txn() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(9, 0, 0), recs(3, 0)).unwrap();
+        assert_eq!(log.last_stable_offset(), 0);
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(rc.count(), 0, "open txn data must be invisible");
+        let ru = log.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(ru.count(), 3, "read-uncommitted sees it");
+    }
+
+    #[test]
+    fn commit_marker_releases_records() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(9, 0, 0), recs(3, 0)).unwrap();
+        let marker = log.append_control(9, 0, ControlType::Commit, 10).unwrap();
+        assert_eq!(marker, 3);
+        assert_eq!(log.last_stable_offset(), 4);
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(rc.count(), 3);
+        // Consumer's position must advance past the marker.
+        assert_eq!(rc.next_offset, 4);
+    }
+
+    #[test]
+    fn abort_marker_hides_records_from_read_committed() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(9, 0, 0), recs(3, 0)).unwrap();
+        log.append_control(9, 0, ControlType::Abort, 10).unwrap();
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(rc.count(), 0, "aborted data invisible to read-committed");
+        assert_eq!(rc.next_offset, 4, "position must advance past aborted txn");
+        // Read-uncommitted still sees aborted data (like real Kafka).
+        let ru = log.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(ru.count(), 3);
+        assert_eq!(log.aborted_txns().len(), 1);
+    }
+
+    #[test]
+    fn interleaved_txns_lso_tracks_earliest_open() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(1, 0, 0), recs(1, 0)).unwrap(); // off 0
+        log.append(BatchMeta::transactional(2, 0, 0), recs(1, 0)).unwrap(); // off 1
+        assert_eq!(log.last_stable_offset(), 0);
+        log.append_control(1, 0, ControlType::Commit, 0).unwrap(); // off 2
+        // Producer 2 still open from offset 1.
+        assert_eq!(log.last_stable_offset(), 1);
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(rc.count(), 1, "only producer 1's record visible");
+        log.append_control(2, 0, ControlType::Commit, 0).unwrap(); // off 3
+        assert_eq!(log.last_stable_offset(), 4);
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(rc.count(), 2);
+    }
+
+    #[test]
+    fn committed_then_aborted_interleaving_filters_correctly() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(1, 0, 0), recs(2, 0)).unwrap(); // 0-1 commit
+        log.append(BatchMeta::transactional(2, 0, 0), recs(2, 0)).unwrap(); // 2-3 abort
+        log.append(BatchMeta::plain(), recs(1, 0)).unwrap(); // 4 plain
+        log.append_control(2, 0, ControlType::Abort, 0).unwrap(); // 5
+        log.append_control(1, 0, ControlType::Commit, 0).unwrap(); // 6
+        let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+        let offsets: Vec<Offset> = rc.records().map(|(o, _)| o).collect();
+        assert_eq!(offsets, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn fetch_from_log_end_is_empty_not_error() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(2, 0)).unwrap();
+        let f = log.fetch(2, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 0);
+        assert_eq!(f.next_offset, 2);
+    }
+
+    #[test]
+    fn fetch_beyond_log_end_errors() {
+        let log = PartitionLog::new();
+        assert!(matches!(
+            log.fetch(1, 100, IsolationLevel::ReadUncommitted),
+            Err(LogError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn truncate_prefix_drops_old_batches() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(3, 0)).unwrap();
+        log.append(BatchMeta::plain(), recs(3, 0)).unwrap();
+        log.truncate_prefix(3);
+        assert_eq!(log.log_start(), 3);
+        assert!(matches!(
+            log.fetch(0, 100, IsolationLevel::ReadUncommitted),
+            Err(LogError::OffsetOutOfRange { .. })
+        ));
+        let f = log.fetch(3, 100, IsolationLevel::ReadUncommitted).unwrap();
+        assert_eq!(f.count(), 3);
+    }
+
+    #[test]
+    fn truncate_suffix_rolls_back() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(3, 0)).unwrap();
+        log.append(BatchMeta::plain(), recs(3, 0)).unwrap();
+        log.truncate_suffix(3);
+        assert_eq!(log.log_end(), 3);
+        assert_eq!(log.high_watermark(), 3);
+    }
+
+    #[test]
+    fn recovery_rebuilds_dedup_and_aborted_index() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::idempotent(1, 0, 0), recs(2, 0)).unwrap();
+        log.append(BatchMeta::transactional(2, 0, 0), recs(2, 0)).unwrap();
+        log.append_control(2, 0, ControlType::Abort, 0).unwrap();
+        let aborted_before = log.aborted_txns().to_vec();
+        log.recover_producer_state();
+        assert_eq!(log.aborted_txns(), aborted_before.as_slice());
+        // Dedup survives recovery: the same retry is still a duplicate.
+        let retry = log.append(BatchMeta::idempotent(1, 0, 0), recs(2, 0)).unwrap();
+        assert!(retry.duplicate);
+    }
+
+    #[test]
+    fn offset_for_timestamp_lookup() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), vec![Record::of_str("k", "a", 100)]).unwrap();
+        log.append(BatchMeta::plain(), vec![Record::of_str("k", "b", 200)]).unwrap();
+        log.append(BatchMeta::plain(), vec![Record::of_str("k", "c", 300)]).unwrap();
+        assert_eq!(log.offset_for_timestamp(150), Some(1));
+        assert_eq!(log.offset_for_timestamp(300), Some(2));
+        assert_eq!(log.offset_for_timestamp(301), None);
+        assert_eq!(log.offset_for_timestamp(0), Some(0));
+    }
+
+    #[test]
+    fn get_by_offset() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs(3, 7)).unwrap();
+        assert_eq!(log.get(1).unwrap().timestamp, 8);
+        assert!(log.get(99).is_none());
+    }
+
+    #[test]
+    fn record_count_excludes_markers() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(1, 0, 0), recs(2, 0)).unwrap();
+        log.append_control(1, 0, ControlType::Commit, 0).unwrap();
+        assert_eq!(log.record_count(), 2);
+        assert_eq!(log.log_end(), 3);
+    }
+
+    #[test]
+    fn marker_without_open_txn_is_tolerated() {
+        let mut log = PartitionLog::new();
+        let off = log.append_control(5, 0, ControlType::Commit, 0).unwrap();
+        assert_eq!(off, 0);
+        assert!(log.aborted_txns().is_empty());
+    }
+
+    #[test]
+    fn control_batch_via_append_rejected() {
+        let mut log = PartitionLog::new();
+        let meta = BatchMeta::control(1, 0, ControlType::Commit);
+        assert!(matches!(log.append(meta, recs(1, 0)), Err(LogError::CorruptBatch(_))));
+    }
+
+    #[test]
+    fn stale_epoch_marker_rejected() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(1, 5, 0), recs(1, 0)).unwrap();
+        assert!(matches!(
+            log.append_control(1, 4, ControlType::Commit, 0),
+            Err(LogError::ProducerFenced { .. })
+        ));
+    }
+
+}
+
+#[cfg(test)]
+mod retention_cutoff_tests {
+    use super::*;
+
+    fn recs_at(ts: i64, n: usize) -> Vec<Record> {
+        (0..n).map(|_| Record::of_str("k", "some-payload", ts)).collect()
+    }
+
+    #[test]
+    fn no_policy_no_cutoff() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs_at(0, 3)).unwrap();
+        assert_eq!(log.retention_cutoff(1_000_000, None, None), None);
+    }
+
+    #[test]
+    fn time_policy_expires_old_batches_only() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs_at(0, 2)).unwrap(); // 0-1
+        log.append(BatchMeta::plain(), recs_at(500, 2)).unwrap(); // 2-3
+        log.append(BatchMeta::plain(), recs_at(900, 2)).unwrap(); // 4-5
+        // now=1000, retention=400 ⇒ horizon 600: first two batches expire.
+        assert_eq!(log.retention_cutoff(1_000, Some(400), None), Some(4));
+        // Everything still fresh ⇒ nothing expires.
+        assert_eq!(log.retention_cutoff(1_000, Some(2_000), None), None);
+    }
+
+    #[test]
+    fn time_policy_stops_at_first_fresh_batch() {
+        // An old batch AFTER a fresh one must not expire (prefix-only).
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs_at(900, 1)).unwrap();
+        log.append(BatchMeta::plain(), recs_at(0, 1)).unwrap(); // out of order
+        assert_eq!(log.retention_cutoff(1_000, Some(500), None), None);
+    }
+
+    #[test]
+    fn size_policy_trims_to_budget() {
+        let mut log = PartitionLog::new();
+        for i in 0..10 {
+            log.append(BatchMeta::plain(), recs_at(i, 1)).unwrap();
+        }
+        let total = log.size_bytes();
+        let one_batch = total / 10;
+        let cutoff = log
+            .retention_cutoff(100, None, Some(total - one_batch))
+            .expect("must trim");
+        assert!(cutoff >= 1);
+        log.truncate_prefix(cutoff);
+        assert!(log.size_bytes() <= total - one_batch + one_batch);
+    }
+
+    #[test]
+    fn open_transaction_pins_the_prefix() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::transactional(1, 0, 0), recs_at(0, 2)).unwrap();
+        log.append(BatchMeta::plain(), recs_at(0, 2)).unwrap();
+        // LSO = 0 while the txn is open: nothing is stable to expire.
+        assert_eq!(log.retention_cutoff(1_000_000, Some(1), None), None);
+        log.append_control(1, 0, ControlType::Commit, 0).unwrap();
+        assert!(log.retention_cutoff(1_000_000, Some(1), None).is_some());
+    }
+
+    #[test]
+    fn cutoff_never_below_log_start() {
+        let mut log = PartitionLog::new();
+        log.append(BatchMeta::plain(), recs_at(0, 4)).unwrap();
+        log.truncate_prefix(4);
+        assert_eq!(log.retention_cutoff(1_000_000, Some(1), None), None);
+    }
+}

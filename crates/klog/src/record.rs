@@ -1,0 +1,120 @@
+//! Timestamped key/value records (§3.1).
+//!
+//! Records are key-value pairs with an embedded event-time timestamp set by
+//! the producer; the log assigns each a dense offset at append time. Offset
+//! order need not match timestamp order — handling that gap is the paper's
+//! "completeness" problem (§2.2, §5).
+
+use bytes::Bytes;
+
+/// One streaming record as stored in a partition log.
+///
+/// * `key` — optional partitioning/compaction key.
+/// * `value` — `None` encodes a *tombstone*: in a compacted changelog topic
+///   it deletes the key (§3.2).
+/// * `timestamp` — event time in ms ([`crate::NO_TIMESTAMP`] if unset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub key: Option<Bytes>,
+    pub value: Option<Bytes>,
+    pub timestamp: i64,
+    /// Application headers (used by the streams layer to carry revision
+    /// metadata such as `Change<V>` old/new flags).
+    pub headers: Vec<(String, Bytes)>,
+}
+
+impl Record {
+    /// A record with key, value and timestamp and no headers.
+    pub fn new(
+        key: impl Into<Option<Bytes>>,
+        value: impl Into<Option<Bytes>>,
+        timestamp: i64,
+    ) -> Self {
+        Self { key: key.into(), value: value.into(), timestamp, headers: Vec::new() }
+    }
+
+    /// Convenience constructor from UTF-8 string slices.
+    pub fn of_str(key: &str, value: &str, timestamp: i64) -> Self {
+        Self::new(
+            Some(Bytes::copy_from_slice(key.as_bytes())),
+            Some(Bytes::copy_from_slice(value.as_bytes())),
+            timestamp,
+        )
+    }
+
+    /// A tombstone (null-value) record for `key`.
+    pub fn tombstone(key: Bytes, timestamp: i64) -> Self {
+        Self { key: Some(key), value: None, timestamp, headers: Vec::new() }
+    }
+
+    /// Whether this record is a tombstone (null value).
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Attach a header, builder-style.
+    pub fn with_header(mut self, name: &str, value: Bytes) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Look up the first header with `name`.
+    pub fn header(&self, name: &str) -> Option<&Bytes> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Approximate in-memory size in bytes, used by retention policies and
+    /// the benchmark harness's I/O accounting.
+    pub fn approximate_size(&self) -> usize {
+        let key_len = self.key.as_ref().map_or(0, |k| k.len());
+        let val_len = self.value.as_ref().map_or(0, |v| v.len());
+        let hdr_len: usize =
+            self.headers.iter().map(|(n, v)| n.len() + v.len()).sum();
+        // 8 bytes timestamp + 2 length prefixes.
+        key_len + val_len + hdr_len + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_str_round_trip() {
+        let r = Record::of_str("k", "v", 42);
+        assert_eq!(r.key.as_deref(), Some(b"k".as_slice()));
+        assert_eq!(r.value.as_deref(), Some(b"v".as_slice()));
+        assert_eq!(r.timestamp, 42);
+        assert!(!r.is_tombstone());
+    }
+
+    #[test]
+    fn tombstone_has_no_value() {
+        let r = Record::tombstone(Bytes::from_static(b"k"), 1);
+        assert!(r.is_tombstone());
+        assert_eq!(r.key.as_deref(), Some(b"k".as_slice()));
+    }
+
+    #[test]
+    fn headers_lookup() {
+        let r = Record::of_str("k", "v", 0)
+            .with_header("change", Bytes::from_static(b"new"))
+            .with_header("other", Bytes::from_static(b"x"));
+        assert_eq!(r.header("change").map(|b| b.as_ref()), Some(b"new".as_slice()));
+        assert!(r.header("missing").is_none());
+    }
+
+    #[test]
+    fn approximate_size_counts_parts() {
+        let small = Record::of_str("k", "v", 0).approximate_size();
+        let big = Record::of_str("key-longer", "value-longer", 0).approximate_size();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn keyless_record_allowed() {
+        let r = Record::new(None, Some(Bytes::from_static(b"v")), 5);
+        assert!(r.key.is_none());
+        assert!(!r.is_tombstone());
+    }
+}

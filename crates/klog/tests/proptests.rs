@@ -1,0 +1,224 @@
+//! Property-based tests for the log substrate's core invariants.
+
+use bytes::Bytes;
+use klog::batch::{BatchMeta, ControlType};
+use klog::compaction::{compact, CompactionOptions};
+use klog::{IsolationLevel, PartitionLog, Record};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    ("[a-d]{1,3}", "[a-z]{0,6}", 0i64..10_000).prop_map(|(k, v, ts)| {
+        Record::new(
+            Some(Bytes::from(k.into_bytes())),
+            Some(Bytes::from(v.into_bytes())),
+            ts,
+        )
+    })
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Record>>> {
+    prop::collection::vec(prop::collection::vec(arb_record(), 1..5), 1..40)
+}
+
+/// Replay a log into a key → latest-value map (read-uncommitted).
+fn materialize(log: &PartitionLog) -> HashMap<Bytes, Option<Bytes>> {
+    let mut state = HashMap::new();
+    let mut pos = log.log_start();
+    loop {
+        let f = log.fetch(pos, 10_000, IsolationLevel::ReadUncommitted).unwrap();
+        if f.count() == 0 && f.next_offset == pos {
+            break;
+        }
+        for (_, rec) in f.records() {
+            if let Some(k) = &rec.key {
+                state.insert(k.clone(), rec.value.clone());
+            }
+        }
+        pos = f.next_offset;
+    }
+    state
+}
+
+proptest! {
+    /// Appends assign dense, strictly increasing offsets, and fetch returns
+    /// exactly what was appended, in order.
+    #[test]
+    fn append_fetch_round_trip(batches in arb_batches()) {
+        let mut log = PartitionLog::new();
+        let mut expected = Vec::new();
+        for batch in &batches {
+            let out = log.append(BatchMeta::plain(), batch.clone()).unwrap();
+            prop_assert_eq!(out.base_offset, expected.len() as i64);
+            expected.extend(batch.iter().cloned());
+        }
+        let f = log.fetch(0, usize::MAX, IsolationLevel::ReadUncommitted).unwrap();
+        prop_assert_eq!(f.count(), expected.len());
+        for ((off, got), (i, want)) in f.records().zip(expected.iter().enumerate()) {
+            prop_assert_eq!(off, i as i64);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Fetching in arbitrary chunk sizes yields the same stream as one big
+    /// fetch.
+    #[test]
+    fn chunked_fetch_equals_full_fetch(
+        batches in arb_batches(),
+        chunk in 1usize..7,
+    ) {
+        let mut log = PartitionLog::new();
+        for batch in &batches {
+            log.append(BatchMeta::plain(), batch.clone()).unwrap();
+        }
+        let full: Vec<(i64, Record)> = log
+            .fetch(0, usize::MAX, IsolationLevel::ReadUncommitted)
+            .unwrap()
+            .records()
+            .map(|(o, r)| (o, r.clone()))
+            .collect();
+        let mut chunked = Vec::new();
+        let mut pos = 0;
+        loop {
+            let f = log.fetch(pos, chunk, IsolationLevel::ReadUncommitted).unwrap();
+            if f.count() == 0 {
+                break;
+            }
+            chunked.extend(f.records().map(|(o, r)| (o, r.clone())));
+            pos = f.next_offset;
+        }
+        prop_assert_eq!(full, chunked);
+    }
+
+    /// Idempotent duplicate retries never grow the log, regardless of the
+    /// retry pattern.
+    #[test]
+    fn duplicates_never_grow_log(
+        batches in prop::collection::vec(prop::collection::vec(arb_record(), 1..4), 1..15),
+        retries in prop::collection::vec(any::<bool>(), 1..15),
+    ) {
+        let mut log = PartitionLog::new();
+        let mut seq = 0i64;
+        let mut total = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            let meta = BatchMeta::idempotent(1, 0, seq);
+            log.append(meta.clone(), batch.clone()).unwrap();
+            total += batch.len();
+            // Retry the same batch 0..n times.
+            if retries.get(i % retries.len()).copied().unwrap_or(false) {
+                let out = log.append(meta, batch.clone()).unwrap();
+                prop_assert!(out.duplicate);
+            }
+            seq += batch.len() as i64;
+        }
+        prop_assert_eq!(log.record_count(), total);
+    }
+
+    /// Compaction preserves the materialized view: replaying the compacted
+    /// log yields exactly the same key→latest-value map.
+    #[test]
+    fn compaction_preserves_materialized_state(batches in arb_batches()) {
+        let mut log = PartitionLog::new();
+        for batch in &batches {
+            log.append(BatchMeta::plain(), batch.clone()).unwrap();
+        }
+        let before = materialize(&log);
+        let stats = compact(&mut log, CompactionOptions::default());
+        let after = materialize(&log);
+        prop_assert_eq!(&before, &after);
+        // And the compacted log holds at most one record per key.
+        prop_assert!(stats.records_after <= before.len());
+    }
+
+    /// Compaction is idempotent.
+    #[test]
+    fn compaction_idempotent(batches in arb_batches()) {
+        let mut log = PartitionLog::new();
+        for batch in &batches {
+            log.append(BatchMeta::plain(), batch.clone()).unwrap();
+        }
+        compact(&mut log, CompactionOptions::default());
+        let once = materialize(&log);
+        let stats = compact(&mut log, CompactionOptions::default());
+        prop_assert_eq!(stats.records_before, stats.records_after);
+        prop_assert_eq!(once, materialize(&log));
+    }
+
+    /// Producer-state recovery from the log is equivalent to the live
+    /// table: retried batches are still recognised afterwards.
+    #[test]
+    fn recovery_preserves_dedup(
+        batches in prop::collection::vec(prop::collection::vec(arb_record(), 1..4), 1..10),
+    ) {
+        let mut log = PartitionLog::new();
+        let mut seq = 0i64;
+        let mut metas = Vec::new();
+        for batch in &batches {
+            let meta = BatchMeta::idempotent(3, 0, seq);
+            log.append(meta.clone(), batch.clone()).unwrap();
+            metas.push((meta, batch.clone()));
+            seq += batch.len() as i64;
+        }
+        log.recover_producer_state();
+        // The most recent batch is still recognised as a duplicate.
+        let (meta, batch) = metas.last().unwrap().clone();
+        let out = log.append(meta, batch).unwrap();
+        prop_assert!(out.duplicate);
+    }
+
+    /// Read-committed never returns records of an open or aborted
+    /// transaction, and the two isolation levels agree on committed data.
+    #[test]
+    fn isolation_invariants(
+        committed in prop::collection::vec(arb_record(), 0..10),
+        aborted in prop::collection::vec(arb_record(), 0..10),
+        open in prop::collection::vec(arb_record(), 0..10),
+    ) {
+        let mut log = PartitionLog::new();
+        if !committed.is_empty() {
+            log.append(BatchMeta::transactional(1, 0, 0), committed.clone()).unwrap();
+            log.append_control(1, 0, ControlType::Commit, 0).unwrap();
+        }
+        if !aborted.is_empty() {
+            log.append(BatchMeta::transactional(2, 0, 0), aborted.clone()).unwrap();
+            log.append_control(2, 0, ControlType::Abort, 0).unwrap();
+        }
+        if !open.is_empty() {
+            log.append(BatchMeta::transactional(3, 0, 0), open.clone()).unwrap();
+        }
+        let rc = log.fetch(0, usize::MAX, IsolationLevel::ReadCommitted).unwrap();
+        prop_assert_eq!(rc.count(), committed.len());
+        let ru = log.fetch(0, usize::MAX, IsolationLevel::ReadUncommitted).unwrap();
+        prop_assert_eq!(ru.count(), committed.len() + aborted.len() + open.len());
+        // LSO: everything below it is decided.
+        prop_assert!(log.last_stable_offset() <= log.log_end());
+        if open.is_empty() {
+            prop_assert_eq!(log.last_stable_offset(), log.log_end());
+        }
+    }
+
+    /// Prefix truncation only removes data below the cut, and watermarks
+    /// stay consistent.
+    #[test]
+    fn truncate_prefix_invariants(
+        batches in arb_batches(),
+        cut_frac in 0.0f64..1.2,
+    ) {
+        let mut log = PartitionLog::new();
+        for batch in &batches {
+            log.append(BatchMeta::plain(), batch.clone()).unwrap();
+        }
+        let end = log.log_end();
+        let cut = ((end as f64) * cut_frac) as i64;
+        log.truncate_prefix(cut);
+        prop_assert!(log.log_start() <= end);
+        prop_assert!(log.log_start() >= cut.min(end).min(log.log_start()));
+        prop_assert_eq!(log.log_end(), end, "truncation must not move the end");
+        let f = log
+            .fetch(log.log_start(), usize::MAX, IsolationLevel::ReadUncommitted)
+            .unwrap();
+        for (off, _) in f.records() {
+            prop_assert!(off >= log.log_start());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Compiles parsed queries to `kstreams` topologies — the miniature version
+//! of "continuous queries submitted to ksqlDB are compiled and executed as
+//! Kafka Streams applications" (§3.2).
+//!
+//! The generated topology is ordinary kstreams DSL output: a re-keying
+//! `group_by` (which inserts a repartition topic, §3.2), an aggregation
+//! with a changelogged store, optional windowing with grace (§5), and
+//! optional suppression for `EMIT FINAL`.
+
+use crate::parser::{Aggregate, Comparison, Emit, Query};
+use crate::row::{Row, Value};
+use kstreams::error::StreamsError;
+use kstreams::topology::Topology;
+use kstreams::{StreamsBuilder, TimeWindows};
+
+fn matches(cmp: &Comparison, row: &Row) -> bool {
+    let Some(actual) = row.get(&cmp.column) else { return false };
+    match (&cmp.literal, actual) {
+        (Value::Str(want), Value::Str(got)) => match cmp.op.as_str() {
+            "=" => got == want,
+            "!=" => got != want,
+            "<" => got < want,
+            "<=" => got <= want,
+            ">" => got > want,
+            ">=" => got >= want,
+            _ => false,
+        },
+        (lit, got) => {
+            let (Some(want), Some(got)) = (lit.as_f64(), got.as_f64()) else {
+                return false;
+            };
+            match cmp.op.as_str() {
+                "=" => got == want,
+                "!=" => got != want,
+                "<" => got < want,
+                "<=" => got <= want,
+                ">" => got > want,
+                ">=" => got >= want,
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Compile a parsed [`Query`] into a runnable topology.
+pub fn compile(q: &Query) -> Result<Topology, StreamsError> {
+    let builder = StreamsBuilder::new();
+    let stream = builder.stream::<String, Row>(&q.from_topic);
+
+    let stream = match &q.filter {
+        Some(cmp) => {
+            let cmp = cmp.clone();
+            stream.filter(move |_k, row| matches(&cmp, row))
+        }
+        None => stream,
+    };
+
+    // Re-key by the GROUP BY column (inserts the repartition topic, §3.2).
+    let group_col = q.group_by.clone();
+    let grouped = stream.group_by(move |_k, row: &Row| {
+        row.get(&group_col).map(Value::as_key_string).unwrap_or_default()
+    });
+
+    let store = format!("ksql-{}-store", q.into_topic);
+    let agg = q.aggregate.clone();
+    let agg_fn = move |row: &Row, acc: f64| -> f64 {
+        match &agg {
+            Aggregate::CountAll => acc + 1.0,
+            Aggregate::Sum(col) => {
+                acc + row.get(col).and_then(Value::as_f64).unwrap_or(0.0)
+            }
+            Aggregate::Min(col) => match row.get(col).and_then(Value::as_f64) {
+                Some(v) => acc.min(v),
+                None => acc,
+            },
+            Aggregate::Max(col) => match row.get(col).and_then(Value::as_f64) {
+                Some(v) => acc.max(v),
+                None => acc,
+            },
+        }
+    };
+    let init = {
+        let agg = q.aggregate.clone();
+        move || -> f64 {
+            match agg {
+                Aggregate::Min(_) => f64::INFINITY,
+                Aggregate::Max(_) => f64::NEG_INFINITY,
+                _ => 0.0,
+            }
+        }
+    };
+
+    match q.window {
+        Some(w) => {
+            let table = grouped
+                .windowed_by(
+                    TimeWindows::of(w.size_ms).advance_by(w.advance_ms).grace(w.grace_ms),
+                )
+                .aggregate(&store, init, agg_fn);
+            let table = match q.emit {
+                Emit::Final => table.suppress_until_window_close(),
+                Emit::Changes => table,
+            };
+            table.to_stream().to(&q.into_topic);
+        }
+        None => {
+            grouped.aggregate(&store, init, agg_fn).to_stream().to(&q.into_topic);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn figure2_query_compiles_to_two_subtopologies() {
+        let q = parse(
+            "SELECT category, COUNT(*) FROM pageviews \
+             WHERE period >= 30000 \
+             WINDOW TUMBLING (5 SECONDS) GRACE (10 SECONDS) \
+             GROUP BY category INTO counts",
+        )
+        .unwrap();
+        let topology = compile(&q).unwrap();
+        assert_eq!(
+            topology.subtopologies.len(),
+            2,
+            "group_by re-keys ⇒ repartition boundary (§3.2):\n{}",
+            topology.describe()
+        );
+        assert!(topology.stores.contains_key("ksql-counts-store"));
+    }
+
+    #[test]
+    fn unwindowed_query_compiles() {
+        let q = parse("SELECT user, SUM(amount) FROM orders GROUP BY user INTO totals").unwrap();
+        let topology = compile(&q).unwrap();
+        assert!(topology.describe().contains("totals"));
+    }
+
+    #[test]
+    fn emit_final_adds_suppress_node() {
+        let q = parse(
+            "SELECT k, COUNT(*) FROM t WINDOW TUMBLING (1 SECONDS) GROUP BY k EMIT FINAL INTO o",
+        )
+        .unwrap();
+        let topology = compile(&q).unwrap();
+        assert!(topology.describe().contains("SUPPRESS"), "{}", topology.describe());
+    }
+
+    #[test]
+    fn where_comparisons() {
+        let row = Row::new()
+            .with("n", Value::Int(5))
+            .with("s", Value::Str("abc".into()));
+        let check = |col: &str, op: &str, lit: Value| {
+            matches(&Comparison { column: col.into(), op: op.into(), literal: lit }, &row)
+        };
+        assert!(check("n", "=", Value::Int(5)));
+        assert!(check("n", ">=", Value::Int(5)));
+        assert!(check("n", "<", Value::Float(5.5)));
+        assert!(!check("n", "!=", Value::Int(5)));
+        assert!(check("s", "=", Value::Str("abc".into())));
+        assert!(check("s", ">", Value::Str("abb".into())));
+        assert!(!check("missing", "=", Value::Int(1)), "absent column never matches");
+        assert!(!check("s", "=", Value::Int(1)), "type mismatch never matches");
+    }
+}

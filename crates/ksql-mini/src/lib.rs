@@ -1,0 +1,44 @@
+//! # ksql-mini — continuous queries over kstreams
+//!
+//! The paper (§3.2) describes ksqlDB as "an event streaming database built
+//! to work with streaming data in Apache Kafka … continuous queries
+//! submitted to ksqlDB are compiled and executed as Kafka Streams
+//! applications that run indefinitely until terminated."
+//!
+//! This crate reproduces that layer in miniature:
+//!
+//! * [`row::Row`] — a flat, dynamically typed record (string/int/float
+//!   columns) with a stable wire encoding,
+//! * [`parser`] — a hand-rolled parser for a ksql-like dialect (tumbling and hopping windows):
+//!
+//!   ```sql
+//!   SELECT category, COUNT(*)
+//!   FROM pageviews
+//!   WHERE period >= 30000
+//!   WINDOW TUMBLING (5 SECONDS) GRACE (10 SECONDS)
+//!   GROUP BY category
+//!   EMIT CHANGES
+//!   INTO pageview_counts
+//!   ```
+//!
+//! * [`compiler`] — compiles the parsed query into a `kstreams` topology,
+//!   which then runs with the full exactly-once / revision-processing
+//!   machinery of the underlying library. `EMIT FINAL` maps to the suppress
+//!   operator; `EMIT CHANGES` (the default) streams every revision.
+
+pub mod compiler;
+pub mod parser;
+pub mod row;
+
+pub use compiler::compile;
+pub use parser::{parse, Aggregate, Comparison, Emit, Query, WindowSpec};
+pub use row::{Row, Value};
+
+use kstreams::error::StreamsError;
+use kstreams::topology::Topology;
+
+/// Parse and compile a query in one step.
+pub fn query_to_topology(sql: &str) -> Result<Topology, StreamsError> {
+    let query = parse(sql).map_err(StreamsError::InvalidOperation)?;
+    compile(&query)
+}

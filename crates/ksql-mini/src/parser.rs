@@ -1,0 +1,368 @@
+//! Parser for the mini ksql dialect.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT <group_col> , <agg>
+//! FROM <topic>
+//! [ WHERE <col> <op> <literal> ]
+//! [ WINDOW TUMBLING ( <n> <unit> )
+//!   | WINDOW HOPPING ( <n> <unit> ) ADVANCE BY ( <n> <unit> )
+//!   [ GRACE ( <n> <unit> ) ] ]
+//! GROUP BY <group_col>
+//! [ EMIT CHANGES | EMIT FINAL ]
+//! INTO <topic>
+//!
+//! <agg>  := COUNT(*) | SUM(<col>) | MIN(<col>) | MAX(<col>)
+//! <op>   := = | != | < | <= | > | >=
+//! <unit> := MILLISECONDS | SECONDS | MINUTES | HOURS
+//! ```
+
+use crate::row::Value;
+
+/// Aggregation function of the query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    CountAll,
+    Sum(String),
+    Min(String),
+    Max(String),
+}
+
+/// WHERE-clause comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub column: String,
+    pub op: String,
+    pub literal: Value,
+}
+
+/// Window specification (tumbling when `advance_ms == size_ms`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    pub size_ms: i64,
+    pub advance_ms: i64,
+    pub grace_ms: i64,
+}
+
+/// Output mode: every revision, or one final result per window (§5's
+/// suppress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emit {
+    #[default]
+    Changes,
+    Final,
+}
+
+/// A parsed continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select_key: String,
+    pub aggregate: Aggregate,
+    pub from_topic: String,
+    pub filter: Option<Comparison>,
+    pub window: Option<WindowSpec>,
+    pub group_by: String,
+    pub emit: Emit,
+    pub into_topic: String,
+}
+
+struct Tokens {
+    items: Vec<String>,
+    pos: usize,
+}
+
+impl Tokens {
+    fn new(sql: &str) -> Self {
+        // Pad punctuation so it splits as its own tokens; comparison
+        // operators (`=`, `!=`, `<`, `<=`, `>`, `>=`) are handled in one
+        // pass so two-character forms stay whole.
+        let padded = sql.replace('(', " ( ").replace(')', " ) ").replace(',', " , ");
+        let mut spaced = String::new();
+        let mut chars = padded.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '<' | '>' | '!' | '=' => {
+                    spaced.push(' ');
+                    spaced.push(c);
+                    if chars.peek() == Some(&'=') {
+                        spaced.push(chars.next().expect("peeked"));
+                    }
+                    spaced.push(' ');
+                }
+                _ => spaced.push(c),
+            }
+        }
+        Self {
+            items: spaced.split_whitespace().map(|s| s.to_string()).collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.items.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> Result<String, String> {
+        let t = self
+            .items
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| "unexpected end of query".to_string())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, keyword: &str) -> Result<(), String> {
+        let t = self.next()?;
+        if t.eq_ignore_ascii_case(keyword) {
+            Ok(())
+        } else {
+            Err(format!("expected {keyword}, found {t}"))
+        }
+    }
+
+    fn peek_is(&self, keyword: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(keyword))
+    }
+}
+
+fn parse_duration(tokens: &mut Tokens) -> Result<i64, String> {
+    tokens.expect("(")?;
+    let n: i64 = tokens
+        .next()?
+        .parse()
+        .map_err(|e| format!("bad duration number: {e}"))?;
+    let unit = tokens.next()?;
+    let ms = match unit.to_ascii_uppercase().as_str() {
+        "MILLISECONDS" | "MILLISECOND" | "MS" => n,
+        "SECONDS" | "SECOND" => n * 1_000,
+        "MINUTES" | "MINUTE" => n * 60_000,
+        "HOURS" | "HOUR" => n * 3_600_000,
+        other => return Err(format!("unknown time unit {other}")),
+    };
+    tokens.expect(")")?;
+    Ok(ms)
+}
+
+fn parse_literal(token: &str) -> Value {
+    if let Ok(i) = token.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = token.parse::<f64>() {
+        Value::Float(f)
+    } else {
+        Value::Str(token.trim_matches('\'').to_string())
+    }
+}
+
+/// Parse a query string.
+pub fn parse(sql: &str) -> Result<Query, String> {
+    let mut t = Tokens::new(sql);
+    t.expect("SELECT")?;
+    let select_key = t.next()?;
+    t.expect(",")?;
+    let agg_name = t.next()?;
+    t.expect("(")?;
+    let agg_arg = t.next()?;
+    t.expect(")")?;
+    let aggregate = match agg_name.to_ascii_uppercase().as_str() {
+        "COUNT" if agg_arg == "*" => Aggregate::CountAll,
+        "COUNT" => return Err("only COUNT(*) is supported".into()),
+        "SUM" => Aggregate::Sum(agg_arg),
+        "MIN" => Aggregate::Min(agg_arg),
+        "MAX" => Aggregate::Max(agg_arg),
+        other => return Err(format!("unknown aggregate {other}")),
+    };
+    t.expect("FROM")?;
+    let from_topic = t.next()?;
+
+    let filter = if t.peek_is("WHERE") {
+        t.next()?;
+        let column = t.next()?;
+        let op = t.next()?;
+        if !["=", "!=", "<", "<=", ">", ">="].contains(&op.as_str()) {
+            return Err(format!("unknown comparison operator {op}"));
+        }
+        let literal = parse_literal(&t.next()?);
+        Some(Comparison { column, op, literal })
+    } else {
+        None
+    };
+
+    let window = if t.peek_is("WINDOW") {
+        t.next()?;
+        let kind = t.next()?;
+        let (size_ms, advance_ms) = match kind.to_ascii_uppercase().as_str() {
+            "TUMBLING" => {
+                let size = parse_duration(&mut t)?;
+                (size, size)
+            }
+            "HOPPING" => {
+                let size = parse_duration(&mut t)?;
+                t.expect("ADVANCE")?;
+                t.expect("BY")?;
+                let advance = parse_duration(&mut t)?;
+                if advance <= 0 || advance > size {
+                    return Err("ADVANCE BY must be positive and at most the window size".into());
+                }
+                (size, advance)
+            }
+            other => return Err(format!("unknown window kind {other}")),
+        };
+        let grace_ms = if t.peek_is("GRACE") {
+            t.next()?;
+            parse_duration(&mut t)?
+        } else {
+            0
+        };
+        Some(WindowSpec { size_ms, advance_ms, grace_ms })
+    } else {
+        None
+    };
+
+    t.expect("GROUP")?;
+    t.expect("BY")?;
+    let group_by = t.next()?;
+    if group_by != select_key {
+        return Err(format!(
+            "GROUP BY column ({group_by}) must match the selected key ({select_key})"
+        ));
+    }
+
+    let emit = if t.peek_is("EMIT") {
+        t.next()?;
+        let mode = t.next()?;
+        match mode.to_ascii_uppercase().as_str() {
+            "CHANGES" => Emit::Changes,
+            "FINAL" => Emit::Final,
+            other => return Err(format!("unknown EMIT mode {other}")),
+        }
+    } else {
+        Emit::Changes
+    };
+    if emit == Emit::Final && window.is_none() {
+        return Err("EMIT FINAL requires a WINDOW clause".into());
+    }
+
+    t.expect("INTO")?;
+    let into_topic = t.next()?;
+    if let Some(extra) = t.peek() {
+        return Err(format!("unexpected trailing token {extra}"));
+    }
+    Ok(Query { select_key, aggregate, from_topic, filter, window, group_by, emit, into_topic })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_figure2_query() {
+        let q = parse(
+            "SELECT category, COUNT(*) FROM pageviews \
+             WHERE period >= 30000 \
+             WINDOW TUMBLING (5 SECONDS) GRACE (10 SECONDS) \
+             GROUP BY category INTO pageview_counts",
+        )
+        .unwrap();
+        assert_eq!(q.select_key, "category");
+        assert_eq!(q.aggregate, Aggregate::CountAll);
+        assert_eq!(q.from_topic, "pageviews");
+        let f = q.filter.unwrap();
+        assert_eq!((f.column.as_str(), f.op.as_str()), ("period", ">="));
+        assert_eq!(f.literal, Value::Int(30000));
+        assert_eq!(
+            q.window,
+            Some(WindowSpec { size_ms: 5_000, advance_ms: 5_000, grace_ms: 10_000 })
+        );
+        assert_eq!(q.emit, Emit::Changes);
+        assert_eq!(q.into_topic, "pageview_counts");
+    }
+
+    #[test]
+    fn parses_minimal_unwindowed_sum() {
+        let q = parse("SELECT user, SUM(amount) FROM orders GROUP BY user INTO totals").unwrap();
+        assert_eq!(q.aggregate, Aggregate::Sum("amount".into()));
+        assert!(q.window.is_none());
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn parses_emit_final() {
+        let q = parse(
+            "SELECT k, MAX(v) FROM t WINDOW TUMBLING (1 SECONDS) GROUP BY k EMIT FINAL INTO o",
+        )
+        .unwrap();
+        assert_eq!(q.emit, Emit::Final);
+        assert_eq!(q.aggregate, Aggregate::Max("v".into()));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select k, count(*) from t group by k into o").is_ok());
+    }
+
+    #[test]
+    fn string_literal_filter() {
+        let q = parse("SELECT k, COUNT(*) FROM t WHERE city = 'berlin' GROUP BY k INTO o")
+            .unwrap();
+        assert_eq!(q.filter.unwrap().literal, Value::Str("berlin".into()));
+    }
+
+    #[test]
+    fn rejects_emit_final_without_window() {
+        let err = parse("SELECT k, COUNT(*) FROM t GROUP BY k EMIT FINAL INTO o").unwrap_err();
+        assert!(err.contains("WINDOW"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_group_by() {
+        let err = parse("SELECT a, COUNT(*) FROM t GROUP BY b INTO o").unwrap_err();
+        assert!(err.contains("must match"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT k, COUNT(*) FROM t GROUP BY k INTO o extra").is_err());
+        assert!(parse("SELECT k, AVG(x) FROM t GROUP BY k INTO o").is_err());
+        assert!(parse("SELECT k, COUNT(*) FROM t WHERE a ~ 3 GROUP BY k INTO o").is_err());
+    }
+
+    #[test]
+    fn parses_hopping_windows() {
+        let q = parse(
+            "SELECT k, COUNT(*) FROM t WINDOW HOPPING (10 SECONDS) ADVANCE BY (5 SECONDS) \
+             GROUP BY k INTO o",
+        )
+        .unwrap();
+        assert_eq!(
+            q.window,
+            Some(WindowSpec { size_ms: 10_000, advance_ms: 5_000, grace_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_hopping_advance() {
+        let err = parse(
+            "SELECT k, COUNT(*) FROM t WINDOW HOPPING (1 SECONDS) ADVANCE BY (5 SECONDS) \
+             GROUP BY k INTO o",
+        )
+        .unwrap_err();
+        assert!(err.contains("ADVANCE BY"), "{err}");
+    }
+
+    #[test]
+    fn duration_units() {
+        for (unit, ms) in
+            [("500 MILLISECONDS", 500), ("2 SECONDS", 2_000), ("3 MINUTES", 180_000), ("1 HOURS", 3_600_000)]
+        {
+            let q = parse(&format!(
+                "SELECT k, COUNT(*) FROM t WINDOW TUMBLING ({unit}) GROUP BY k INTO o"
+            ))
+            .unwrap();
+            assert_eq!(q.window.unwrap().size_ms, ms, "{unit}");
+        }
+    }
+}

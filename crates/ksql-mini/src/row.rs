@@ -1,0 +1,189 @@
+//! Flat, dynamically typed rows with a stable wire encoding.
+//!
+//! Queries operate on records whose values are column maps. The encoding is
+//! textual and self-describing: `col=i:123|name=s:alice|score=f:1.5`, with
+//! `%`-escapes for the delimiter characters inside strings.
+
+use bytes::Bytes;
+use kstreams::error::StreamsError;
+use kstreams::kserde::KSerde;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl Value {
+    /// Numeric view (ints widen to float) for comparisons and SUM/MIN/MAX.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// String view for grouping keys.
+    pub fn as_key_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => f.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A flat record: ordered column → value map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    columns: BTreeMap<String, Value>,
+}
+
+impl Row {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style column insertion.
+    pub fn with(mut self, column: &str, value: Value) -> Self {
+        self.columns.insert(column.to_string(), value);
+        self
+    }
+
+    pub fn set(&mut self, column: &str, value: Value) {
+        self.columns.insert(column.to_string(), value);
+    }
+
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        self.columns.get(column)
+    }
+
+    pub fn columns(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.columns.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('%', "%25").replace('|', "%7C").replace('=', "%3D")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("%3D", "=").replace("%7C", "|").replace("%25", "%")
+}
+
+impl KSerde for Row {
+    fn to_bytes(&self) -> Bytes {
+        let encoded: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(k, v)| {
+                let tagged = match v {
+                    Value::Str(s) => format!("s:{}", escape(s)),
+                    Value::Int(i) => format!("i:{i}"),
+                    Value::Float(f) => format!("f:{f}"),
+                };
+                format!("{}={tagged}", escape(k))
+            })
+            .collect();
+        Bytes::from(encoded.join("|").into_bytes())
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, StreamsError> {
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| StreamsError::Serde(format!("row not utf8: {e}")))?;
+        let mut row = Row::new();
+        if s.is_empty() {
+            return Ok(row);
+        }
+        for part in s.split('|') {
+            let (key, tagged) = part
+                .split_once('=')
+                .ok_or_else(|| StreamsError::Serde(format!("bad row column: {part}")))?;
+            let (tag, payload) = tagged
+                .split_once(':')
+                .ok_or_else(|| StreamsError::Serde(format!("bad row value: {tagged}")))?;
+            let value = match tag {
+                "s" => Value::Str(unescape(payload)),
+                "i" => Value::Int(
+                    payload
+                        .parse()
+                        .map_err(|e| StreamsError::Serde(format!("bad int: {e}")))?,
+                ),
+                "f" => Value::Float(
+                    payload
+                        .parse()
+                        .map_err(|e| StreamsError::Serde(format!("bad float: {e}")))?,
+                ),
+                other => return Err(StreamsError::Serde(format!("unknown tag {other}"))),
+            };
+            row.set(&unescape(key), value);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_types() {
+        let row = Row::new()
+            .with("name", Value::Str("alice".into()))
+            .with("age", Value::Int(42))
+            .with("score", Value::Float(1.5));
+        let bytes = row.to_bytes();
+        assert_eq!(Row::from_bytes(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn round_trip_delimiters_in_strings() {
+        let row = Row::new().with("tricky", Value::Str("a=b|c%d".into()));
+        let bytes = row.to_bytes();
+        assert_eq!(Row::from_bytes(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let row = Row::new();
+        assert_eq!(Row::from_bytes(&row.to_bytes()).unwrap(), row);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Row::from_bytes(b"not-a-row").is_err());
+        assert!(Row::from_bytes(b"col=x:5").is_err());
+        assert!(Row::from_bytes(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Int(7).as_key_string(), "7");
+    }
+}

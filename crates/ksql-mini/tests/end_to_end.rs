@@ -1,0 +1,216 @@
+//! End-to-end continuous queries: SQL string → topology → exactly-once
+//! execution on the simulated cluster.
+
+use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
+use ksql_mini::{query_to_topology, Row, Value};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsConfig, Windowed};
+use simkit::ManualClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Setup {
+    cluster: Cluster,
+    clock: ManualClock,
+}
+
+fn setup(topics: &[&str]) -> Setup {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+    for t in topics {
+        cluster.create_topic(t, TopicConfig::new(2)).unwrap();
+    }
+    Setup { cluster, clock }
+}
+
+fn send_row(cluster: &Cluster, topic: &str, key: &str, row: Row, ts: i64) {
+    let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
+    p.send(topic, Some(key.to_string().to_bytes()), Some(row.to_bytes()), ts).unwrap();
+    p.flush().unwrap();
+}
+
+fn run_query(s: &Setup, sql: &str, steps: usize) -> KafkaStreamsApp {
+    let topology = Arc::new(query_to_topology(sql).unwrap());
+    let mut app = KafkaStreamsApp::new(
+        s.cluster.clone(),
+        topology,
+        StreamsConfig::new("ksql-query").exactly_once().with_commit_interval_ms(10),
+        "q0",
+    );
+    app.start().unwrap();
+    for _ in 0..steps {
+        app.step().unwrap();
+        s.clock.advance(10);
+    }
+    app
+}
+
+fn drain_f64<K: KSerde + std::hash::Hash + Eq>(
+    cluster: &Cluster,
+    topic: &str,
+) -> HashMap<K, f64> {
+    let mut c = Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
+    c.assign(cluster.partitions_of(topic).unwrap()).unwrap();
+    let mut out = HashMap::new();
+    loop {
+        let batch = c.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            out.insert(
+                K::from_bytes(rec.key.as_ref().unwrap()).unwrap(),
+                f64::from_bytes(rec.value.as_ref().unwrap()).unwrap(),
+            );
+        }
+    }
+    out
+}
+
+fn pageview(category: &str, period: i64) -> Row {
+    Row::new()
+        .with("category", Value::Str(category.into()))
+        .with("period", Value::Int(period))
+}
+
+#[test]
+fn figure2_as_a_continuous_query() {
+    // The exact query of the paper's Figure 2 example, in SQL form.
+    let s = setup(&["pageviews", "counts"]);
+    send_row(&s.cluster, "pageviews", "alice", pageview("news", 45_000), 1_000);
+    send_row(&s.cluster, "pageviews", "bob", pageview("news", 31_000), 2_000);
+    send_row(&s.cluster, "pageviews", "carol", pageview("sports", 10_000), 2_500); // filtered
+    send_row(&s.cluster, "pageviews", "dave", pageview("sports", 99_000), 3_000);
+    send_row(&s.cluster, "pageviews", "alice", pageview("news", 60_000), 6_000); // next window
+    let mut app = run_query(
+        &s,
+        "SELECT category, COUNT(*) FROM pageviews \
+         WHERE period >= 30000 \
+         WINDOW TUMBLING (5 SECONDS) GRACE (10 SECONDS) \
+         GROUP BY category INTO counts",
+        20,
+    );
+    let counts = drain_f64::<Windowed<String>>(&s.cluster, "counts");
+    assert_eq!(counts[&Windowed::new("news".into(), 0)], 2.0);
+    assert_eq!(counts[&Windowed::new("sports".into(), 0)], 1.0);
+    assert_eq!(counts[&Windowed::new("news".into(), 5_000)], 1.0);
+    app.close().unwrap();
+}
+
+#[test]
+fn unwindowed_sum_query() {
+    let s = setup(&["orders", "totals"]);
+    for (user, amount, ts) in
+        [("a", 10, 0), ("b", 5, 1), ("a", 7, 2), ("b", 1, 3), ("a", 3, 4)]
+    {
+        let row = Row::new()
+            .with("user", Value::Str(user.into()))
+            .with("amount", Value::Int(amount));
+        send_row(&s.cluster, "orders", user, row, ts);
+    }
+    let mut app =
+        run_query(&s, "SELECT user, SUM(amount) FROM orders GROUP BY user INTO totals", 20);
+    let totals = drain_f64::<String>(&s.cluster, "totals");
+    assert_eq!(totals["a"], 20.0);
+    assert_eq!(totals["b"], 6.0);
+    app.close().unwrap();
+}
+
+#[test]
+fn min_max_queries() {
+    let s = setup(&["ticks", "mins", "maxs"]);
+    for (sym, price, ts) in [("X", 9.0, 0), ("X", 4.5, 1), ("X", 7.0, 2)] {
+        let row = Row::new()
+            .with("sym", Value::Str(sym.into()))
+            .with("price", Value::Float(price));
+        send_row(&s.cluster, "ticks", sym, row, ts);
+    }
+    let mut app1 = run_query(&s, "SELECT sym, MIN(price) FROM ticks GROUP BY sym INTO mins", 20);
+    assert_eq!(drain_f64::<String>(&s.cluster, "mins")["X"], 4.5);
+    app1.close().unwrap();
+    let s2 = setup(&["ticks", "maxs"]);
+    for (sym, price, ts) in [("X", 9.0, 0), ("X", 4.5, 1), ("X", 7.0, 2)] {
+        let row = Row::new()
+            .with("sym", Value::Str(sym.into()))
+            .with("price", Value::Float(price));
+        send_row(&s2.cluster, "ticks", sym, row, ts);
+    }
+    let mut app2 =
+        run_query(&s2, "SELECT sym, MAX(price) FROM ticks GROUP BY sym INTO maxs", 20);
+    assert_eq!(drain_f64::<String>(&s2.cluster, "maxs")["X"], 9.0);
+    app2.close().unwrap();
+}
+
+#[test]
+fn emit_final_suppresses_intermediate_revisions() {
+    let s = setup(&["events", "finals"]);
+    for ts in [100, 200, 300] {
+        send_row(
+            &s.cluster,
+            "events",
+            "k",
+            Row::new().with("k", Value::Str("k".into())),
+            ts,
+        );
+    }
+    let mut app = run_query(
+        &s,
+        "SELECT k, COUNT(*) FROM events WINDOW TUMBLING (1 SECONDS) \
+         GROUP BY k EMIT FINAL INTO finals",
+        10,
+    );
+    // Nothing emitted while the window is open.
+    assert!(drain_f64::<Windowed<String>>(&s.cluster, "finals").is_empty());
+    // Advance stream time past the window: exactly one final result.
+    send_row(&s.cluster, "events", "k", Row::new().with("k", Value::Str("k".into())), 2_500);
+    for _ in 0..10 {
+        app.step().unwrap();
+        s.clock.advance(10);
+    }
+    let finals = drain_f64::<Windowed<String>>(&s.cluster, "finals");
+    assert_eq!(finals[&Windowed::new("k".into(), 0)], 3.0);
+    app.close().unwrap();
+}
+
+#[test]
+fn query_survives_out_of_order_input_with_revisions() {
+    // The completeness machinery (§5) works through the SQL layer too.
+    let s = setup(&["events", "out"]);
+    let mut app = run_query(
+        &s,
+        "SELECT k, COUNT(*) FROM events WINDOW TUMBLING (5 SECONDS) GRACE (10 SECONDS) \
+         GROUP BY k INTO out",
+        2,
+    );
+    let row = || Row::new().with("k", Value::Str("k".into()));
+    for ts in [1_000, 6_000, 2_000] {
+        send_row(&s.cluster, "events", "k", row(), ts);
+        for _ in 0..5 {
+            app.step().unwrap();
+            s.clock.advance(10);
+        }
+    }
+    let counts = drain_f64::<Windowed<String>>(&s.cluster, "out");
+    assert_eq!(counts[&Windowed::new("k".into(), 0)], 2.0, "revised after late record");
+    assert_eq!(counts[&Windowed::new("k".into(), 5_000)], 1.0);
+    assert_eq!(app.metrics().revisions_emitted, 1);
+    app.close().unwrap();
+}
+
+#[test]
+fn hopping_window_query_counts_overlaps() {
+    let s = setup(&["events", "hops"]);
+    let row = || Row::new().with("k", Value::Str("k".into()));
+    // ts 7s lands in hopping windows [0,10s) and [5s,15s).
+    send_row(&s.cluster, "events", "k", row(), 7_000);
+    let mut app = run_query(
+        &s,
+        "SELECT k, COUNT(*) FROM events \
+         WINDOW HOPPING (10 SECONDS) ADVANCE BY (5 SECONDS) GRACE (60 SECONDS) \
+         GROUP BY k INTO hops",
+        20,
+    );
+    let counts = drain_f64::<Windowed<String>>(&s.cluster, "hops");
+    assert_eq!(counts[&Windowed::new("k".into(), 0)], 1.0);
+    assert_eq!(counts[&Windowed::new("k".into(), 5_000)], 1.0);
+    app.close().unwrap();
+}

@@ -1,0 +1,19 @@
+//! # simkit — deterministic simulation kit
+//!
+//! Shared infrastructure for the Kafka-Streams reproduction: virtual and
+//! wall clocks, seeded deterministic RNG, fault-injection plans, and
+//! latency/throughput measurement.
+//!
+//! Everything in the workspace that needs "time" takes a [`Clock`] so tests
+//! can run on a [`ManualClock`] (fully deterministic, instantaneous) while
+//! benchmark harnesses run on the [`WallClock`].
+
+pub mod clock;
+pub mod fault;
+pub mod hist;
+pub mod rng;
+
+pub use clock::{Clock, ManualClock, SharedClock, WallClock};
+pub use fault::{FaultDecision, FaultPlan, FaultPoint};
+pub use hist::{LatencyHistogram, ThroughputMeter};
+pub use rng::DetRng;

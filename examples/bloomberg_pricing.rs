@@ -1,0 +1,130 @@
+//! Bloomberg MxFlow-style real-time pricing pipeline (§6.1).
+//!
+//! Market ticks flow through outlier detection, dynamic windowing, and
+//! weighted aggregation, with exactly-once processing so "every market bid
+//! and ask will be processed without duplication or loss". The example also
+//! demonstrates the **state catalog** pattern: interactive queries against
+//! the running aggregation state, and reprocessing resilience — a broker is
+//! killed mid-stream and the pipeline keeps going.
+//!
+//! Run with: `cargo run --example bloomberg_pricing`
+
+use kstream_repro::kbroker::{Cluster, Producer, ProducerConfig, TopicConfig};
+use kstream_repro::kstreams::{
+    KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig, TimeWindows,
+};
+use kstream_repro::simkit::{DetRng, ManualClock};
+use std::sync::Arc;
+
+fn main() {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    cluster.create_topic("market-data", TopicConfig::new(4)).unwrap();
+    cluster.create_topic("market-insights", TopicConfig::new(4)).unwrap();
+
+    // Pipeline: outlier detection -> 1s windows -> volume-weighted price.
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, (i64, i64)>("market-data") // key: instrument, value: (price_cents, volume)
+        .filter(|instr, (price, _vol)| {
+            // Outlier signal detection: drop ticks outside a sane band.
+            let sane = (100..=10_000_000).contains(price);
+            if !sane {
+                println!("  !! outlier dropped: {instr} @ {price}");
+            }
+            sane
+        })
+        .group_by_key()
+        .windowed_by(TimeWindows::of(1_000).grace(500))
+        .aggregate(
+            "vwap-state",
+            || (0i64, 0i64), // (price*volume sum, volume sum)
+            |(price, vol), (pv, v)| (pv + price * vol, v + vol),
+        )
+        .map_values(|_wk, (pv, v)| if *v == 0 { 0 } else { pv / v })
+        .to_stream()
+        .to("market-insights");
+    let topology = Arc::new(builder.build().unwrap());
+
+    // Two instances, as in a two-pod deployment.
+    let config =
+        StreamsConfig::new("mxflow").exactly_once().with_commit_interval_ms(100);
+    let mut pods: Vec<KafkaStreamsApp> = (0..2)
+        .map(|i| {
+            KafkaStreamsApp::new(cluster.clone(), topology.clone(), config.clone(), format!("pod-{i}"))
+        })
+        .collect();
+    for pod in &mut pods {
+        pod.start().unwrap();
+    }
+
+    // Simulated market feed: a few instruments, jittered prices, an
+    // occasional bad tick.
+    let mut rng = DetRng::new(42);
+    let mut feed = Producer::new(cluster.clone(), ProducerConfig::default());
+    let instruments = ["AAPL", "MSFT", "TSLA"];
+    let mut ticks = 0u64;
+    for tick in 0..3_000i64 {
+        let instr = instruments[rng.index(instruments.len())];
+        let base = 15_000 + rng.range_i64(-500, 500);
+        let price = if rng.chance(0.002) { 999_999_999 } else { base }; // rare outlier
+        let volume = rng.range_i64(1, 100);
+        feed.send(
+            "market-data",
+            Some(instr.to_string().to_bytes()),
+            Some((price, volume).to_bytes()),
+            tick,
+        )
+        .unwrap();
+        ticks += 1;
+        if tick % 16 == 0 {
+            feed.flush().unwrap();
+            for pod in &mut pods {
+                pod.step().unwrap();
+            }
+        }
+        clock.advance(1);
+        if tick == 1_500 {
+            println!("\n>> killing broker 0 mid-stream (pod migration scenario)\n");
+            cluster.kill_broker(0);
+        }
+    }
+    feed.flush().unwrap();
+    for _ in 0..10 {
+        for pod in &mut pods {
+            pod.step().unwrap();
+        }
+        clock.advance(100);
+    }
+
+    // State-catalog-style interactive query: read the current VWAP state
+    // for the latest full window of each instrument.
+    println!("=== interactive state queries (the §6.1 state catalog pattern) ===");
+    // The last tick landed at ts 2999 -> window [2000, 3000).
+    let window = ((3_000 - 1) / 1000) * 1000;
+    for instr in instruments {
+        for pod in &mut pods {
+            if let Some(bytes) =
+                pod.query_window("vwap-state", &instr.to_string().to_bytes(), window)
+            {
+                let (pv, v) = <(i64, i64)>::from_bytes(&bytes).unwrap();
+                println!(
+                    "{instr}: window[{}s) vwap = {}.{:02} over {v} shares (served by {})",
+                    window / 1000,
+                    pv / v / 100,
+                    pv / v % 100,
+                    pod.instance_id(),
+                );
+            }
+        }
+    }
+
+    let mut processed = 0;
+    for pod in &mut pods {
+        processed += pod.metrics().records_processed;
+        pod.close().unwrap();
+    }
+    println!("\nticks produced: {ticks}, records processed: {processed} (across both pods)");
+    println!("exactly-once held through the broker failure: no tick lost or duplicated.");
+    assert_eq!(processed, ticks, "each tick processed exactly once");
+}

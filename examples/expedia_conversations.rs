@@ -1,0 +1,154 @@
+//! Expedia Conversational Platform-style micro-service chain (§6.2).
+//!
+//! Two independent exactly-once applications connected only through Kafka
+//! topics — the loosely-coupled event-driven architecture of §1/§6.2:
+//!
+//! 1. **enrichment service** (commit interval 100 ms): PII redaction,
+//!    localization, translation — each conversation message traverses the
+//!    hop with sub-second latency;
+//! 2. **conversation-view service** (commit interval 1500 ms, output
+//!    suppression): maintains an aggregated view of each conversation,
+//!    consolidating revision storms before they hit downstream consumers.
+//!
+//! Every message must be processed exactly once — "otherwise undesirable
+//! outcomes such as double payment for a ticket … could happen".
+//!
+//! Run with: `cargo run --example expedia_conversations`
+
+use kstream_repro::kbroker::{
+    Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig,
+};
+use kstream_repro::kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use kstream_repro::simkit::ManualClock;
+use std::sync::Arc;
+
+fn main() {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    for t in ["conversations", "enriched", "conversation-views"] {
+        cluster.create_topic(t, TopicConfig::new(2)).unwrap();
+    }
+
+    // Service 1: enrichment chain.
+    let b1 = StreamsBuilder::new();
+    b1.stream::<String, String>("conversations")
+        .map_values(|_conv, msg| msg.replace("my SSN is 123-45-6789", "[PII redacted]"))
+        .map_values(|_conv, msg| format!("[en-US] {msg}"))
+        .map_values(|_conv, msg| format!("[nlp-intent:booking] {msg}"))
+        .to("enriched");
+    let enrich_topology = Arc::new(b1.build().unwrap());
+
+    // Service 2: conversation view — count of messages + latest message —
+    // with suppression to cut downstream I/O.
+    let b2 = StreamsBuilder::new();
+    b2.stream::<String, String>("enriched")
+        .group_by_key()
+        .aggregate(
+            "view-store",
+            || (0i64, String::new()),
+            |msg, (count, _last)| (count + 1, msg.clone()),
+        )
+        .suppress_until_time_limit(1_500)
+        .map_values(|conv, (count, last)| format!("{conv}: {count} msgs, last= {last}"))
+        .to_stream()
+        .to("conversation-views");
+    let view_topology = Arc::new(b2.build().unwrap());
+
+    let mut enricher = KafkaStreamsApp::new(
+        cluster.clone(),
+        enrich_topology,
+        StreamsConfig::new("cp-enrich").exactly_once().with_commit_interval_ms(100),
+        "svc-a",
+    );
+    let mut viewer = KafkaStreamsApp::new(
+        cluster.clone(),
+        view_topology,
+        StreamsConfig::new("cp-views").exactly_once().with_commit_interval_ms(1_500),
+        "svc-b",
+    );
+    enricher.start().unwrap();
+    viewer.start().unwrap();
+
+    // A customer conversation unfolds over ~6 seconds.
+    let dialogue = [
+        (0, "conv-42", "Hi, I need to change my flight"),
+        (800, "conv-42", "my SSN is 123-45-6789"),
+        (1_600, "conv-42", "the booking reference is XYZ123"),
+        (2_400, "conv-7", "Cancel my hotel please"),
+        (3_200, "conv-42", "next Tuesday works"),
+        (4_000, "conv-7", "yes, the Lisbon one"),
+    ];
+    let mut customer = Producer::new(cluster.clone(), ProducerConfig::default());
+    let mut t = 0i64;
+    let mut dialogue_iter = dialogue.iter().peekable();
+    while t < 8_000 {
+        while let Some((ts, conv, msg)) = dialogue_iter.peek() {
+            if *ts <= t {
+                customer
+                    .send(
+                        "conversations",
+                        Some(conv.to_string().to_bytes()),
+                        Some(msg.to_string().to_bytes()),
+                        *ts,
+                    )
+                    .unwrap();
+                dialogue_iter.next();
+            } else {
+                break;
+            }
+        }
+        customer.flush().unwrap();
+        enricher.step().unwrap();
+        viewer.step().unwrap();
+        clock.advance(50);
+        t += 50;
+    }
+
+    println!("=== enriched stream (each message exactly once, PII gone) ===");
+    let mut c =
+        Consumer::new(cluster.clone(), "r1", ConsumerConfig::default().read_committed());
+    c.assign(cluster.partitions_of("enriched").unwrap()).unwrap();
+    let mut enriched_count = 0;
+    loop {
+        let batch = c.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            let conv = String::from_bytes(rec.key.as_ref().unwrap()).unwrap();
+            let msg = String::from_bytes(rec.value.as_ref().unwrap()).unwrap();
+            println!("  {conv}: {msg}");
+            assert!(!msg.contains("123-45-6789"), "PII must be redacted");
+            enriched_count += 1;
+        }
+    }
+    assert_eq!(enriched_count, dialogue.len());
+
+    println!("\n=== conversation views (suppressed: one consolidated update per interval) ===");
+    let mut c2 = Consumer::new(
+        cluster.clone(),
+        "r2",
+        ConsumerConfig::default().read_committed(),
+    );
+    c2.assign(cluster.partitions_of("conversation-views").unwrap()).unwrap();
+    let mut view_updates = 0;
+    loop {
+        let batch = c2.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            println!("  {}", String::from_bytes(rec.value.as_ref().unwrap()).unwrap());
+            view_updates += 1;
+        }
+    }
+    println!(
+        "\n{} input messages -> {} suppressed view updates ({} revisions absorbed)",
+        dialogue.len(),
+        view_updates,
+        viewer.metrics().suppressed
+    );
+    assert!(view_updates < dialogue.len(), "suppression must consolidate updates");
+    enricher.close().unwrap();
+    viewer.close().unwrap();
+}

@@ -1,0 +1,219 @@
+//! DSL operator coverage: the stateless transforms, branching, stream↔table
+//! conversions, and flat_map re-keying — each run end-to-end through the
+//! exactly-once runtime.
+
+use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use simkit::ManualClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Setup {
+    cluster: Cluster,
+    clock: ManualClock,
+}
+
+fn setup(out_topics: &[&str]) -> Setup {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+    cluster.create_topic("in", TopicConfig::new(2)).unwrap();
+    for t in out_topics {
+        cluster.create_topic(t, TopicConfig::new(2)).unwrap();
+    }
+    Setup { cluster, clock }
+}
+
+fn send(cluster: &Cluster, key: &str, value: &str, ts: i64) {
+    let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
+    p.send("in", Some(key.to_string().to_bytes()), Some(value.to_string().to_bytes()), ts)
+        .unwrap();
+    p.flush().unwrap();
+}
+
+fn run_app(s: &Setup, topology: kstreams::topology::Topology, steps: usize) -> KafkaStreamsApp {
+    let mut app = KafkaStreamsApp::new(
+        s.cluster.clone(),
+        Arc::new(topology),
+        StreamsConfig::new("dsl-app").exactly_once().with_commit_interval_ms(10),
+        "i0",
+    );
+    app.start().unwrap();
+    for _ in 0..steps {
+        app.step().unwrap();
+        s.clock.advance(10);
+    }
+    app
+}
+
+fn read_pairs(cluster: &Cluster, topic: &str) -> Vec<(String, String)> {
+    let mut c = Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
+    c.assign(cluster.partitions_of(topic).unwrap()).unwrap();
+    let mut out = Vec::new();
+    loop {
+        let batch = c.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            out.push((
+                String::from_bytes(rec.key.as_ref().unwrap()).unwrap(),
+                rec.value.map(|v| String::from_bytes(&v).unwrap()).unwrap_or_default(),
+            ));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn branch_splits_disjointly() {
+    let s = setup(&["vip", "rest"]);
+    let builder = StreamsBuilder::new();
+    let stream = builder.stream::<String, String>("in");
+    let (vip, rest) = stream.branch(|_k, v| v.starts_with("vip"));
+    vip.to("vip");
+    rest.to("rest");
+    send(&s.cluster, "a", "vip-order", 0);
+    send(&s.cluster, "b", "normal-order", 1);
+    send(&s.cluster, "c", "vip-refund", 2);
+    let mut app = run_app(&s, builder.build().unwrap(), 10);
+    assert_eq!(
+        read_pairs(&s.cluster, "vip"),
+        vec![("a".into(), "vip-order".into()), ("c".into(), "vip-refund".into())]
+    );
+    assert_eq!(read_pairs(&s.cluster, "rest"), vec![("b".into(), "normal-order".into())]);
+    app.close().unwrap();
+}
+
+#[test]
+fn filter_not_is_the_complement() {
+    let s = setup(&["kept"]);
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("in")
+        .filter_not(|_k, v| v.contains("drop"))
+        .to("kept");
+    send(&s.cluster, "a", "drop-me", 0);
+    send(&s.cluster, "b", "keep-me", 1);
+    let mut app = run_app(&s, builder.build().unwrap(), 10);
+    assert_eq!(read_pairs(&s.cluster, "kept"), vec![("b".into(), "keep-me".into())]);
+    app.close().unwrap();
+}
+
+#[test]
+fn flat_map_rekeys_and_repartitions_for_aggregation() {
+    // flat_map fans each record out under new keys; the following count
+    // must see co-partitioned data (i.e. a repartition topic is inserted).
+    let s = setup(&["word-counts"]);
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("in")
+        .flat_map(|_k, sentence| {
+            sentence.split(' ').map(|w| (w.to_string(), 1i64)).collect()
+        })
+        .group_by_key()
+        .count("word-count-store")
+        .to_stream()
+        .to("word-counts");
+    let topology = builder.build().unwrap();
+    assert_eq!(topology.subtopologies.len(), 2, "flat_map forces a repartition");
+    send(&s.cluster, "doc1", "the quick fox", 0);
+    send(&s.cluster, "doc2", "the lazy dog", 1);
+    let mut app = run_app(&s, topology, 15);
+    // Latest count per word.
+    let mut latest: HashMap<String, String> = HashMap::new();
+    for (k, _) in read_pairs(&s.cluster, "word-counts") {
+        latest.insert(k, String::new());
+    }
+    assert!(latest.contains_key("the"));
+    assert_eq!(
+        app.query_kv("word-count-store", &"the".to_string().to_bytes())
+            .map(|b| i64::from_bytes(&b).unwrap()),
+        Some(2),
+        "'the' appears in both documents"
+    );
+    app.close().unwrap();
+}
+
+#[test]
+fn to_table_materializes_a_stream() {
+    let s = setup(&["latest"]);
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("in")
+        .to_table("latest-store")
+        .map_values(|_k, v| format!("latest:{v}"))
+        .to_stream()
+        .to("latest");
+    send(&s.cluster, "k", "v1", 0);
+    send(&s.cluster, "k", "v2", 1);
+    let mut app = run_app(&s, builder.build().unwrap(), 10);
+    // The table emitted a revision for the overwrite.
+    let out = read_pairs(&s.cluster, "latest");
+    assert_eq!(
+        out,
+        vec![("k".into(), "latest:v1".into()), ("k".into(), "latest:v2".into())]
+    );
+    assert_eq!(
+        app.query_kv("latest-store", &"k".to_string().to_bytes())
+            .map(|b| String::from_bytes(&b).unwrap()),
+        Some("v2".into())
+    );
+    app.close().unwrap();
+}
+
+#[test]
+fn to_table_store_has_a_changelog() {
+    // Unlike builder.table (source-changelog optimization), a mid-topology
+    // to_table cannot reuse a source topic: it gets a changelog.
+    let builder = StreamsBuilder::new();
+    builder.stream::<String, String>("in").to_table("mid-store");
+    let topology = builder.build().unwrap();
+    assert!(topology.internal_topics.iter().any(|t| t.name == "mid-store-changelog"));
+}
+
+#[test]
+fn peek_observes_without_altering() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let s = setup(&["out"]);
+    let seen = Arc::new(AtomicUsize::new(0));
+    let seen2 = seen.clone();
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("in")
+        .peek(move |_k, _v| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        })
+        .to("out");
+    send(&s.cluster, "a", "x", 0);
+    send(&s.cluster, "b", "y", 1);
+    let mut app = run_app(&s, builder.build().unwrap(), 10);
+    assert_eq!(seen.load(Ordering::Relaxed), 2);
+    assert_eq!(read_pairs(&s.cluster, "out").len(), 2);
+    app.close().unwrap();
+}
+
+#[test]
+fn select_key_then_count_repartitions() {
+    let s = setup(&["by-prefix"]);
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("in")
+        .select_key(|_k, v| v.chars().next().unwrap_or('?').to_string())
+        .group_by_key()
+        .count("prefix-counts")
+        .to_stream()
+        .to("by-prefix");
+    let topology = builder.build().unwrap();
+    assert_eq!(topology.subtopologies.len(), 2);
+    send(&s.cluster, "x", "apple", 0);
+    send(&s.cluster, "y", "avocado", 1);
+    send(&s.cluster, "z", "banana", 2);
+    let mut app = run_app(&s, topology, 15);
+    assert_eq!(
+        app.query_kv("prefix-counts", &"a".to_string().to_bytes())
+            .map(|b| i64::from_bytes(&b).unwrap()),
+        Some(2)
+    );
+    app.close().unwrap();
+}

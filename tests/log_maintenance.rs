@@ -1,0 +1,203 @@
+//! Log-maintenance behaviours the paper's architecture depends on (§3.2,
+//! §4): changelog compaction bounding restore work, and repartition-topic
+//! purging once downstream tasks have consumed.
+
+use bytes::Bytes;
+use kbroker::{Cluster, Producer, ProducerConfig, TopicConfig, TopicPartition};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use simkit::ManualClock;
+use std::sync::Arc;
+
+fn counting_topology() -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("events")
+        .group_by_key()
+        .count("counts")
+        .to_stream()
+        .to("out");
+    Arc::new(builder.build().unwrap())
+}
+
+struct Setup {
+    cluster: Cluster,
+    clock: ManualClock,
+}
+
+fn setup() -> Setup {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+    cluster.create_topic("events", TopicConfig::new(1)).unwrap();
+    cluster.create_topic("out", TopicConfig::new(1)).unwrap();
+    Setup { cluster, clock }
+}
+
+fn pump(s: &Setup, app: &mut KafkaStreamsApp, steps: usize) {
+    for _ in 0..steps {
+        app.step().unwrap();
+        s.clock.advance(10);
+    }
+}
+
+#[test]
+fn compacted_changelog_bounds_restore_work() {
+    let s = setup();
+    // Many updates to FEW keys → the changelog grows with updates but
+    // compacts down to the key count.
+    {
+        let mut app = KafkaStreamsApp::new(
+            s.cluster.clone(),
+            counting_topology(),
+            StreamsConfig::new("m-app").exactly_once().with_commit_interval_ms(10),
+            "i0",
+        );
+        app.start().unwrap();
+        let mut p = Producer::new(s.cluster.clone(), ProducerConfig::default());
+        for i in 0..300 {
+            p.send(
+                "events",
+                Some(format!("k{}", i % 3).to_bytes()),
+                Some(Bytes::from_static(b"x")),
+                i,
+            )
+            .unwrap();
+        }
+        p.flush().unwrap();
+        pump(&s, &mut app, 20);
+        app.close().unwrap();
+    }
+    let changelog = "m-app-counts-changelog";
+    let before = s.cluster.topic_record_count(changelog).unwrap();
+    assert_eq!(before, 300, "one changelog append per update");
+    let stats = s.cluster.compact_topic(changelog).unwrap();
+    let after = s.cluster.topic_record_count(changelog).unwrap();
+    assert_eq!(after, 3, "compaction keeps the latest per key");
+    assert!(stats[0].reclaimed_fraction() > 0.98);
+
+    // A fresh instance restores from the compacted changelog: restore work
+    // is proportional to state size, not update count.
+    let mut app2 = KafkaStreamsApp::new(
+        s.cluster.clone(),
+        counting_topology(),
+        StreamsConfig::new("m-app").exactly_once().with_commit_interval_ms(10),
+        "i1",
+    );
+    app2.start().unwrap();
+    assert_eq!(app2.metrics().restore_records, 3, "restored exactly |state| records");
+    assert_eq!(
+        app2.query_kv("counts", &"k0".to_string().to_bytes())
+            .map(|b| i64::from_bytes(&b).unwrap()),
+        Some(100),
+        "restored value is the latest count"
+    );
+    app2.close().unwrap();
+}
+
+#[test]
+fn repartition_topic_can_be_purged_after_consumption() {
+    // §3.2: "Once downstream sub-topologies have processed some records in
+    // offset order, they can request Kafka to delete these records from the
+    // repartition topics."
+    let s = setup();
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("events")
+        .map(|k, v| (format!("{k}!"), v.clone())) // key change forces repartition
+        .group_by_key()
+        .count("counts2")
+        .to_stream()
+        .to("out");
+    let topology = Arc::new(builder.build().unwrap());
+    let mut app = KafkaStreamsApp::new(
+        s.cluster.clone(),
+        topology,
+        StreamsConfig::new("p-app").exactly_once().with_commit_interval_ms(10),
+        "i0",
+    );
+    app.start().unwrap();
+    let mut p = Producer::new(s.cluster.clone(), ProducerConfig::default());
+    for i in 0..50 {
+        p.send("events", Some(format!("k{i}").to_bytes()), Some(Bytes::from_static(b"x")), i)
+            .unwrap();
+    }
+    p.flush().unwrap();
+    pump(&s, &mut app, 20);
+
+    // Find the repartition topic and purge up to the committed offsets.
+    let repart = {
+        let topics: Vec<String> = (0..1)
+            .map(|_| "p-app-KSTREAM-AGGREGATE-0000000002-repartition".to_string())
+            .collect();
+        topics.into_iter().find(|t| s.cluster.topic_exists(t)).expect("repartition topic")
+    };
+    let tp = TopicPartition::new(repart.clone(), 0);
+    let committed = s.cluster.group_committed_offset("p-app", &tp).unwrap().expect("committed");
+    assert!(committed > 0);
+    s.cluster.delete_records(&tp, committed).unwrap();
+    assert_eq!(s.cluster.earliest_offset(&tp).unwrap(), committed);
+
+    // The pipeline keeps working after the purge.
+    p.send("events", Some("fresh".to_string().to_bytes()), Some(Bytes::from_static(b"x")), 100)
+        .unwrap();
+    p.flush().unwrap();
+    pump(&s, &mut app, 20);
+    assert_eq!(
+        app.query_kv("counts2", &"fresh!".to_string().to_bytes())
+            .map(|b| i64::from_bytes(&b).unwrap()),
+        Some(1)
+    );
+    app.close().unwrap();
+}
+
+#[test]
+fn restore_after_compaction_equals_restore_before() {
+    // Compacting the changelog must not change what a restore produces.
+    let s = setup();
+    {
+        let mut app = KafkaStreamsApp::new(
+            s.cluster.clone(),
+            counting_topology(),
+            StreamsConfig::new("eq-app").exactly_once().with_commit_interval_ms(10),
+            "i0",
+        );
+        app.start().unwrap();
+        let mut p = Producer::new(s.cluster.clone(), ProducerConfig::default());
+        for i in 0..60 {
+            p.send(
+                "events",
+                Some(format!("k{}", i % 7).to_bytes()),
+                Some(Bytes::from_static(b"x")),
+                i,
+            )
+            .unwrap();
+        }
+        p.flush().unwrap();
+        pump(&s, &mut app, 20);
+        app.close().unwrap();
+    }
+    let restore_counts = |label: &str, s: &Setup| -> Vec<(String, i64)> {
+        let mut app = KafkaStreamsApp::new(
+            s.cluster.clone(),
+            counting_topology(),
+            StreamsConfig::new("eq-app").exactly_once().with_commit_interval_ms(10),
+            label,
+        );
+        app.start().unwrap();
+        let counts: Vec<(String, i64)> = (0..7)
+            .map(|k| {
+                let key = format!("k{k}");
+                let v = app
+                    .query_kv("counts", &key.clone().to_bytes())
+                    .map(|b| i64::from_bytes(&b).unwrap())
+                    .unwrap_or(0);
+                (key, v)
+            })
+            .collect();
+        app.close().unwrap();
+        counts
+    };
+    let before = restore_counts("r1", &s);
+    s.cluster.compact_topic("eq-app-counts-changelog").unwrap();
+    let after = restore_counts("r2", &s);
+    assert_eq!(before, after, "compaction must not alter restored state");
+}

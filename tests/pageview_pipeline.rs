@@ -1,0 +1,150 @@
+//! End-to-end test of the paper's running example (Figures 2 and 3):
+//! filter → map → groupByKey → windowedBy(5s) → count → to, executed on an
+//! in-process cluster with a repartition topic between the two
+//! sub-topologies.
+
+use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
+use kstreams::{
+    KafkaStreamsApp, KSerde, StreamsBuilder, StreamsConfig, TimeWindows, Windowed,
+};
+use simkit::ManualClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The pageview pipeline of Figure 2, in this crate's DSL.
+fn pageview_topology() -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    // Value = (category, period_ms); key = user id.
+    let views = builder.stream::<String, (String, i64)>("pageview-events");
+    views
+        .filter(|_user, (_cat, period)| *period >= 30_000)
+        .map(|_user, (cat, period)| (cat.clone(), *period))
+        .group_by_key()
+        .windowed_by(TimeWindows::of(5000).grace(10_000))
+        .count("pageview-counts")
+        .to_stream()
+        .to("pageview-windowed-counts");
+    Arc::new(builder.build().expect("valid topology"))
+}
+
+fn setup() -> (Cluster, ManualClock) {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    // Figure 3's setup: source has 2 partitions, sink has 3.
+    cluster.create_topic("pageview-events", TopicConfig::new(2)).unwrap();
+    cluster.create_topic("pageview-windowed-counts", TopicConfig::new(3)).unwrap();
+    (cluster, clock)
+}
+
+fn send_view(p: &mut Producer, user: &str, cat: &str, period: i64, ts: i64) {
+    p.send(
+        "pageview-events",
+        Some(user.to_string().to_bytes()),
+        Some((cat.to_string(), period).to_bytes()),
+        ts,
+    )
+    .unwrap();
+}
+
+/// Drain all current output records into (category, window_start) → count.
+fn read_counts(cluster: &Cluster) -> HashMap<(String, i64), i64> {
+    let mut consumer = Consumer::new(
+        cluster.clone(),
+        "verifier",
+        ConsumerConfig::default().read_committed(),
+    );
+    consumer.assign(cluster.partitions_of("pageview-windowed-counts").unwrap()).unwrap();
+    let mut out = HashMap::new();
+    loop {
+        let batch = consumer.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            let wk = Windowed::<String>::from_bytes(rec.key.as_ref().unwrap()).unwrap();
+            let count = i64::from_bytes(rec.value.as_ref().unwrap()).unwrap();
+            out.insert((wk.key, wk.window_start), count);
+        }
+    }
+    out
+}
+
+#[test]
+fn figure2_pipeline_counts_per_category_window() {
+    let (cluster, clock) = setup();
+    let topology = pageview_topology();
+
+    let mut producer = Producer::new(cluster.clone(), ProducerConfig::default());
+    // Two users (different source partitions), three categories.
+    send_view(&mut producer, "alice", "news", 45_000, 1_000);
+    send_view(&mut producer, "bob", "news", 31_000, 2_000);
+    send_view(&mut producer, "alice", "sports", 60_000, 3_000);
+    send_view(&mut producer, "bob", "sports", 10_000, 4_000); // filtered out
+    send_view(&mut producer, "alice", "news", 90_000, 6_000); // next window
+    producer.flush().unwrap();
+
+    let mut app = KafkaStreamsApp::new(
+        cluster.clone(),
+        topology.clone(),
+        StreamsConfig::new("pageview-app").exactly_once().with_commit_interval_ms(10),
+        "instance-0",
+    );
+    app.start().unwrap();
+    // Two sub-topologies (Figure 3): 2 upstream tasks + 2 repartition tasks
+    // (repartition topic defaults to the max source partition count).
+    assert_eq!(app.task_ids().len(), 4);
+    for _ in 0..20 {
+        app.step().unwrap();
+        clock.advance(10);
+    }
+    app.close().unwrap();
+
+    let counts = read_counts(&cluster);
+    assert_eq!(counts[&("news".to_string(), 0)], 2, "two long news views in [0,5s)");
+    assert_eq!(counts[&("sports".to_string(), 0)], 1, "short sports view filtered");
+    assert_eq!(counts[&("news".to_string(), 5000)], 1, "view at 6s lands in [5s,10s)");
+}
+
+#[test]
+fn topology_matches_figure3_shape() {
+    let topology = pageview_topology();
+    assert_eq!(topology.subtopologies.len(), 2, "split at the repartition topic");
+    let desc = topology.describe();
+    assert!(desc.contains("pageview-events"), "{desc}");
+    assert!(desc.contains("repartition"), "{desc}");
+    assert!(desc.contains("pageview-windowed-counts"), "{desc}");
+    // The aggregation store lives in the second sub-topology.
+    assert_eq!(topology.stores["pageview-counts"].1, 1);
+}
+
+#[test]
+fn incremental_processing_across_steps() {
+    let (cluster, clock) = setup();
+    let topology = pageview_topology();
+    let mut app = KafkaStreamsApp::new(
+        cluster.clone(),
+        topology,
+        StreamsConfig::new("pageview-app").with_commit_interval_ms(10),
+        "instance-0",
+    );
+    app.start().unwrap();
+
+    let mut producer = Producer::new(cluster.clone(), ProducerConfig::default());
+    send_view(&mut producer, "alice", "news", 50_000, 1_000);
+    producer.flush().unwrap();
+    for _ in 0..10 {
+        app.step().unwrap();
+        clock.advance(10);
+    }
+    assert_eq!(read_counts(&cluster)[&("news".to_string(), 0)], 1);
+
+    // More records arrive later; counts keep evolving.
+    send_view(&mut producer, "bob", "news", 50_000, 1_500);
+    producer.flush().unwrap();
+    for _ in 0..10 {
+        app.step().unwrap();
+        clock.advance(10);
+    }
+    assert_eq!(read_counts(&cluster)[&("news".to_string(), 0)], 2);
+    app.close().unwrap();
+}

@@ -1,0 +1,229 @@
+//! Elastic scaling tests (§3.3): instances joining and leaving mid-stream,
+//! task redistribution, state migration, and exactly-once preservation
+//! across every membership change.
+
+use bytes::Bytes;
+use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use simkit::ManualClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn counting_topology() -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("events")
+        .group_by_key()
+        .count("counts")
+        .to_stream()
+        .to("out");
+    Arc::new(builder.build().unwrap())
+}
+
+struct Setup {
+    cluster: Cluster,
+    clock: ManualClock,
+}
+
+fn setup(partitions: u32) -> Setup {
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    cluster.create_topic("events", TopicConfig::new(partitions)).unwrap();
+    cluster.create_topic("out", TopicConfig::new(partitions)).unwrap();
+    Setup { cluster, clock }
+}
+
+fn app(s: &Setup, id: &str) -> KafkaStreamsApp {
+    KafkaStreamsApp::new(
+        s.cluster.clone(),
+        counting_topology(),
+        StreamsConfig::new("scale-app").exactly_once().with_commit_interval_ms(10),
+        id,
+    )
+}
+
+fn send_round(cluster: &Cluster, keys: usize, round: i64) {
+    let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
+    for k in 0..keys {
+        p.send(
+            "events",
+            Some(format!("k{k}").to_bytes()),
+            Some(Bytes::from_static(b"x")),
+            round * 100 + k as i64,
+        )
+        .unwrap();
+    }
+    p.flush().unwrap();
+}
+
+fn final_counts(cluster: &Cluster) -> (HashMap<String, i64>, usize) {
+    let mut c =
+        Consumer::new(cluster.clone(), "verify", ConsumerConfig::default().read_committed());
+    c.assign(cluster.partitions_of("out").unwrap()).unwrap();
+    let mut latest = HashMap::new();
+    let mut total = 0;
+    loop {
+        let batch = c.poll().unwrap();
+        if batch.is_empty() {
+            break;
+        }
+        for rec in batch {
+            latest.insert(
+                String::from_bytes(rec.key.as_ref().unwrap()).unwrap(),
+                i64::from_bytes(rec.value.as_ref().unwrap()).unwrap(),
+            );
+            total += 1;
+        }
+    }
+    (latest, total)
+}
+
+#[test]
+fn scale_out_redistributes_tasks_and_state() {
+    let s = setup(4);
+    let mut a = app(&s, "a");
+    a.start().unwrap();
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..10 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+    assert_eq!(a.task_ids().len(), 4, "solo instance owns all tasks");
+
+    // Scale out: a second instance joins mid-stream.
+    let mut b = app(&s, "b");
+    b.start().unwrap();
+    send_round(&s.cluster, 8, 1);
+    for _ in 0..15 {
+        a.step().unwrap();
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+    assert_eq!(a.task_ids().len(), 2, "tasks rebalanced");
+    assert_eq!(b.task_ids().len(), 2);
+    // The migrated tasks restored their state: counts continue from 1.
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 16, "no duplicates through the rebalance");
+    assert!(latest.values().all(|&v| v == 2), "{latest:?}");
+    a.close().unwrap();
+    b.close().unwrap();
+}
+
+#[test]
+fn scale_in_consolidates_without_loss() {
+    let s = setup(4);
+    let mut a = app(&s, "a");
+    let mut b = app(&s, "b");
+    a.start().unwrap();
+    b.start().unwrap();
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..15 {
+        a.step().unwrap();
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+    // b leaves gracefully; a absorbs its tasks and state.
+    b.close().unwrap();
+    send_round(&s.cluster, 8, 1);
+    for _ in 0..15 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+    assert_eq!(a.task_ids().len(), 4);
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 16);
+    assert!(latest.values().all(|&v| v == 2), "{latest:?}");
+    a.close().unwrap();
+}
+
+#[test]
+fn rolling_membership_churn_preserves_exactly_once() {
+    let s = setup(4);
+    let mut apps: Vec<(String, KafkaStreamsApp)> = Vec::new();
+    let mut next_id = 0;
+    // 5 phases: add, add, remove, add, remove — traffic after each change,
+    // always leaving at least one live instance.
+    for phase in 0i64..5 {
+        let grow = matches!(phase, 0 | 1 | 3);
+        if grow {
+            let id = format!("i{next_id}");
+            next_id += 1;
+            let mut new_app = app(&s, &id);
+            new_app.start().unwrap();
+            apps.push((id, new_app));
+        } else {
+            let (_, mut gone) = apps.remove(0);
+            gone.close().unwrap();
+        }
+        send_round(&s.cluster, 8, phase);
+        for _ in 0..15 {
+            for (_, a) in apps.iter_mut() {
+                a.step().unwrap();
+            }
+            s.clock.advance(10);
+        }
+    }
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 8 * 5, "every record exactly once through 5 rebalances");
+    assert!(latest.values().all(|&v| v == 5), "{latest:?}");
+    for (_, mut a) in apps {
+        a.close().unwrap();
+    }
+}
+
+#[test]
+fn sticky_tasks_do_not_restore_on_unrelated_rebalance() {
+    // §3.3: "task stickiness to minimize the amount of state migration".
+    // A task that stays on its instance through a rebalance must not replay
+    // its changelog again.
+    let s = setup(4);
+    let mut a = app(&s, "a");
+    a.start().unwrap();
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..10 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+    let restores_before = a.metrics().restore_records;
+    let mut b = app(&s, "b");
+    b.start().unwrap();
+    for _ in 0..10 {
+        a.step().unwrap();
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+    // a kept 2 of its 4 tasks; those two must not have re-restored. (The
+    // revoked tasks' metrics are retired, so any increase would come from
+    // re-created tasks only.)
+    assert_eq!(
+        a.metrics().restore_records,
+        restores_before,
+        "sticky tasks keep their state in place"
+    );
+    a.close().unwrap();
+    b.close().unwrap();
+}
+
+#[test]
+fn more_instances_than_tasks_leaves_spares_idle() {
+    let s = setup(2);
+    let mut apps: Vec<KafkaStreamsApp> = (0..4).map(|i| app(&s, &format!("i{i}"))).collect();
+    for a in &mut apps {
+        a.start().unwrap();
+    }
+    send_round(&s.cluster, 6, 0);
+    for _ in 0..15 {
+        for a in &mut apps {
+            a.step().unwrap();
+        }
+        s.clock.advance(10);
+    }
+    let owned: Vec<usize> = apps.iter().map(|a| a.task_ids().len()).collect();
+    assert_eq!(owned.iter().sum::<usize>(), 2, "2 partitions ⇒ 2 tasks total");
+    assert!(owned.iter().all(|&n| n <= 1), "{owned:?}");
+    let (_, total) = final_counts(&s.cluster);
+    assert_eq!(total, 6);
+    for a in &mut apps {
+        a.close().unwrap();
+    }
+}
