@@ -2,8 +2,8 @@
 //! different grace periods — the cost of revisions and the effect of grace
 //! on late-record drops and retained state.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kstreams::dsl::ops::WindowAggregate;
 use kstreams::dsl::windows::TimeWindows;
 use kstreams::processor::driver::TaskEnv;
@@ -35,9 +35,7 @@ fn run_agg(records: &[FlowRecord], grace_ms: i64) -> (u64, u64) {
         store: "w".into(),
         windows,
         agg: Arc::new(|cur, _| {
-            let n = cur
-                .map(|b| i64::from_be_bytes(b.as_ref().try_into().unwrap()))
-                .unwrap_or(0);
+            let n = cur.map_or(0, |b| i64::from_be_bytes(b.as_ref().try_into().unwrap()));
             Some(Bytes::copy_from_slice(&(n + 1).to_be_bytes()))
         }),
     };

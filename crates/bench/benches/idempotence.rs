@@ -18,30 +18,22 @@ fn records(n: usize) -> Vec<Record> {
 fn bench_appends(c: &mut Criterion) {
     let mut group = c.benchmark_group("append");
     for &batch_size in &[1usize, 16, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("plain", batch_size),
-            &batch_size,
-            |b, &n| {
-                let recs = records(n);
-                let mut log = PartitionLog::new();
-                b.iter(|| {
-                    log.append(BatchMeta::plain(), recs.clone()).unwrap();
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("idempotent", batch_size),
-            &batch_size,
-            |b, &n| {
-                let recs = records(n);
-                let mut log = PartitionLog::new();
-                let mut seq = 0i64;
-                b.iter(|| {
-                    log.append(BatchMeta::idempotent(1, 0, seq), recs.clone()).unwrap();
-                    seq += n as i64;
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("plain", batch_size), &batch_size, |b, &n| {
+            let recs = records(n);
+            let mut log = PartitionLog::new();
+            b.iter(|| {
+                log.append(BatchMeta::plain(), recs.clone()).unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("idempotent", batch_size), &batch_size, |b, &n| {
+            let recs = records(n);
+            let mut log = PartitionLog::new();
+            let mut seq = 0i64;
+            b.iter(|| {
+                log.append(BatchMeta::idempotent(1, 0, seq), recs.clone()).unwrap();
+                seq += n as i64;
+            });
+        });
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Microbenchmarks for the state-store layer (§3.2): key/value puts and
 //! gets, window-store operations, and the grace-period GC sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
 use kstreams::state::{KvStore, WindowStore};
 
 fn kv_key(i: usize) -> Bytes {

@@ -8,8 +8,8 @@
 //! massive…". The commit-per-partition sweep shows the marker fan-out
 //! growing linearly while commit-per-record-count stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbroker::{Cluster, TopicConfig, TopicPartition};
 use klog::batch::BatchMeta;
 use klog::Record;

@@ -29,11 +29,7 @@ fn market_topology() -> Arc<kstreams::topology::Topology> {
         // table holds (sum, count) and the output is the weighted mean.
         .group_by_key()
         .windowed_by(TimeWindows::of(1_000).grace(500))
-        .aggregate(
-            "weighted-agg",
-            || (0i64, 0i64),
-            |price, (sum, count)| (sum + price, count + 1),
-        )
+        .aggregate("weighted-agg", || (0i64, 0i64), |price, (sum, count)| (sum + price, count + 1))
         .map_values(|_wk, (sum, count)| if *count == 0 { 0 } else { sum / count })
         .to_stream()
         .to("market-insights");
@@ -116,8 +112,7 @@ fn main() {
         "load (msg/ms)", "ALOS msg/s", "EOS msg/s", "overhead", "ALOS lat ms", "EOS lat ms"
     );
     let median = |eos: bool, rate: usize, duration: i64| {
-        let mut runs: Vec<Outcome> =
-            (0..3).map(|_| run_mode(eos, rate, duration)).collect();
+        let mut runs: Vec<Outcome> = (0..3).map(|_| run_mode(eos, rate, duration)).collect();
         runs.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
         runs.remove(1)
     };
@@ -128,7 +123,11 @@ fn main() {
         let overhead = (alos.throughput - eos.throughput) / alos.throughput * 100.0;
         println!(
             "{:<16} {:>14.0} {:>14.0} {:>9.1}% {:>12.1} {:>12.1}",
-            rate, alos.throughput, eos.throughput, overhead, alos.mean_latency_ms,
+            rate,
+            alos.throughput,
+            eos.throughput,
+            overhead,
+            alos.mean_latency_ms,
             eos.mean_latency_ms
         );
     }

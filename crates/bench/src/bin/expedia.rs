@@ -31,10 +31,8 @@ fn view_topology(suppress: bool) -> Arc<kstreams::topology::Topology> {
     let builder = StreamsBuilder::new();
     // Conversation view: per-conversation message count (a stand-in for the
     // aggregated view queried by operational processors).
-    let table = builder
-        .stream::<String, String>("enriched")
-        .group_by_key()
-        .count("conversation-views");
+    let table =
+        builder.stream::<String, String>("enriched").group_by_key().count("conversation-views");
     let table = if suppress { table.suppress_until_time_limit(1_500) } else { table };
     table.to_stream().to("views");
     Arc::new(builder.build().expect("valid topology"))

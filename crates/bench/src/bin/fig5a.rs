@@ -32,10 +32,7 @@ fn main() {
                 key_space: 4096,
                 instances: 1,
             };
-            let label = format!(
-                "{} partitions={parts}",
-                if eos { "EOS " } else { "ALOS" }
-            );
+            let label = format!("{} partitions={parts}", if eos { "EOS " } else { "ALOS" });
             let report = run_median(spec, repeats);
             println!("{}", report_row(&label, &report));
         }

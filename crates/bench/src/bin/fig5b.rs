@@ -15,8 +15,7 @@ use bench::{report_header, report_row, run_checkpoint_baseline, run_median, RunS
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let repeats = if quick { 1 } else { 3 };
-    let intervals: &[i64] =
-        if quick { &[10, 100, 1000] } else { &[10, 100, 1000, 10_000] };
+    let intervals: &[i64] = if quick { &[10, 100, 1000] } else { &[10, 100, 1000, 10_000] };
     let _ = run_median(RunSpec { duration_ms: 200, ..RunSpec::default() }, 1);
     println!("# Figure 5.b — commit/checkpoint interval sweep (10 output partitions)");
     println!("{}", report_header());

@@ -289,9 +289,7 @@ pub fn run(spec: RunSpec) -> RunReport {
 pub fn run_median(spec: RunSpec, repeats: usize) -> RunReport {
     assert!(repeats >= 1);
     let mut reports: Vec<RunReport> = (0..repeats).map(|_| run(spec.clone())).collect();
-    reports.sort_by(|a, b| {
-        a.throughput_msg_per_sec.total_cmp(&b.throughput_msg_per_sec)
-    });
+    reports.sort_by(|a, b| a.throughput_msg_per_sec.total_cmp(&b.throughput_msg_per_sec));
     reports.remove(reports.len() / 2)
 }
 
@@ -306,16 +304,13 @@ pub fn run_checkpoint_baseline(spec: RunSpec) -> RunReport {
     cluster.create_topic("bench-out", TopicConfig::new(spec.output_partitions)).unwrap();
 
     let reduce: ckpt_baseline::engine::ReduceFn = Arc::new(|cur, v| {
-        let c = cur
-            .map(|b| i64::from_be_bytes(b.as_ref().try_into().expect("state")))
-            .unwrap_or(0);
+        let c = cur.map_or(0, |b| i64::from_be_bytes(b.as_ref().try_into().expect("state")));
         let x = i64::from_be_bytes(v.as_ref().try_into().expect("value"));
         bytes::Bytes::copy_from_slice(&c.wrapping_add(x).to_be_bytes())
     });
     let config = CheckpointConfig::new("flink-bench", spec.commit_interval_ms);
-    let mut app =
-        CheckpointApp::new(cluster.clone(), config, "bench-in", "bench-out", reduce)
-            .expect("checkpoint app");
+    let mut app = CheckpointApp::new(cluster.clone(), config, "bench-in", "bench-out", reduce)
+        .expect("checkpoint app");
 
     let mut generator = LoadGenerator::new(&cluster, "bench-in", spec.key_space);
     let mut probe = LatencyProbe::new(&cluster, "bench-out");

@@ -111,12 +111,10 @@ impl Aligner {
                     return self.poll(channels);
                 }
                 Some(Element::Record { .. }) => {
-                    let Some(Element::Record { key, value, ts }) = ch.pop() else {
-                        unreachable!()
-                    };
+                    let Some(Element::Record { key, value, ts }) = ch.pop() else { unreachable!() };
                     return Released::Record { from: i, key, value, ts };
                 }
-                None => continue,
+                None => {}
             }
         }
         Released::Idle
@@ -162,7 +160,7 @@ mod tests {
         // Channel 0 is "fast": barrier arrives immediately, then more data.
         ch[0].push(Element::Barrier(1));
         ch[0].push(rec(10)); // belongs to the NEXT epoch
-        // Channel 1 still has pre-barrier data.
+                             // Channel 1 still has pre-barrier data.
         ch[1].push(rec(1));
         ch[1].push(rec(2));
         ch[1].push(Element::Barrier(1));

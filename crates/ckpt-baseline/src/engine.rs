@@ -245,12 +245,10 @@ impl CheckpointApp {
             .iter()
             .map(|(tp, off)| format!("{}|{}|{}\n", tp.topic, tp.partition, off))
             .collect();
-        self.store
-            .put(&format!("{}/chk-{epoch}/metadata", self.config.app_id), meta.into_bytes());
+        self.store.put(&format!("{}/chk-{epoch}/metadata", self.config.app_id), meta.into_bytes());
 
         self.stats.checkpoints_completed += 1;
-        self.stats.checkpoint_latency_total_ms +=
-            (self.cluster.now_ms() - started).max(0) as u64;
+        self.stats.checkpoint_latency_total_ms += (self.cluster.now_ms() - started).max(0) as u64;
         Ok(())
     }
 
@@ -260,9 +258,7 @@ impl CheckpointApp {
         let latest = metas
             .iter()
             .filter(|k| k.ends_with("/metadata"))
-            .filter_map(|k| {
-                k.split("/chk-").nth(1)?.split('/').next()?.parse::<u64>().ok()
-            })
+            .filter_map(|k| k.split("/chk-").nth(1)?.split('/').next()?.parse::<u64>().ok())
             .max();
         let Some(epoch) = latest else { return Ok(()) };
         self.stats.restore_count += 1;
@@ -286,8 +282,7 @@ impl CheckpointApp {
             }
         }
         // Offsets from the checkpoint metadata.
-        if let Some(meta) =
-            self.store.get(&format!("{}/chk-{epoch}/metadata", self.config.app_id))
+        if let Some(meta) = self.store.get(&format!("{}/chk-{epoch}/metadata", self.config.app_id))
         {
             for line in String::from_utf8_lossy(&meta).lines() {
                 let mut parts = line.split('|');
@@ -313,13 +308,13 @@ impl CheckpointApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::Clock as _;
     use kbroker::{Consumer, ConsumerConfig, TopicConfig};
+    use simkit::Clock as _;
     use simkit::ManualClock;
 
     fn sum_reduce() -> ReduceFn {
         Arc::new(|cur, v| {
-            let c = cur.map(|b| i64::from_be_bytes(b.as_ref().try_into().unwrap())).unwrap_or(0);
+            let c = cur.map_or(0, |b| i64::from_be_bytes(b.as_ref().try_into().unwrap()));
             let x = i64::from_be_bytes(v.as_ref().try_into().unwrap());
             Bytes::copy_from_slice(&(c + x).to_be_bytes())
         })
@@ -327,8 +322,7 @@ mod tests {
 
     fn setup(partitions: u32) -> (Cluster, ManualClock) {
         let clock = ManualClock::new();
-        let cluster =
-            Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+        let cluster = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
         cluster.create_topic("in", TopicConfig::new(partitions)).unwrap();
         cluster.create_topic("out", TopicConfig::new(partitions)).unwrap();
         (cluster, clock)
@@ -347,8 +341,7 @@ mod tests {
     }
 
     fn committed_outputs(cluster: &Cluster) -> Vec<(String, i64)> {
-        let mut c =
-            Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
+        let mut c = Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
         c.assign(cluster.partitions_of("out").unwrap()).unwrap();
         let mut out = Vec::new();
         loop {
@@ -435,7 +428,7 @@ mod tests {
             clock.advance(100);
             app.step().unwrap();
             app.step().unwrap(); // checkpoint 1 complete: k=1 committed
-            // Epoch 2 work that will be LOST in the crash.
+                                 // Epoch 2 work that will be LOST in the crash.
             produce(&cluster, "k", 10, 200);
             app.step().unwrap();
             store = app.object_store().clone();

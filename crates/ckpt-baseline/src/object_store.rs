@@ -95,14 +95,8 @@ impl ObjectStore {
 
     /// List keys with a prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .inner
-            .lock()
-            .blobs
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect();
+        let mut keys: Vec<String> =
+            self.inner.lock().blobs.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         keys.sort();
         keys
     }

@@ -21,10 +21,10 @@
 //! never corrupting committed results (§2.1, §4.2.1).
 
 use crate::assignment::assign_tasks;
-use crate::standby::{assign_standbys, StandbyTask};
 use crate::config::{ProcessingGuarantee, StreamsConfig};
 use crate::error::StreamsError;
 use crate::metrics::StreamsMetrics;
+use crate::standby::{assign_standbys, StandbyTask};
 use crate::task::StreamTask;
 use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
@@ -75,11 +75,8 @@ impl KafkaStreamsApp {
             ProcessingGuarantee::ExactlyOnce => {
                 // One transactional id per instance (EOS-v2). Includes the
                 // app id so epochs fence *incarnations of this instance*.
-                ProducerConfig::transactional(format!(
-                    "{}-{}",
-                    config.application_id, instance_id
-                ))
-                .with_batch_size(config.producer_batch_size)
+                ProducerConfig::transactional(format!("{}-{}", config.application_id, instance_id))
+                    .with_batch_size(config.producer_batch_size)
             }
             ProcessingGuarantee::AtLeastOnce => ProducerConfig {
                 idempotent: false,
@@ -141,8 +138,7 @@ impl KafkaStreamsApp {
         for st in &self.topology.subtopologies {
             for t in &st.source_topics {
                 if !t.internal {
-                    default_parts =
-                        default_parts.max(self.cluster.partition_count(&t.name)?);
+                    default_parts = default_parts.max(self.cluster.partition_count(&t.name)?);
                 }
             }
         }
@@ -182,10 +178,8 @@ impl KafkaStreamsApp {
         // sub-topology.
         for (store, (spec, si)) in &self.topology.stores {
             if spec.changelog {
-                let physical =
-                    format!("{}-{}", self.app_id(), Topology::changelog_topic(store));
-                self.cluster
-                    .create_topic(&physical, TopicConfig::new(counts[si]).compacted())?;
+                let physical = format!("{}-{}", self.app_id(), Topology::changelog_topic(store));
+                self.cluster.create_topic(&physical, TopicConfig::new(counts[si]).compacted())?;
             }
         }
         Ok(counts)
@@ -220,25 +214,35 @@ impl KafkaStreamsApp {
     /// producer — fencing any previous incarnation of this instance
     /// (§4.2.1).
     pub fn start(&mut self) -> Result<(), StreamsError> {
+        // Static verification gate: refuse to run a topology with
+        // error-severity diagnostics (definite defects, plus any rule the
+        // config deny-lists — see `crate::analyze`).
+        let errors: Vec<String> = self
+            .topology
+            .verify_with(&self.config)
+            .into_iter()
+            .filter(|d| d.severity == crate::analyze::Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        if !errors.is_empty() {
+            return Err(StreamsError::InvalidTopology(format!(
+                "topology failed static verification:\n{}",
+                errors.join("\n")
+            )));
+        }
         if self.config.guarantee == ProcessingGuarantee::ExactlyOnce {
             self.producer.init_transactions()?;
         }
         let counts = self.plan_partitions()?;
-        let view = self.cluster.group_join(
-            self.app_id(),
-            &self.instance_id,
-            &self.subscribed_topics(),
-        )?;
+        let view =
+            self.cluster.group_join(self.app_id(), &self.instance_id, &self.subscribed_topics())?;
         self.generation = view.generation;
         let all = self.all_task_ids(&counts);
-        let mine = assign_tasks(&all, &view.members)
+        let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
+        self.adopt_tasks(mine)?;
+        let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
             .remove(&self.instance_id)
             .unwrap_or_default();
-        self.adopt_tasks(mine)?;
-        let my_standbys =
-            assign_standbys(&all, &view.members, self.config.num_standby_replicas)
-                .remove(&self.instance_id)
-                .unwrap_or_default();
         self.adopt_standbys(my_standbys)?;
         self.last_commit_ms = self.cluster.now_ms();
         self.started = true;
@@ -280,10 +284,9 @@ impl KafkaStreamsApp {
             }
             // Committed input offsets drive both the starting positions and
             // the restore bound of source-as-changelog stores.
-            let mut starts = std::collections::HashMap::new();
+            let mut starts = HashMap::new();
             for tp in task.input_partitions() {
-                let committed =
-                    self.cluster.group_committed_offset(self.app_id(), &tp)?;
+                let committed = self.cluster.group_committed_offset(self.app_id(), &tp)?;
                 let start = match committed {
                     Some(off) => off,
                     None => self.cluster.earliest_offset(&tp).unwrap_or(0),
@@ -314,14 +317,11 @@ impl KafkaStreamsApp {
         self.generation = view.generation;
         let counts = self.plan_partitions()?;
         let all = self.all_task_ids(&counts);
-        let mine = assign_tasks(&all, &view.members)
+        let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
+        self.adopt_tasks(mine)?;
+        let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
             .remove(&self.instance_id)
             .unwrap_or_default();
-        self.adopt_tasks(mine)?;
-        let my_standbys =
-            assign_standbys(&all, &view.members, self.config.num_standby_replicas)
-                .remove(&self.instance_id)
-                .unwrap_or_default();
         self.adopt_standbys(my_standbys)?;
         Ok(true)
     }
@@ -337,11 +337,8 @@ impl KafkaStreamsApp {
         let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
         for id in &task_ids {
             let task = self.tasks.get_mut(id).expect("owned");
-            processed += task.poll_and_process(
-                &self.cluster,
-                self.config.max_poll_records,
-                isolation,
-            )?;
+            processed +=
+                task.poll_and_process(&self.cluster, self.config.max_poll_records, isolation)?;
             task.punctuate(self.cluster.now_ms())?;
             // Collect the cycle's writes.
             let outputs = task.take_outputs();
@@ -357,7 +354,12 @@ impl KafkaStreamsApp {
             for (tp, key, value) in changelog {
                 self.producer.send_to_partition(
                     &tp,
-                    klog::Record { key: Some(key), value, timestamp: self.cluster.now_ms(), headers: Vec::new() },
+                    klog::Record {
+                        key: Some(key),
+                        value,
+                        timestamp: self.cluster.now_ms(),
+                        headers: Vec::new(),
+                    },
                 )?;
             }
         }
@@ -548,8 +550,8 @@ mod tests {
     use crate::dsl::StreamsBuilder;
     use kbroker::TopicConfig;
 
-    fn cluster() -> kbroker::Cluster {
-        kbroker::Cluster::builder().brokers(1).replication(1).build()
+    fn cluster() -> Cluster {
+        Cluster::builder().brokers(1).replication(1).build()
     }
 
     fn simple_topology() -> Arc<Topology> {
@@ -562,24 +564,14 @@ mod tests {
     fn step_before_start_is_rejected() {
         let c = cluster();
         c.create_topic("in", TopicConfig::new(1)).unwrap();
-        let mut app = KafkaStreamsApp::new(
-            c,
-            simple_topology(),
-            StreamsConfig::new("app"),
-            "i0",
-        );
+        let mut app = KafkaStreamsApp::new(c, simple_topology(), StreamsConfig::new("app"), "i0");
         assert!(matches!(app.step(), Err(StreamsError::InvalidOperation(_))));
     }
 
     #[test]
     fn start_fails_on_missing_source_topic() {
         let c = cluster();
-        let mut app = KafkaStreamsApp::new(
-            c,
-            simple_topology(),
-            StreamsConfig::new("app"),
-            "i0",
-        );
+        let mut app = KafkaStreamsApp::new(c, simple_topology(), StreamsConfig::new("app"), "i0");
         assert!(app.start().is_err(), "source topic does not exist");
     }
 
@@ -595,8 +587,7 @@ mod tests {
         let right = builder.table::<String, String>("b", "b-store");
         left.join_table(&right, |l, r| format!("{l}{r}")).to("out");
         let topology = Arc::new(builder.build().unwrap());
-        let mut app =
-            KafkaStreamsApp::new(c, topology, StreamsConfig::new("app"), "i0");
+        let mut app = KafkaStreamsApp::new(c, topology, StreamsConfig::new("app"), "i0");
         let err = app.start().unwrap_err();
         assert!(
             matches!(&err, StreamsError::InvalidTopology(msg) if msg.contains("co-partitioned")),
@@ -608,12 +599,7 @@ mod tests {
     fn close_without_start_is_a_noop() {
         let c = cluster();
         c.create_topic("in", TopicConfig::new(1)).unwrap();
-        let mut app = KafkaStreamsApp::new(
-            c,
-            simple_topology(),
-            StreamsConfig::new("app"),
-            "i0",
-        );
+        let mut app = KafkaStreamsApp::new(c, simple_topology(), StreamsConfig::new("app"), "i0");
         app.close().unwrap();
     }
 }

@@ -35,6 +35,10 @@ pub struct StreamsConfig {
     /// Warm standby replicas per task hosted on other instances (§3.3's
     /// state-migration minimization; 0 disables).
     pub num_standby_replicas: usize,
+    /// Verifier rules escalated from warnings to errors
+    /// (`Topology::verify_with`); an app refuses to start while a denied
+    /// rule fires (see `crate::analyze`).
+    pub deny_rules: Vec<crate::analyze::Rule>,
 }
 
 impl StreamsConfig {
@@ -46,7 +50,23 @@ impl StreamsConfig {
             max_poll_records: 512,
             producer_batch_size: 16,
             num_standby_replicas: 0,
+            deny_rules: Vec::new(),
         }
+    }
+
+    /// Escalate a verifier rule to error severity: `start()` refuses to run
+    /// a topology on which the rule fires.
+    pub fn deny_rule(mut self, rule: crate::analyze::Rule) -> Self {
+        if !self.deny_rules.contains(&rule) {
+            self.deny_rules.push(rule);
+        }
+        self
+    }
+
+    /// Escalate every verifier rule to error severity.
+    pub fn deny_all_rules(mut self) -> Self {
+        self.deny_rules = crate::analyze::Rule::ALL.to_vec();
+        self
     }
 
     /// Enable exactly-once processing (§4.3's single configuration switch).

@@ -68,12 +68,7 @@ impl StreamsBuilder {
         let node = b
             .add_source(name, TopicRef::external(topic), ValueMode::Plain)
             .expect("generated names are unique");
-        KStream {
-            inner: self.inner.clone(),
-            node,
-            repartition_required: false,
-            _pd: PhantomData,
-        }
+        KStream { inner: self.inner.clone(), node, repartition_required: false, _pd: PhantomData }
     }
 
     /// An evolving table from `topic`: the topic is interpreted as a
@@ -92,12 +87,10 @@ impl StreamsBuilder {
         b.set_source_changelog(store, TopicRef::external(topic)).expect("store just added");
         let name = b.next_name("KTABLE-MATERIALIZE");
         let store_name = store.to_string();
-        let factory: ProcessorFactory = Arc::new(move || {
-            Box::new(ops::TableMaterialize { store: store_name.clone() })
-        });
-        let node = b
-            .add_processor(name, factory, &[src], vec![store.to_string()])
-            .expect("valid parent");
+        let factory: ProcessorFactory =
+            Arc::new(move || Box::new(ops::TableMaterialize { store: store_name.clone() }));
+        let node =
+            b.add_processor(name, factory, &[src], vec![store.to_string()]).expect("valid parent");
         KTable {
             inner: self.inner.clone(),
             node,
@@ -144,17 +137,18 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
     ) -> KStream<K2, V2> {
         let mut b = self.inner.borrow_mut();
         let name = b.next_name(role);
-        let node = b
-            .add_processor(name, fn_op_factory(body), &[self.node], vec![])
-            .expect("valid parent");
-        KStream { inner: self.inner.clone(), node, repartition_required: repartition, _pd: PhantomData }
+        let node =
+            b.add_processor(name, fn_op_factory(body), &[self.node], vec![]).expect("valid parent");
+        KStream {
+            inner: self.inner.clone(),
+            node,
+            repartition_required: repartition,
+            _pd: PhantomData,
+        }
     }
 
     /// Keep records satisfying the predicate.
-    pub fn filter(
-        &self,
-        f: impl Fn(&K, &V) -> bool + Send + Sync + 'static,
-    ) -> KStream<K, V> {
+    pub fn filter(&self, f: impl Fn(&K, &V) -> bool + Send + Sync + 'static) -> KStream<K, V> {
         let body: FnOpBody = Arc::new(move |ctx, rec| {
             let Some(v) = &rec.new else { return };
             if f(&de_key::<K>(&rec.key), &de_val::<V>(v)) {
@@ -172,7 +166,12 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
         let body: FnOpBody = Arc::new(move |ctx, rec| {
             let Some(v) = &rec.new else { return };
             let v2 = f(&de_key::<K>(&rec.key), &de_val::<V>(v));
-            ctx.forward(FlowRecord { key: rec.key, new: Some(v2.to_bytes()), old: None, ts: rec.ts });
+            ctx.forward(FlowRecord {
+                key: rec.key,
+                new: Some(v2.to_bytes()),
+                old: None,
+                ts: rec.ts,
+            });
         });
         self.stateless("KSTREAM-MAPVALUES", body, self.repartition_required)
     }
@@ -193,7 +192,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
                 ts: rec.ts,
             });
         });
-        self.stateless("KSTREAM-MAP", body, true)
+        let s = self.stateless("KSTREAM-MAP", body, true);
+        self.inner.borrow_mut().tag_key_changing(s.node);
+        s
     }
 
     /// Change the key only.
@@ -206,7 +207,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
             let k2 = f(&de_key::<K>(&rec.key), &de_val::<V>(v));
             ctx.forward(FlowRecord { key: Some(k2.to_bytes()), ..rec });
         });
-        self.stateless("KSTREAM-SELECTKEY", body, true)
+        let s = self.stateless("KSTREAM-SELECTKEY", body, true);
+        self.inner.borrow_mut().tag_key_changing(s.node);
+        s
     }
 
     /// One record in, any number out.
@@ -229,10 +232,7 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
     }
 
     /// Keep records NOT satisfying the predicate.
-    pub fn filter_not(
-        &self,
-        f: impl Fn(&K, &V) -> bool + Send + Sync + 'static,
-    ) -> KStream<K, V> {
+    pub fn filter_not(&self, f: impl Fn(&K, &V) -> bool + Send + Sync + 'static) -> KStream<K, V> {
         self.filter(move |k, v| !f(k, v))
     }
 
@@ -253,7 +253,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
                 });
             }
         });
-        self.stateless("KSTREAM-FLATMAP", body, true)
+        let s = self.stateless("KSTREAM-FLATMAP", body, true);
+        self.inner.borrow_mut().tag_key_changing(s.node);
+        s
     }
 
     /// Split the stream: records satisfying the predicate go to the first
@@ -276,9 +278,8 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
         b.add_store(StoreSpec::new(store, StoreKind::KeyValue)).expect("unique store name");
         let name = b.next_name("KSTREAM-TOTABLE");
         let store_name = store.to_string();
-        let factory: ProcessorFactory = Arc::new(move || {
-            Box::new(ops::TableMaterialize { store: store_name.clone() })
-        });
+        let factory: ProcessorFactory =
+            Arc::new(move || Box::new(ops::TableMaterialize { store: store_name.clone() }));
         let node = b
             .add_processor(name, factory, &[self.node], vec![store.to_string()])
             .expect("valid parent");
@@ -310,6 +311,7 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
         let node = b
             .add_processor(name, fn_op_factory(body), &[self.node, other.node], vec![])
             .expect("valid parents");
+        b.tag_join(node);
         KStream {
             inner: self.inner.clone(),
             node,
@@ -332,8 +334,10 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
             b.add_store(spec).expect("unique store name");
         }
         let name = b.next_name("KSTREAM-PROCESSOR");
-        let node =
-            b.add_processor(name, factory, &[self.node], store_names).expect("valid parent");
+        let node = b.add_processor(name, factory, &[self.node], store_names).expect("valid parent");
+        // A custom processor may emit arbitrary keys; treat it as
+        // key-changing for co-partitioning analysis.
+        b.tag_key_changing(node);
         KStream { inner: self.inner.clone(), node, repartition_required: true, _pd: PhantomData }
     }
 
@@ -405,9 +409,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
                 left: !inner_join,
             })
         });
-        let node = b
-            .add_processor(name, factory, &[self.node], vec![table_store])
-            .expect("valid parent");
+        let node =
+            b.add_processor(name, factory, &[self.node], vec![table_store]).expect("valid parent");
+        b.tag_join(node);
         KStream {
             inner: self.inner.clone(),
             node,
@@ -455,11 +459,8 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
     ) -> KStream<K, VR> {
         let joiner: JoinFn = Arc::new(move |l, r| {
             Some(
-                f(
-                    l.map(|b| de_val::<V>(b)).as_ref(),
-                    r.map(|b| de_val::<V2>(b)).as_ref(),
-                )
-                .to_bytes(),
+                f(l.map(|b| de_val::<V>(b)).as_ref(), r.map(|b| de_val::<V2>(b)).as_ref())
+                    .to_bytes(),
             )
         });
         self.stream_join_internal(other, window, joiner, true, true)
@@ -477,12 +478,18 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
         let base = b.next_name("KSTREAM-JOIN");
         let buf_l = format!("{base}-left-buffer");
         let buf_r = format!("{base}-right-buffer");
-        b.add_store(StoreSpec::new(&buf_l, StoreKind::Window)).expect("unique");
-        b.add_store(StoreSpec::new(&buf_r, StoreKind::Window)).expect("unique");
+        // Join buffers must survive restore for the full horizon a record
+        // can still pair or pad: window span plus grace (§5).
+        let retention = (window.before_ms + window.after_ms + window.grace_ms).max(1);
+        b.add_store(StoreSpec::new(&buf_l, StoreKind::Window).with_retention_ms(retention))
+            .expect("unique");
+        b.add_store(StoreSpec::new(&buf_r, StoreKind::Window).with_retention_ms(retention))
+            .expect("unique");
         let pend_l = left_pads.then(|| format!("{base}-left-pending"));
         let pend_r = right_pads.then(|| format!("{base}-right-pending"));
         for p in pend_l.iter().chain(pend_r.iter()) {
-            b.add_store(StoreSpec::new(p, StoreKind::Window)).expect("unique");
+            b.add_store(StoreSpec::new(p, StoreKind::Window).with_retention_ms(retention))
+                .expect("unique");
         }
         let mut left_stores = vec![buf_l.clone(), buf_r.clone()];
         left_stores.extend(pend_l.iter().cloned());
@@ -526,12 +533,15 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
             let jr = b
                 .add_processor(name_r, right_factory, &[other.node], right_stores)
                 .expect("valid parent");
+            b.tag_grace(jl, window.grace_ms);
+            b.tag_grace(jr, window.grace_ms);
             (jl, jr)
         };
         let merge_name = b.next_name("KSTREAM-JOINMERGE");
         let body: FnOpBody = Arc::new(|ctx, rec| ctx.forward(rec));
         let node =
             b.add_processor(merge_name, fn_op_factory(body), &[jl, jr], vec![]).expect("valid");
+        b.tag_join(node);
         KStream { inner: self.inner.clone(), node, repartition_required: false, _pd: PhantomData }
     }
 }
@@ -552,7 +562,11 @@ impl<K: KSerde, V: KSerde> KGroupedStream<K, V> {
             return self.node;
         }
         let topic = format!("{}-repartition", b.next_name("KSTREAM-AGGREGATE"));
-        b.add_internal_topic(InternalTopic { name: topic.clone(), compacted: false, partitions: None });
+        b.add_internal_topic(InternalTopic {
+            name: topic.clone(),
+            compacted: false,
+            partitions: None,
+        });
         let sink = b.next_name("KSTREAM-REPARTITION-SINK");
         b.add_sink(sink, TopicRef::internal(topic.clone()), mode, &[self.node])
             .expect("valid parent");
@@ -573,9 +587,8 @@ impl<K: KSerde, V: KSerde> KGroupedStream<K, V> {
                 sub: sub.clone(),
             })
         });
-        let n = b
-            .add_processor(name, factory, &[node], vec![store.to_string()])
-            .expect("valid parent");
+        let n =
+            b.add_processor(name, factory, &[node], vec![store.to_string()]).expect("valid parent");
         KTable {
             inner: self.inner.clone(),
             node: n,
@@ -650,14 +663,14 @@ impl<K: KSerde, V: KSerde> KGroupedStream<K, V> {
 
 fn count_add() -> AggFn {
     Arc::new(|cur, _v| {
-        let n = cur.map(|b| i64::from_bytes(&b).expect("count state")).unwrap_or(0);
+        let n = cur.map_or(0, |b| i64::from_bytes(&b).expect("count state"));
         Some((n + 1).to_bytes())
     })
 }
 
 fn count_sub() -> AggFn {
     Arc::new(|cur, _v| {
-        let n = cur.map(|b| i64::from_bytes(&b).expect("count state")).unwrap_or(0);
+        let n = cur.map_or(0, |b| i64::from_bytes(&b).expect("count state"));
         Some((n - 1).to_bytes())
     })
 }
@@ -672,20 +685,21 @@ impl<K: KSerde, V: KSerde> TimeWindowedKStream<K, V> {
     fn window_aggregate<VA: KSerde>(&self, store: &str, agg: AggFn) -> KTable<Windowed<K>, VA> {
         let mut b = self.grouped.inner.borrow_mut();
         let node = self.grouped.partitioned_node(&mut b, ValueMode::Plain);
-        b.add_store(StoreSpec::new(store, StoreKind::Window)).expect("unique store name");
+        // A restored window must cover the full liveness horizon: window
+        // size plus grace (§5); shorter retention silently truncates
+        // completeness after a failover.
+        let retention = (self.windows.size_ms + self.windows.grace_ms).max(1);
+        b.add_store(StoreSpec::new(store, StoreKind::Window).with_retention_ms(retention))
+            .expect("unique store name");
         let name = b.next_name("KSTREAM-WINDOW-AGGREGATE");
         let store_name = store.to_string();
         let windows = self.windows;
         let factory: ProcessorFactory = Arc::new(move || {
-            Box::new(ops::WindowAggregate {
-                store: store_name.clone(),
-                windows,
-                agg: agg.clone(),
-            })
+            Box::new(ops::WindowAggregate { store: store_name.clone(), windows, agg: agg.clone() })
         });
-        let n = b
-            .add_processor(name, factory, &[node], vec![store.to_string()])
-            .expect("valid parent");
+        let n =
+            b.add_processor(name, factory, &[node], vec![store.to_string()]).expect("valid parent");
+        b.tag_grace(n, self.windows.grace_ms);
         KTable {
             inner: self.grouped.inner.clone(),
             node: n,
@@ -766,9 +780,7 @@ impl<K: KSerde, V: KSerde> SessionWindowedKStream<K, V> {
                 Some(c) => f(&de_val::<V>(&c), &v).to_bytes(),
             })
         });
-        let merge: MergeFn = Arc::new(move |a, b| {
-            f2(&de_val::<V>(a), &de_val::<V>(b)).to_bytes()
-        });
+        let merge: MergeFn = Arc::new(move |a, b| f2(&de_val::<V>(a), &de_val::<V>(b)).to_bytes());
         self.session_aggregate(store, add, merge)
     }
 
@@ -780,7 +792,10 @@ impl<K: KSerde, V: KSerde> SessionWindowedKStream<K, V> {
     ) -> KTable<Windowed<K>, VA> {
         let mut b = self.grouped.inner.borrow_mut();
         let node = self.grouped.partitioned_node(&mut b, ValueMode::Plain);
-        b.add_store(StoreSpec::new(store, StoreKind::Session)).expect("unique store name");
+        // A session stays extendable for gap + grace after its last record.
+        let retention = (self.windows.gap_ms + self.windows.grace_ms).max(1);
+        b.add_store(StoreSpec::new(store, StoreKind::Session).with_retention_ms(retention))
+            .expect("unique store name");
         let name = b.next_name("KSTREAM-SESSION-AGGREGATE");
         let store_name = store.to_string();
         let windows = self.windows;
@@ -792,9 +807,9 @@ impl<K: KSerde, V: KSerde> SessionWindowedKStream<K, V> {
                 merge: merge.clone(),
             })
         });
-        let n = b
-            .add_processor(name, factory, &[node], vec![store.to_string()])
-            .expect("valid parent");
+        let n =
+            b.add_processor(name, factory, &[node], vec![store.to_string()]).expect("valid parent");
+        b.tag_grace(n, self.windows.grace_ms);
         KTable {
             inner: self.grouped.inner.clone(),
             node: n,
@@ -846,9 +861,8 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         b.add_store(StoreSpec::new(&store, StoreKind::KeyValue)).expect("unique store name");
         let name = b.next_name("KTABLE-MATERIALIZE");
         let store_name = store.clone();
-        let factory: ProcessorFactory = Arc::new(move || {
-            Box::new(ops::TableMaterialize { store: store_name.clone() })
-        });
+        let factory: ProcessorFactory =
+            Arc::new(move || Box::new(ops::TableMaterialize { store: store_name.clone() }));
         let node = b
             .add_processor(name, factory, &[self.node], vec![store.clone()])
             .expect("valid parent");
@@ -863,17 +877,13 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         let body: FnOpBody = Arc::new(|ctx, rec| {
             ctx.forward(FlowRecord { old: None, ..rec });
         });
-        let node = b
-            .add_processor(name, fn_op_factory(body), &[self.node], vec![])
-            .expect("valid parent");
+        let node =
+            b.add_processor(name, fn_op_factory(body), &[self.node], vec![]).expect("valid parent");
         KStream { inner: self.inner.clone(), node, repartition_required: false, _pd: PhantomData }
     }
 
     /// Filter the table; rows failing the predicate become deletions.
-    pub fn filter(
-        &self,
-        f: impl Fn(&K, &V) -> bool + Send + Sync + 'static,
-    ) -> KTable<K, V> {
+    pub fn filter(&self, f: impl Fn(&K, &V) -> bool + Send + Sync + 'static) -> KTable<K, V> {
         let body: FnOpBody = Arc::new(move |ctx, rec| {
             let key = de_key::<K>(&rec.key);
             let keep = |v: &Option<Bytes>| -> Option<Bytes> {
@@ -907,13 +917,22 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         self.stateless_table("KTABLE-MAPVALUES", body)
     }
 
-    fn stateless_table<K2: KSerde, V2: KSerde>(&self, role: &str, body: FnOpBody) -> KTable<K2, V2> {
+    fn stateless_table<K2: KSerde, V2: KSerde>(
+        &self,
+        role: &str,
+        body: FnOpBody,
+    ) -> KTable<K2, V2> {
         let mut b = self.inner.borrow_mut();
         let name = b.next_name(role);
-        let node = b
-            .add_processor(name, fn_op_factory(body), &[self.node], vec![])
-            .expect("valid parent");
-        KTable { inner: self.inner.clone(), node, store: None, windows: self.windows, _pd: PhantomData }
+        let node =
+            b.add_processor(name, fn_op_factory(body), &[self.node], vec![]).expect("valid parent");
+        KTable {
+            inner: self.inner.clone(),
+            node,
+            store: None,
+            windows: self.windows,
+            _pd: PhantomData,
+        }
     }
 
     /// Table-table inner join (§5's table-valued join: out-of-order updates
@@ -953,11 +972,8 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
                 None
             } else {
                 Some(
-                    f(
-                        l.map(|b| de_val::<V>(b)).as_ref(),
-                        r.map(|b| de_val::<V2>(b)).as_ref(),
-                    )
-                    .to_bytes(),
+                    f(l.map(|b| de_val::<V>(b)).as_ref(), r.map(|b| de_val::<V2>(b)).as_ref())
+                        .to_bytes(),
                 )
             }
         });
@@ -994,13 +1010,12 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         let jl = b
             .add_processor(name_l, left_factory, &[left_node], stores.clone())
             .expect("valid parent");
-        let jr = b
-            .add_processor(name_r, right_factory, &[right_node], stores)
-            .expect("valid parent");
+        let jr =
+            b.add_processor(name_r, right_factory, &[right_node], stores).expect("valid parent");
         let merge = b.next_name("KTABLE-JOINMERGE");
         let body: FnOpBody = Arc::new(|ctx, rec| ctx.forward(rec));
-        let node =
-            b.add_processor(merge, fn_op_factory(body), &[jl, jr], vec![]).expect("valid");
+        let node = b.add_processor(merge, fn_op_factory(body), &[jl, jr], vec![]).expect("valid");
+        b.tag_join(node);
         KTable { inner: self.inner.clone(), node, store: None, windows: None, _pd: PhantomData }
     }
 
@@ -1037,9 +1052,9 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
                 });
             }
         });
-        let node = b
-            .add_processor(name, fn_op_factory(body), &[self.node], vec![])
-            .expect("valid parent");
+        let node =
+            b.add_processor(name, fn_op_factory(body), &[self.node], vec![]).expect("valid parent");
+        b.tag_key_changing(node);
         drop(b);
         KGroupedTable { inner: self.inner.clone(), node, _pd: PhantomData }
     }
@@ -1068,13 +1083,21 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         b.add_store(StoreSpec::new(&store, StoreKind::KeyValue)).expect("unique store name");
         let name = b.next_name("KTABLE-SUPPRESS");
         let store_name = store.clone();
-        let factory: ProcessorFactory = Arc::new(move || {
-            Box::new(ops::Suppress { store: store_name.clone(), mode })
-        });
-        let node = b
-            .add_processor(name, factory, &[self.node], vec![store])
-            .expect("valid parent");
-        KTable { inner: self.inner.clone(), node, store: None, windows: self.windows, _pd: PhantomData }
+        let upstream_grace = match mode {
+            ops::SuppressMode::WindowClose { grace_ms, .. } => Some(grace_ms),
+            ops::SuppressMode::TimeLimit { .. } => None,
+        };
+        let factory: ProcessorFactory =
+            Arc::new(move || Box::new(ops::Suppress { store: store_name.clone(), mode }));
+        let node = b.add_processor(name, factory, &[self.node], vec![store]).expect("valid parent");
+        b.tag_suppress(node, upstream_grace);
+        KTable {
+            inner: self.inner.clone(),
+            node,
+            store: None,
+            windows: self.windows,
+            _pd: PhantomData,
+        }
     }
 }
 
@@ -1091,7 +1114,11 @@ impl<K: KSerde, V: KSerde> KGroupedTable<K, V> {
         // Always repartition: group_by re-keys by definition. Revisions
         // cross with Change encoding.
         let topic = format!("{}-repartition", b.next_name("KTABLE-AGGREGATE"));
-        b.add_internal_topic(InternalTopic { name: topic.clone(), compacted: false, partitions: None });
+        b.add_internal_topic(InternalTopic {
+            name: topic.clone(),
+            compacted: false,
+            partitions: None,
+        });
         let sink = b.next_name("KTABLE-REPARTITION-SINK");
         b.add_sink(sink, TopicRef::internal(topic.clone()), ValueMode::Change, &[self.node])
             .expect("valid parent");
@@ -1109,9 +1136,8 @@ impl<K: KSerde, V: KSerde> KGroupedTable<K, V> {
                 sub: sub.clone(),
             })
         });
-        let n = b
-            .add_processor(name, factory, &[src], vec![store.to_string()])
-            .expect("valid parent");
+        let n =
+            b.add_processor(name, factory, &[src], vec![store.to_string()]).expect("valid parent");
         KTable {
             inner: self.inner.clone(),
             node: n,

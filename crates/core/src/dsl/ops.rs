@@ -15,10 +15,10 @@
 //! * **[`Suppress`]** — optional buffering that consolidates revision storms
 //!   before they travel downstream (§5, §6.2).
 
+use crate::dsl::windows::{JoinWindows, SessionWindows, TimeWindows};
 use crate::kserde::{decode_list, decode_windowed_key, encode_list, KSerde};
 use crate::processor::{Processor, ProcessorContext};
 use crate::record::FlowRecord;
-use crate::dsl::windows::{JoinWindows, SessionWindows, TimeWindows};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -380,8 +380,7 @@ impl Processor for StreamStreamJoin {
             }
         }
         // GC my buffer: records no other side can reach any more.
-        let max_reach =
-            self.window.before_ms.max(self.window.after_ms) + self.window.grace_ms;
+        let max_reach = self.window.before_ms.max(self.window.after_ms) + self.window.grace_ms;
         let horizon = ctx.stream_time().saturating_sub(max_reach);
         ctx.window_expire(&self.my_buffer, horizon);
     }
@@ -395,12 +394,7 @@ impl Processor for StreamStreamJoin {
             if self.my_expiry(ts) < stream_time {
                 for val in decode_list(&packed).expect("buffer") {
                     let joined = self.oriented(Some(&val), None);
-                    ctx.forward(FlowRecord {
-                        key: Some(key.clone()),
-                        old: None,
-                        new: joined,
-                        ts,
-                    });
+                    ctx.forward(FlowRecord { key: Some(key.clone()), old: None, new: joined, ts });
                 }
                 ctx.window_put(mp.as_str(), key, ts, None);
             }

@@ -23,6 +23,7 @@
 //!   materialized views of compacted changelog topics; task migration
 //!   restores them by replay.
 
+pub mod analyze;
 pub mod app;
 pub mod assignment;
 pub mod config;
@@ -37,6 +38,7 @@ pub mod state;
 pub mod task;
 pub mod topology;
 
+pub use analyze::{Diagnostic, Rule, Severity};
 pub use app::KafkaStreamsApp;
 pub use config::{ProcessingGuarantee, StreamsConfig};
 pub use dsl::windows::{JoinWindows, SessionWindows, TimeWindows, Windowed};

@@ -247,7 +247,7 @@ mod tests {
         fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord) {
             let key = record.key.clone().unwrap();
             let old = ctx.kv_get(self.store, &key);
-            let n = old.map(|b| i64::from_be_bytes(b.as_ref().try_into().unwrap())).unwrap_or(0);
+            let n = old.map_or(0, |b| i64::from_be_bytes(b.as_ref().try_into().unwrap()));
             let new = Bytes::copy_from_slice(&(n + 1).to_be_bytes());
             ctx.kv_put(self.store, key.clone(), Some(new.clone()));
             ctx.forward(FlowRecord { key: Some(key), new: Some(new), old: None, ts: record.ts });
@@ -271,9 +271,8 @@ mod tests {
     fn linear_pipeline_transforms_and_sinks() {
         let mut b = InternalBuilder::new();
         let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
-        let p = b
-            .add_processor("d".into(), Arc::new(|| Box::new(Doubler)), &[src], vec![])
-            .unwrap();
+        let p =
+            b.add_processor("d".into(), Arc::new(|| Box::new(Doubler)), &[src], vec![]).unwrap();
         b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Plain, &[p]).unwrap();
         let t = b.build().unwrap();
         let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
@@ -324,7 +323,9 @@ mod tests {
         let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
         let mut env = TaskEnv::new(0);
         let wire = encode_change(&Some(i64b(1)), &Some(i64b(2)));
-        driver.process(&mut env, "in", Some(Bytes::from_static(b"k")), Some(wire.clone()), 0).unwrap();
+        driver
+            .process(&mut env, "in", Some(Bytes::from_static(b"k")), Some(wire.clone()), 0)
+            .unwrap();
         assert_eq!(env.outputs[0].value, Some(wire));
     }
 

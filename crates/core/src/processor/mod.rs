@@ -24,8 +24,7 @@ pub trait Processor {
     /// Called after each poll round with the task's current stream time and
     /// wall-clock time. Used by operators with time-driven output (suppress,
     /// outer-join null padding, window GC).
-    fn punctuate(&mut self, _ctx: &mut ProcessorContext<'_>, _stream_time: i64, _wall_time: i64) {
-    }
+    fn punctuate(&mut self, _ctx: &mut ProcessorContext<'_>, _stream_time: i64, _wall_time: i64) {}
 }
 
 /// A store instance plus its changelogging flag, owned by a task.
@@ -149,8 +148,7 @@ impl<'a> ProcessorContext<'a> {
         window_start: i64,
         value: Option<Bytes>,
     ) -> Option<Bytes> {
-        let old =
-            self.entry(store).store.as_window().put(key.clone(), window_start, value.clone());
+        let old = self.entry(store).store.as_window().put(key.clone(), window_start, value.clone());
         self.log_change(store, Store::windowed_changelog_key(&key, window_start), value);
         old
     }

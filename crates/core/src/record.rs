@@ -69,7 +69,8 @@ mod tests {
 
     #[test]
     fn stream_record_has_no_old() {
-        let r = FlowRecord::stream(Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 5);
+        let r =
+            FlowRecord::stream(Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 5);
         assert!(!r.is_revision());
         assert_eq!(r.ts, 5);
     }

@@ -49,8 +49,7 @@ impl StandbyTask {
                 StoreEntry { store: Store::new(spec.kind), spec: spec.clone() },
             );
             let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
-            positions
-                .insert(store_name.clone(), (TopicPartition::new(topic, id.partition), 0));
+            positions.insert(store_name.clone(), (TopicPartition::new(topic, id.partition), 0));
         }
         Ok(Self { id, stores, positions, records_applied: 0 })
     }
@@ -171,10 +170,7 @@ mod tests {
         let standbys = assign_standbys(&tasks, &members, 1);
         for (member, stand) in &standbys {
             for t in stand {
-                assert!(
-                    !actives[member].contains(t),
-                    "{member} hosts {t} both active and standby"
-                );
+                assert!(!actives[member].contains(t), "{member} hosts {t} both active and standby");
             }
         }
     }

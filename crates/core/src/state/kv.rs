@@ -30,8 +30,7 @@ impl KvStore {
 
     /// Iterate entries with keys in `[from, to)` in key order.
     pub fn range(&self, from: &[u8], to: &[u8]) -> impl Iterator<Item = (&Bytes, &Bytes)> {
-        self.map
-            .range::<[u8], _>((Bound::Included(from), Bound::Excluded(to)))
+        self.map.range::<[u8], _>((Bound::Included(from), Bound::Excluded(to)))
     }
 
     /// Iterate all entries in key order.

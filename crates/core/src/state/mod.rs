@@ -38,16 +38,29 @@ pub struct StoreSpec {
     pub kind: StoreKind,
     /// Whether writes replicate to a changelog topic (§3.2: on by default).
     pub changelog: bool,
+    /// Retention of the changelog topic in ms; `None` means unbounded
+    /// (compaction only). Windowed/session stores must retain at least
+    /// window size + grace (§5), or late records can no longer be restored
+    /// after a failover — the verifier's `grace-exceeds-retention` rule
+    /// checks this.
+    pub retention_ms: Option<i64>,
 }
 
 impl StoreSpec {
     pub fn new(name: impl Into<String>, kind: StoreKind) -> Self {
-        Self { name: name.into(), kind, changelog: true }
+        Self { name: name.into(), kind, changelog: true, retention_ms: None }
     }
 
     /// Disable changelogging (volatile store).
     pub fn without_changelog(mut self) -> Self {
         self.changelog = false;
+        self
+    }
+
+    /// Bound changelog retention to `ms` milliseconds.
+    pub fn with_retention_ms(mut self, ms: i64) -> Self {
+        assert!(ms > 0);
+        self.retention_ms = Some(ms);
         self
     }
 }

@@ -39,11 +39,8 @@ impl WindowStore {
         if from > to {
             return Vec::new();
         }
-        let upper = if to == i64::MAX {
-            Bound::Unbounded
-        } else {
-            Bound::Excluded((to + 1, Bytes::new()))
-        };
+        let upper =
+            if to == i64::MAX { Bound::Unbounded } else { Bound::Excluded((to + 1, Bytes::new())) };
         self.map
             .range((Bound::Included((from, Bytes::new())), upper))
             .filter(|((_, k), _)| k.as_ref() == key)

@@ -73,8 +73,7 @@ impl StreamTask {
             );
             if spec.changelog {
                 let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
-                changelog_tps
-                    .insert(store_name.clone(), TopicPartition::new(topic, id.partition));
+                changelog_tps.insert(store_name.clone(), TopicPartition::new(topic, id.partition));
             } else if let Some(source) = topology.source_changelogs.get(store_name) {
                 source_restore_tps.insert(
                     store_name.clone(),
@@ -107,7 +106,7 @@ impl StreamTask {
     /// positions, instead of the full changelog.
     pub fn adopt_warm_stores(
         &mut self,
-        stores: HashMap<String, crate::processor::StoreEntry>,
+        stores: HashMap<String, StoreEntry>,
         positions: HashMap<String, (TopicPartition, i64)>,
     ) {
         for (name, entry) in stores {
@@ -163,8 +162,7 @@ impl StreamTask {
                         break;
                     }
                     if let Some(key) = &rec.key {
-                        let entry =
-                            self.env.stores.get_mut(&store_name).expect("store exists");
+                        let entry = self.env.stores.get_mut(&store_name).expect("store exists");
                         entry.store.apply_changelog(key, rec.value.clone());
                         self.env.metrics.restore_records += 1;
                     }
@@ -187,8 +185,7 @@ impl StreamTask {
                 }
                 for (_, rec) in fetch.records() {
                     if let Some(key) = &rec.key {
-                        let entry =
-                            self.env.stores.get_mut(&store_name).expect("store exists");
+                        let entry = self.env.stores.get_mut(&store_name).expect("store exists");
                         entry.store.apply_changelog(key, rec.value.clone());
                         self.env.metrics.restore_records += 1;
                     }
@@ -238,8 +235,7 @@ impl StreamTask {
                 // Mark skipped trailing markers/aborted data as processed if
                 // no data records were returned for them.
                 if fetch.count() == 0 {
-                    let processed =
-                        self.processed_positions.entry(tp.clone()).or_insert(pos);
+                    let processed = self.processed_positions.entry(tp.clone()).or_insert(pos);
                     if *processed == pos {
                         *processed = fetch.next_offset;
                     }
@@ -260,11 +256,7 @@ impl StreamTask {
             }
             let Some((input_idx, _)) = best else { break };
             let (logical, tp) = self.inputs[input_idx].clone();
-            let rec = self
-                .buffers
-                .get_mut(&tp)
-                .and_then(|b| b.pop_front())
-                .expect("head existed");
+            let rec = self.buffers.get_mut(&tp).and_then(|b| b.pop_front()).expect("head existed");
             self.driver.process(&mut self.env, &logical, rec.key, rec.value, rec.ts)?;
             self.processed_positions.insert(tp.clone(), rec.offset + 1);
             processed += 1;

@@ -8,7 +8,7 @@
 //!
 //! [`build`]: InternalBuilder::build
 
-use super::node::{Node, NodeKind, ProcessorFactory, TopicRef, ValueMode};
+use super::node::{Node, NodeKind, NodeTags, ProcessorFactory, TopicRef, ValueMode};
 use super::{InternalTopic, SubTopology, Topology};
 use crate::error::StreamsError;
 use crate::state::StoreSpec;
@@ -47,8 +47,32 @@ impl InternalBuilder {
         }
         let idx = self.nodes.len();
         self.names.insert(name.clone(), idx);
-        self.nodes.push(Node { name, kind, children: Vec::new() });
+        self.nodes.push(Node { name, kind, children: Vec::new(), tags: NodeTags::default() });
         Ok(idx)
+    }
+
+    /// Mark a node as key-changing (output key may differ from input key).
+    pub fn tag_key_changing(&mut self, node: usize) {
+        self.nodes[node].tags.key_changing = true;
+    }
+
+    /// Mark a node as a join/merge (inputs must be co-partitioned).
+    pub fn tag_join(&mut self, node: usize) {
+        self.nodes[node].tags.join = true;
+    }
+
+    /// Record the grace period of a windowed operator node.
+    pub fn tag_grace(&mut self, node: usize, grace_ms: i64) {
+        self.nodes[node].tags.grace_ms = Some(grace_ms);
+    }
+
+    /// Mark a node as a suppress operator, with the upstream window's grace
+    /// period when known.
+    pub fn tag_suppress(&mut self, node: usize, upstream_grace_ms: Option<i64>) {
+        self.nodes[node].tags.suppress = true;
+        if let Some(g) = upstream_grace_ms {
+            self.nodes[node].tags.grace_ms = Some(g);
+        }
     }
 
     /// Add a source node reading `topic`.
@@ -69,11 +93,10 @@ impl InternalBuilder {
         parents: &[usize],
         stores: Vec<String>,
     ) -> Result<usize, StreamsError> {
-        for s in &stores {
-            if !self.stores.contains_key(s) {
-                return Err(StreamsError::InvalidTopology(format!("unknown store {s}")));
-            }
-        }
+        // A reference to an undeclared store is *not* rejected here: the
+        // verifier (`crate::analyze`, rule `undeclared-store`) reports it as
+        // an error-severity diagnostic on the built topology, so all
+        // topology defects surface through one channel.
         let idx = self.insert(name, NodeKind::Processor { factory, stores: stores.clone() })?;
         for s in stores {
             self.store_users.entry(s).or_default().push(idx);
@@ -95,7 +118,10 @@ impl InternalBuilder {
         Ok(idx)
     }
 
-    fn connect(&mut self, parents: &[usize], child: usize) -> Result<(), StreamsError> {
+    /// Wire explicit parent→child edges (the Processor API's free-form
+    /// wiring). The builder only rejects self-edges; larger cycles are
+    /// reported by the verifier (`crate::analyze`, rule `cycle`).
+    pub fn connect(&mut self, parents: &[usize], child: usize) -> Result<(), StreamsError> {
         for &p in parents {
             if p >= self.nodes.len() {
                 return Err(StreamsError::InvalidTopology(format!("unknown parent node {p}")));
@@ -111,10 +137,7 @@ impl InternalBuilder {
     /// Declare a state store.
     pub fn add_store(&mut self, spec: StoreSpec) -> Result<(), StreamsError> {
         if self.stores.contains_key(&spec.name) {
-            return Err(StreamsError::InvalidTopology(format!(
-                "duplicate store {}",
-                spec.name
-            )));
+            return Err(StreamsError::InvalidTopology(format!("duplicate store {}", spec.name)));
         }
         self.stores.insert(spec.name.clone(), spec);
         Ok(())
@@ -123,7 +146,11 @@ impl InternalBuilder {
     /// Mark a store as restorable from `topic` directly: no changelog topic
     /// is created and writes are not changelogged — the source *is* the
     /// changelog (§3.3's optimization for tables read straight off a topic).
-    pub fn set_source_changelog(&mut self, store: &str, topic: TopicRef) -> Result<(), StreamsError> {
+    pub fn set_source_changelog(
+        &mut self,
+        store: &str,
+        topic: TopicRef,
+    ) -> Result<(), StreamsError> {
         let spec = self
             .stores
             .get_mut(store)
@@ -207,16 +234,24 @@ impl InternalBuilder {
                     "sub-topology {si} has no source"
                 )));
             }
-            subtopologies.push(SubTopology { nodes: group.clone(), source_topics, stores: Vec::new() });
+            subtopologies.push(SubTopology {
+                nodes: group.clone(),
+                source_topics,
+                stores: Vec::new(),
+            });
         }
 
         // Attach stores to their owning sub-topology and create changelog
-        // topics.
+        // topics. Declared-but-unused stores are kept aside for the
+        // verifier (rule `unused-store`) instead of failing the build.
+        let declared: Vec<String> = self.stores.keys().cloned().collect();
         let mut stores: BTreeMap<String, (StoreSpec, usize)> = BTreeMap::new();
+        let mut unused_stores = Vec::new();
         for (name, spec) in std::mem::take(&mut self.stores) {
             let users = self.store_users.get(&name).cloned().unwrap_or_default();
             let Some(&first) = users.first() else {
-                return Err(StreamsError::InvalidTopology(format!("store {name} has no users")));
+                unused_stores.push(spec);
+                continue;
             };
             let sub = node_to_sub[&first];
             subtopologies[sub].stores.push(name.clone());
@@ -229,14 +264,32 @@ impl InternalBuilder {
             }
             stores.insert(name, (spec, sub));
         }
+        // Processor references to stores that were never declared — the
+        // verifier reports these as errors (rule `undeclared-store`).
+        let mut undeclared_stores: Vec<(String, usize)> = Vec::new();
+        for (name, users) in &self.store_users {
+            if !declared.contains(name) {
+                for &u in users {
+                    undeclared_stores.push((name.clone(), u));
+                }
+            }
+        }
+        undeclared_stores.sort();
 
-        Ok(Topology {
+        let mut topology = Topology {
             nodes: self.nodes,
             subtopologies,
             stores,
             internal_topics: self.internal_topics,
             source_changelogs: self.source_changelogs,
-        })
+            unused_stores,
+            undeclared_stores,
+            diagnostics: Vec::new(),
+        };
+        // Run the static verifier once at build time; `Topology::verify()`
+        // returns this cached result (config-aware checks re-run it).
+        topology.diagnostics = crate::analyze::run(&topology, None);
+        Ok(topology)
     }
 }
 
@@ -265,9 +318,7 @@ mod tests {
     #[test]
     fn linear_chain_is_one_subtopology() {
         let mut b = InternalBuilder::new();
-        let src = b
-            .add_source("src".into(), TopicRef::external("in"), ValueMode::Plain)
-            .unwrap();
+        let src = b.add_source("src".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
         let p = b.add_processor("p".into(), nop_factory(), &[src], vec![]).unwrap();
         b.add_sink("sink".into(), TopicRef::external("out"), ValueMode::Plain, &[p]).unwrap();
         let t = b.build().unwrap();
@@ -324,12 +375,14 @@ mod tests {
     }
 
     #[test]
-    fn unknown_store_rejected() {
+    fn unknown_store_surfaces_as_diagnostic() {
         let mut b = InternalBuilder::new();
         let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
-        assert!(b
-            .add_processor("p".into(), nop_factory(), &[src], vec!["ghost".into()])
-            .is_err());
+        b.add_processor("p".into(), nop_factory(), &[src], vec!["ghost".into()]).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.undeclared_stores, vec![("ghost".to_string(), 1)]);
+        assert!(t.verify().iter().any(|d| d.rule == crate::analyze::Rule::UndeclaredStore
+            && d.severity == crate::analyze::Severity::Error));
     }
 
     #[test]
@@ -339,10 +392,7 @@ mod tests {
         b.add_store(StoreSpec::new("counts", StoreKind::KeyValue)).unwrap();
         b.add_processor("p".into(), nop_factory(), &[src], vec!["counts".into()]).unwrap();
         let t = b.build().unwrap();
-        assert!(t
-            .internal_topics
-            .iter()
-            .any(|it| it.name == "counts-changelog" && it.compacted));
+        assert!(t.internal_topics.iter().any(|it| it.name == "counts-changelog" && it.compacted));
         assert_eq!(t.stores["counts"].1, 0, "store owned by sub-topology 0");
         assert_eq!(t.subtopologies[0].stores, vec!["counts".to_string()]);
     }

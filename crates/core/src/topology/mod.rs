@@ -10,8 +10,10 @@ pub mod builder;
 pub mod node;
 
 pub use builder::InternalBuilder;
-pub use node::{Node, NodeKind, ProcessorFactory, TopicRef, ValueMode};
+pub use node::{Node, NodeKind, NodeTags, ProcessorFactory, TopicRef, ValueMode};
 
+use crate::analyze::Diagnostic;
+use crate::config::StreamsConfig;
 use crate::state::StoreSpec;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -64,9 +66,29 @@ pub struct Topology {
     /// already a changelog of upserts, so a separate changelog topic would
     /// duplicate it). Maps store name → source topic.
     pub source_changelogs: BTreeMap<String, TopicRef>,
+    /// Stores declared but referenced by no processor (verifier rule
+    /// `unused-store`). They get no changelog topic and no task instance.
+    pub unused_stores: Vec<StoreSpec>,
+    /// `(store, node)` pairs where a processor references a store that was
+    /// never declared (verifier rule `undeclared-store`).
+    pub undeclared_stores: Vec<(String, usize)>,
+    /// Diagnostics computed at build time (config-independent rules).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Topology {
+    /// Run the static verifier (§4/§5 misuse lints) without application
+    /// config: config-dependent rules (e.g. EOS changelog checks) are
+    /// skipped and every finding keeps its default severity.
+    pub fn verify(&self) -> Vec<Diagnostic> {
+        self.diagnostics.clone()
+    }
+
+    /// Run the static verifier with application config: adds
+    /// guarantee-dependent rules and escalates deny-listed rules to errors.
+    pub fn verify_with(&self, config: &StreamsConfig) -> Vec<Diagnostic> {
+        crate::analyze::run(self, Some(config))
+    }
     /// The changelog topic (logical name) for a store.
     pub fn changelog_topic(store: &str) -> String {
         format!("{store}-changelog")
@@ -74,9 +96,7 @@ impl Topology {
 
     /// Which sub-topology a (logical) topic feeds, if any.
     pub fn subtopology_for_topic(&self, topic: &str) -> Option<usize> {
-        self.subtopologies
-            .iter()
-            .position(|st| st.source_topics.iter().any(|t| t.name == topic))
+        self.subtopologies.iter().position(|st| st.source_topics.iter().any(|t| t.name == topic))
     }
 
     /// Human-readable description (the shape of Figure 3).

@@ -70,6 +70,27 @@ impl std::fmt::Debug for NodeKind {
     }
 }
 
+/// Static metadata the DSL attaches to nodes for the topology verifier
+/// (`crate::analyze`). Tags describe *what kind* of operator a node is, so
+/// graph-level lints can reason about partitioning and completeness without
+/// inspecting opaque processor closures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTags {
+    /// The operator may emit records under a different key than it consumed
+    /// (`map`, `select_key`, `flat_map`, `group_by`, custom processors) —
+    /// downstream key-based operators need a repartition barrier first.
+    pub key_changing: bool,
+    /// The operator correlates records from multiple inputs and therefore
+    /// requires its inputs to be co-partitioned (joins; `merge`).
+    pub join: bool,
+    /// Grace period of a windowed operator (§5): how long out-of-order
+    /// records are still accepted after the window ends.
+    pub grace_ms: Option<i64>,
+    /// The operator buffers upstream revisions until window close
+    /// (`suppress`); carries the upstream window's grace period if known.
+    pub suppress: bool,
+}
+
 /// One topology node.
 #[derive(Debug)]
 pub struct Node {
@@ -77,6 +98,8 @@ pub struct Node {
     pub kind: NodeKind,
     /// Downstream node indices within the topology.
     pub children: Vec<usize>,
+    /// Verifier metadata (see [`NodeTags`]).
+    pub tags: NodeTags,
 }
 
 #[cfg(test)]

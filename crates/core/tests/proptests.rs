@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 fn count_agg() -> kstreams::dsl::ops::AggFn {
     Arc::new(|cur, _| {
-        let n = cur.map(|b| i64::from_bytes(&b).unwrap()).unwrap_or(0);
+        let n = cur.map_or(0, |b| i64::from_bytes(&b).unwrap());
         Some((n + 1).to_bytes())
     })
 }
@@ -77,10 +77,9 @@ proptest! {
         }
         for ((k, start), want) in oracle {
             let got = match &mut env.stores.get_mut("w").unwrap().store {
-                Store::Window(s) => s
-                    .fetch(&[k], start)
-                    .map(|b| i64::from_bytes(&b).unwrap())
-                    .unwrap_or(0),
+                Store::Window(s) => {
+                    s.fetch(&[k], start).map_or(0, |b| i64::from_bytes(&b).unwrap())
+                }
                 _ => unreachable!(),
             };
             prop_assert_eq!(got, want, "key {} window {}", k, start);
@@ -131,11 +130,11 @@ proptest! {
     #[test]
     fn kv_aggregate_retractions_balance(events in prop::collection::vec((0u8..4, 1i64..100), 1..60)) {
         let add: kstreams::dsl::ops::AggFn = Arc::new(|cur, v| {
-            let c = cur.map(|b| i64::from_bytes(&b).unwrap()).unwrap_or(0);
+            let c = cur.map_or(0, |b| i64::from_bytes(&b).unwrap());
             Some((c + i64::from_bytes(v).unwrap()).to_bytes())
         });
         let sub: kstreams::dsl::ops::AggFn = Arc::new(|cur, v| {
-            let c = cur.map(|b| i64::from_bytes(&b).unwrap()).unwrap_or(0);
+            let c = cur.map_or(0, |b| i64::from_bytes(&b).unwrap());
             Some((c - i64::from_bytes(v).unwrap()).to_bytes())
         });
         let mut agg = KvAggregate { store: "s".into(), add, sub };

@@ -250,16 +250,11 @@ impl Cluster {
         tp: &TopicPartition,
     ) -> Result<Arc<Mutex<ReplicaSet>>, BrokerError> {
         let topics = self.inner.topics.read();
-        let meta = topics
-            .get(&tp.topic)
-            .ok_or_else(|| BrokerError::UnknownTopic(tp.topic.clone()))?;
-        meta.partitions
-            .get(tp.partition as usize)
-            .cloned()
-            .ok_or_else(|| BrokerError::UnknownPartition {
-                topic: tp.topic.clone(),
-                partition: tp.partition,
-            })
+        let meta =
+            topics.get(&tp.topic).ok_or_else(|| BrokerError::UnknownTopic(tp.topic.clone()))?;
+        meta.partitions.get(tp.partition as usize).cloned().ok_or_else(|| {
+            BrokerError::UnknownPartition { topic: tp.topic.clone(), partition: tp.partition }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -530,9 +525,8 @@ mod tests {
     fn leaders_round_robin_across_brokers() {
         let c = cluster();
         c.create_topic("t", TopicConfig::new(6)).unwrap();
-        let leaders: Vec<usize> = (0..6)
-            .map(|p| c.leader_of(&TopicPartition::new("t", p)).unwrap().unwrap())
-            .collect();
+        let leaders: Vec<usize> =
+            (0..6).map(|p| c.leader_of(&TopicPartition::new("t", p)).unwrap().unwrap()).collect();
         assert_eq!(leaders, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -621,8 +615,8 @@ mod tests {
     #[test]
     fn internal_topics_exist() {
         let c = cluster();
-        assert!(c.topic_exists(crate::TXN_TOPIC));
-        assert!(c.topic_exists(crate::OFFSETS_TOPIC));
+        assert!(c.topic_exists(TXN_TOPIC));
+        assert!(c.topic_exists(OFFSETS_TOPIC));
     }
 
     #[test]

@@ -190,18 +190,14 @@ impl Consumer {
             }
             let tp = self.assignment[(self.next_partition + i) % nparts].clone();
             let pos = *self.positions.get(&tp).unwrap_or(&0);
-            let fetch = match self.cluster.fetch(
-                &tp,
-                pos,
-                budget - out.len(),
-                self.config.isolation,
-            ) {
-                Ok(f) => f,
-                // The partition may be momentarily leaderless during a
-                // broker failure; skip and retry next poll.
-                Err(BrokerError::NoLeader { .. }) => continue,
-                Err(e) => return Err(e),
-            };
+            let fetch =
+                match self.cluster.fetch(&tp, pos, budget - out.len(), self.config.isolation) {
+                    Ok(f) => f,
+                    // The partition may be momentarily leaderless during a
+                    // broker failure; skip and retry next poll.
+                    Err(BrokerError::NoLeader { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
             for (offset, rec) in fetch.records() {
                 out.push(ConsumerRecord {
                     topic: tp.topic.clone(),
@@ -319,8 +315,7 @@ mod tests {
         let c = cluster();
         c.create_topic("t", TopicConfig::new(1)).unwrap();
         produce_n(&c, "t", 10);
-        let mut cons =
-            Consumer::new(c, "m", ConsumerConfig::default().with_max_poll_records(3));
+        let mut cons = Consumer::new(c, "m", ConsumerConfig::default().with_max_poll_records(3));
         cons.assign(vec![TopicPartition::new("t", 0)]).unwrap();
         assert_eq!(cons.poll().unwrap().len(), 3);
         assert_eq!(cons.poll().unwrap().len(), 3);
@@ -332,8 +327,11 @@ mod tests {
         c.create_topic("t", TopicConfig::new(1)).unwrap();
         produce_n(&c, "t", 10);
         {
-            let mut cons =
-                Consumer::new(c.clone(), "m1", ConsumerConfig::grouped("g").with_max_poll_records(4));
+            let mut cons = Consumer::new(
+                c.clone(),
+                "m1",
+                ConsumerConfig::grouped("g").with_max_poll_records(4),
+            );
             cons.subscribe(&["t"]).unwrap();
             let got = cons.poll().unwrap();
             assert_eq!(got.len(), 4);
@@ -373,13 +371,11 @@ mod tests {
         let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
         p.init_transactions().unwrap();
         p.begin_transaction().unwrap();
-        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"dead")), 0)
-            .unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"dead")), 0).unwrap();
         p.flush().unwrap();
         p.abort_transaction().unwrap();
         p.begin_transaction().unwrap();
-        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"live")), 0)
-            .unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"live")), 0).unwrap();
         p.commit_transaction().unwrap();
 
         let mut rc = Consumer::new(c, "rc", ConsumerConfig::default().read_committed());

@@ -155,15 +155,16 @@ fn sticky_assign(
     // Rebalance gross imbalance: move partitions from the most- to the
     // least-loaded member until within one (stickiness yields to balance,
     // same priority order Kafka's sticky assignor uses).
-    loop {
-        let (max_m, max_n) = match assignment.iter().max_by_key(|(m, v)| (v.len(), m.as_str())) {
-            Some((m, v)) => (m.clone(), v.len()),
-            None => break,
-        };
-        let (min_m, min_n) = match assignment.iter().min_by_key(|(m, v)| (v.len(), m.as_str())) {
-            Some((m, v)) => (m.clone(), v.len()),
-            None => break,
-        };
+    while let Some((max_m, max_n)) = assignment
+        .iter()
+        .max_by_key(|(m, v)| (v.len(), m.as_str()))
+        .map(|(m, v)| (m.clone(), v.len()))
+    {
+        let (min_m, min_n) = assignment
+            .iter()
+            .min_by_key(|(m, v)| (v.len(), m.as_str()))
+            .map(|(m, v)| (m.clone(), v.len()))
+            .expect("non-empty: a max exists");
         if max_n <= min_n + 1 {
             break;
         }
@@ -216,12 +217,11 @@ impl Cluster {
             AssignmentStrategy::Range => {
                 range_assign(&state.members, &topics, |t| self.partition_count(t).ok())
             }
-            AssignmentStrategy::Sticky => sticky_assign(
-                &state.assignment,
-                &state.members,
-                &topics,
-                |t| self.partition_count(t).ok(),
-            ),
+            AssignmentStrategy::Sticky => {
+                sticky_assign(&state.assignment, &state.members, &topics, |t| {
+                    self.partition_count(t).ok()
+                })
+            }
         };
     }
 
@@ -258,12 +258,10 @@ impl Cluster {
     /// Leave a group, triggering a rebalance.
     pub fn group_leave(&self, group: &str, member: &str) -> Result<(), BrokerError> {
         let mut groups = self.inner.groups.groups.lock();
-        let state = groups
-            .get_mut(group)
-            .ok_or_else(|| BrokerError::UnknownMember {
-                group: group.to_string(),
-                member: member.to_string(),
-            })?;
+        let state = groups.get_mut(group).ok_or_else(|| BrokerError::UnknownMember {
+            group: group.to_string(),
+            member: member.to_string(),
+        })?;
         if state.members.remove(member).is_none() {
             return Err(BrokerError::UnknownMember {
                 group: group.to_string(),
@@ -687,10 +685,8 @@ mod sticky_tests {
         for m in ["a", "b", "c"] {
             c.group_join("g", m, &["t".to_string()]).unwrap();
         }
-        let mut all: Vec<TopicPartition> = ["a", "b", "c"]
-            .iter()
-            .flat_map(|m| assignment_of(&c, "g", m))
-            .collect();
+        let mut all: Vec<TopicPartition> =
+            ["a", "b", "c"].iter().flat_map(|m| assignment_of(&c, "g", m)).collect();
         all.sort();
         let len = all.len();
         all.dedup();

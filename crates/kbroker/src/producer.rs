@@ -106,12 +106,11 @@ pub struct Producer {
 
 impl Producer {
     pub fn new(cluster: Cluster, config: ProducerConfig) -> Self {
-        let producer_id =
-            if config.idempotent && config.transactional_id.is_none() {
-                cluster.alloc_producer_id()
-            } else {
-                -1
-            };
+        let producer_id = if config.idempotent && config.transactional_id.is_none() {
+            cluster.alloc_producer_id()
+        } else {
+            -1
+        };
         Self {
             cluster,
             config,
@@ -242,7 +241,12 @@ impl Producer {
         };
         if self.is_transactional() && !self.registered.contains(tp) {
             let tid = self.tid()?.to_string();
-            self.cluster.txn_add_partitions(&tid, self.producer_id, self.epoch, std::slice::from_ref(tp))?;
+            self.cluster.txn_add_partitions(
+                &tid,
+                self.producer_id,
+                self.epoch,
+                std::slice::from_ref(tp),
+            )?;
             self.registered.insert(tp.clone());
         }
         let base_seq = if self.config.idempotent || self.is_transactional() {
@@ -285,13 +289,12 @@ impl Producer {
                 self.stats.retries += 1;
             }
             match self.cluster.faults().decide(FaultPoint::ProduceAckLost) {
-                FaultDecision::DropRequest => continue, // never reached broker
+                FaultDecision::DropRequest => {} // never reached broker
                 FaultDecision::DropAck => {
                     // The broker applies the append but the client never
                     // learns — it must retry the identical batch.
                     let outcome = self.cluster.produce(tp, meta.clone(), records.clone())?;
                     last_outcome = Some(outcome);
-                    continue;
                 }
                 FaultDecision::Deliver => {
                     // A retry of an earlier DropAck attempt is flagged as a
@@ -442,9 +445,7 @@ mod tests {
             .partitions_of("t")
             .unwrap()
             .into_iter()
-            .filter(|tp| {
-                c.fetch(tp, 0, 100, IsolationLevel::ReadUncommitted).unwrap().count() > 0
-            })
+            .filter(|tp| c.fetch(tp, 0, 100, IsolationLevel::ReadUncommitted).unwrap().count() > 0)
             .map(|tp| tp.partition)
             .collect();
         assert_eq!(nonempty.len(), 1, "one key must map to one partition");
@@ -546,32 +547,28 @@ mod tests {
         let mut old = Producer::new(c.clone(), ProducerConfig::transactional("app"));
         old.init_transactions().unwrap();
         old.begin_transaction().unwrap();
-        old.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"old")), 0)
-            .unwrap();
+        old.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"old")), 0).unwrap();
         // New incarnation starts (instance migration, §2.1's zombies).
         let mut new = Producer::new(c.clone(), ProducerConfig::transactional("app"));
         new.init_transactions().unwrap();
         // Zombie tries to finish its work: fenced.
         assert!(matches!(
             old.commit_transaction(),
-            Err(BrokerError::ProducerFenced { .. }) | Err(BrokerError::Log(_))
+            Err(BrokerError::ProducerFenced { .. } | BrokerError::Log(_))
         ));
         // New incarnation proceeds normally.
         new.begin_transaction().unwrap();
-        new.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"new")), 0)
-            .unwrap();
+        new.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"new")), 0).unwrap();
         new.commit_transaction().unwrap();
-        let f = c
-            .fetch(&TopicPartition::new("t", 0), 0, 100, IsolationLevel::ReadCommitted)
-            .unwrap();
+        let f =
+            c.fetch(&TopicPartition::new("t", 0), 0, 100, IsolationLevel::ReadCommitted).unwrap();
         let values: Vec<&[u8]> = f.records().map(|(_, r)| r.value.as_deref().unwrap()).collect();
         assert_eq!(values, vec![b"new".as_slice()], "only the new incarnation's write commits");
     }
 
     #[test]
     fn commit_ack_lost_retry_is_safe() {
-        let faults =
-            FaultPlan::none().script(FaultPoint::TxnRpcAckLost, 1, FaultDecision::DropAck);
+        let faults = FaultPlan::none().script(FaultPoint::TxnRpcAckLost, 1, FaultDecision::DropAck);
         let c = cluster_with(faults);
         c.create_topic("t", TopicConfig::new(1)).unwrap();
         let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
@@ -610,8 +607,7 @@ mod tests {
         let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
         p.init_transactions().unwrap();
         p.begin_transaction().unwrap();
-        p.send("out", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0)
-            .unwrap();
+        p.send("out", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0).unwrap();
         p.send_offsets_to_transaction("g", &[(src.clone(), 7)], None).unwrap();
         assert_eq!(c.group_committed_offset("g", &src).unwrap(), None);
         p.commit_transaction().unwrap();
@@ -628,8 +624,7 @@ mod tests {
         let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
         p.init_transactions().unwrap();
         p.begin_transaction().unwrap();
-        p.send("out", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0)
-            .unwrap();
+        p.send("out", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0).unwrap();
         p.send_offsets_to_transaction("g", &[(src.clone(), 7)], None).unwrap();
         p.abort_transaction().unwrap();
         assert_eq!(c.group_committed_offset("g", &src).unwrap(), None);
@@ -642,8 +637,7 @@ mod tests {
         c.create_topic("t", TopicConfig::new(1)).unwrap();
         let mut p = Producer::new(c.clone(), ProducerConfig::default().with_batch_size(50));
         for i in 0..100 {
-            p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), i)
-                .unwrap();
+            p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), i).unwrap();
         }
         p.flush().unwrap();
         assert_eq!(p.stats().batches_appended, 2);

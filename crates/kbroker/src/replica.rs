@@ -14,7 +14,7 @@
 use crate::error::BrokerError;
 use crate::topic::TopicPartition;
 use klog::batch::{BatchMeta, ControlType};
-use klog::{AppendOutcome, FetchResult, IsolationLevel, Offset, PartitionLog, Record};
+use klog::{invariant, AppendOutcome, FetchResult, IsolationLevel, Offset, PartitionLog, Record};
 
 /// All replicas of one partition. Lives behind a per-partition mutex in the
 /// cluster, so methods take `&mut self`.
@@ -37,17 +37,9 @@ impl ReplicaSet {
     /// leader). All brokers are assumed alive at creation.
     pub fn new(tp: TopicPartition, brokers: Vec<usize>) -> Self {
         assert!(!brokers.is_empty(), "a partition needs at least one replica");
-        let replicas = brokers
-            .iter()
-            .map(|&b| (b, PartitionLog::new().with_managed_watermark()))
-            .collect();
-        Self {
-            tp,
-            leader: Some(brokers[0]),
-            isr: brokers.clone(),
-            replicas,
-            leader_epoch: 0,
-        }
+        let replicas =
+            brokers.iter().map(|&b| (b, PartitionLog::new().with_managed_watermark())).collect();
+        Self { tp, leader: Some(brokers[0]), isr: brokers.clone(), replicas, leader_epoch: 0 }
     }
 
     pub fn topic_partition(&self) -> &TopicPartition {
@@ -144,6 +136,11 @@ impl ReplicaSet {
 
     /// Advance the high watermark to the minimum log-end offset across the
     /// ISR (all of which just replicated synchronously).
+    ///
+    /// Afterward every ISR replica must satisfy the §4.2 offset ordering
+    /// `last stable offset ≤ high watermark ≤ log end offset`: synchronous
+    /// replication leaves all ISR logs identical, so the watermark reaches
+    /// the log end, and the LSO never passes the log end by construction.
     fn advance_watermarks(&mut self) {
         let min_leo = self
             .replicas
@@ -155,6 +152,16 @@ impl ReplicaSet {
         for (b, log) in &mut self.replicas {
             if self.isr.contains(b) {
                 log.advance_high_watermark(min_leo);
+                invariant!(
+                    log.last_stable_offset() <= log.high_watermark()
+                        && log.high_watermark() <= log.log_end(),
+                    "offset-ordering",
+                    "{} replica on broker {b}: require LSO {} <= HW {} <= LEO {}",
+                    self.tp,
+                    log.last_stable_offset(),
+                    log.high_watermark(),
+                    log.log_end()
+                );
             }
         }
     }
@@ -193,9 +200,7 @@ impl ReplicaSet {
             self.leader = self.isr.first().copied();
             self.leader_epoch += 1;
             if self.leader.is_some() {
-                self.leader_log_mut()
-                    .expect("just elected")
-                    .recover_producer_state();
+                self.leader_log_mut().expect("just elected").recover_producer_state();
             }
         }
     }

@@ -30,7 +30,7 @@ use crate::topic::{partition_for_key, TopicPartition};
 use crate::TXN_TOPIC;
 use bytes::Bytes;
 use klog::batch::{BatchMeta, ControlType};
-use klog::{IsolationLevel, Record};
+use klog::{invariant, IsolationLevel, Record};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 
@@ -76,6 +76,41 @@ impl TxnState {
     }
 }
 
+/// Legal coordinator state transitions (§4.2.1, Figure 4). The prepare
+/// states are one-way: once the barrier is logged, the only exit is the
+/// matching complete state — in particular there is no edge from `Ongoing`
+/// straight to `CompleteCommit`/`CompleteAbort` (markers must be preceded
+/// by a durable prepare record).
+fn txn_transition_legal(from: TxnState, to: TxnState) -> bool {
+    use TxnState::{CompleteAbort, CompleteCommit, Empty, Ongoing, PrepareAbort, PrepareCommit};
+    matches!(
+        (from, to),
+        // An idle id may re-register (reset to Empty, epoch bump) or open
+        // a new transaction.
+        (Empty | CompleteCommit | CompleteAbort, Empty | Ongoing)
+            // An open transaction may register more partitions or reach
+            // its phase-1 decision barrier.
+            | (Ongoing, Ongoing | PrepareCommit | PrepareAbort)
+            // Phase 3: markers acked, transaction closed.
+            | (PrepareCommit, CompleteCommit)
+            | (PrepareAbort, CompleteAbort)
+    )
+}
+
+/// Apply a coordinator state transition, recording an invariant violation
+/// if the edge is not in the §4.2.1 state machine. All transitions funnel
+/// through here so illegal ones cannot slip in silently.
+fn txn_set_state(tid: &str, meta: &mut TxnMetadata, to: TxnState) {
+    invariant!(
+        txn_transition_legal(meta.state, to),
+        "txn-state-machine",
+        "tid `{tid}`: illegal coordinator transition {} -> {}",
+        meta.state.as_str(),
+        to.as_str()
+    );
+    meta.state = to;
+}
+
 /// Everything the coordinator tracks per transactional id. Note it stores
 /// only *metadata* — never the records sent within the transaction (§4.2.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,11 +130,8 @@ impl TxnMetadata {
     /// contain none of `| ; :` (enforced nowhere because topic names in this
     /// simulation are plain identifiers).
     pub fn encode(&self) -> Bytes {
-        let parts: Vec<String> = self
-            .partitions
-            .iter()
-            .map(|tp| format!("{}:{}", tp.topic, tp.partition))
-            .collect();
+        let parts: Vec<String> =
+            self.partitions.iter().map(|tp| format!("{}:{}", tp.topic, tp.partition)).collect();
         Bytes::from(format!(
             "{}|{}|{}|{}|{}|{}",
             self.producer_id,
@@ -174,9 +206,23 @@ impl Cluster {
     /// why end-to-end latency grows with partition count in Figure 5.a.
     fn txn_write_markers(
         &self,
+        tid: &str,
         meta: &TxnMetadata,
         ctl: ControlType,
     ) -> Result<(), BrokerError> {
+        // §4.2.2: markers may only be written once the matching prepare
+        // record is durable — otherwise a coordinator crash could expose
+        // data whose outcome was never decided.
+        invariant!(
+            matches!(
+                (meta.state, ctl),
+                (TxnState::PrepareCommit, ControlType::Commit)
+                    | (TxnState::PrepareAbort, ControlType::Abort)
+            ),
+            "txn-marker-without-prepare",
+            "tid `{tid}`: writing {ctl:?} markers while coordinator state is {}",
+            meta.state.as_str()
+        );
         for tp in &meta.partitions {
             self.append_control_marker(tp, meta.producer_id, meta.epoch, ctl)?;
         }
@@ -193,10 +239,21 @@ impl Cluster {
         let (ctl, done) = match meta.state {
             TxnState::PrepareCommit => (ControlType::Commit, TxnState::CompleteCommit),
             TxnState::PrepareAbort => (ControlType::Abort, TxnState::CompleteAbort),
-            _ => return Ok(meta),
+            s => {
+                // Defensive: every caller decides (Prepare*) before
+                // finishing; reaching here means a marker write was
+                // requested without a durable prepare record.
+                invariant!(
+                    false,
+                    "txn-marker-without-prepare",
+                    "tid `{tid}`: txn_finish invoked in state {}",
+                    s.as_str()
+                );
+                return Ok(meta);
+            }
         };
-        self.txn_write_markers(&meta, ctl)?;
-        meta.state = done;
+        self.txn_write_markers(tid, &meta, ctl)?;
+        txn_set_state(tid, &mut meta, done);
         meta.partitions.clear();
         self.txn_persist(tid, &meta)?;
         Ok(meta)
@@ -208,11 +265,7 @@ impl Cluster {
     /// *forward* if already past the PrepareCommit barrier, aborts otherwise
     /// — then bumps the epoch, fencing all older incarnations. Returns the
     /// `(producer_id, epoch)` the new incarnation must use.
-    pub fn txn_init_producer(
-        &self,
-        tid: &str,
-        timeout_ms: i64,
-    ) -> Result<(i64, i32), BrokerError> {
+    pub fn txn_init_producer(&self, tid: &str, timeout_ms: i64) -> Result<(i64, i32), BrokerError> {
         let shard = self.inner.txn.shard(tid);
         let mut map = shard.lock();
         let mut meta = match map.get(tid).cloned() {
@@ -229,7 +282,7 @@ impl Cluster {
         // Finish whatever the previous incarnation left behind.
         meta = match meta.state {
             TxnState::Ongoing => {
-                meta.state = TxnState::PrepareAbort;
+                txn_set_state(tid, &mut meta, TxnState::PrepareAbort);
                 self.txn_persist(tid, &meta)?;
                 self.txn_finish(tid, meta)?
             }
@@ -237,7 +290,7 @@ impl Cluster {
             _ => meta,
         };
         meta.epoch += 1;
-        meta.state = TxnState::Empty;
+        txn_set_state(tid, &mut meta, TxnState::Empty);
         meta.timeout_ms = timeout_ms;
         self.txn_persist(tid, &meta)?;
         let result = (meta.producer_id, meta.epoch);
@@ -251,9 +304,8 @@ impl Cluster {
         pid: i64,
         epoch: i32,
     ) -> Result<&'a mut TxnMetadata, BrokerError> {
-        let meta = map
-            .get_mut(tid)
-            .ok_or_else(|| BrokerError::UnknownTransactionalId(tid.to_string()))?;
+        let meta =
+            map.get_mut(tid).ok_or_else(|| BrokerError::UnknownTransactionalId(tid.to_string()))?;
         if meta.producer_id != pid {
             return Err(BrokerError::InvalidTxnTransition {
                 transactional_id: tid.to_string(),
@@ -287,7 +339,7 @@ impl Cluster {
         let meta = Self::txn_validated(&mut map, tid, pid, epoch)?;
         match meta.state {
             TxnState::Empty | TxnState::CompleteCommit | TxnState::CompleteAbort => {
-                meta.state = TxnState::Ongoing;
+                txn_set_state(tid, meta, TxnState::Ongoing);
                 meta.txn_start_ms = now;
                 meta.partitions.clear();
             }
@@ -321,7 +373,11 @@ impl Cluster {
         let meta = Self::txn_validated(&mut map, tid, pid, epoch)?;
         match (meta.state, commit) {
             (TxnState::Ongoing, _) => {
-                meta.state = if commit { TxnState::PrepareCommit } else { TxnState::PrepareAbort };
+                txn_set_state(
+                    tid,
+                    meta,
+                    if commit { TxnState::PrepareCommit } else { TxnState::PrepareAbort },
+                );
                 // Phase 1: the barrier — once this lands in the txn log the
                 // outcome is decided.
                 let snapshot = meta.clone();
@@ -382,19 +438,16 @@ impl Cluster {
                 .collect();
             for tid in expired {
                 let mut meta = map.get(&tid).cloned().expect("still present");
-                meta.state = TxnState::PrepareAbort;
+                txn_set_state(&tid, &mut meta, TxnState::PrepareAbort);
                 if self.txn_persist(&tid, &meta).is_err() {
                     continue; // coordinator log unavailable; retry later
                 }
-                match self.txn_finish(&tid, meta) {
-                    Ok(mut finished) => {
-                        finished.epoch += 1; // fence the zombie
-                        if self.txn_persist(&tid, &finished).is_ok() {
-                            map.insert(tid, finished);
-                            aborted += 1;
-                        }
+                if let Ok(mut finished) = self.txn_finish(&tid, meta) {
+                    finished.epoch += 1; // fence the zombie
+                    if self.txn_persist(&tid, &finished).is_ok() {
+                        map.insert(tid, finished);
+                        aborted += 1;
                     }
-                    Err(_) => continue,
                 }
             }
         }
@@ -415,11 +468,7 @@ impl Cluster {
                 Ok(p) => p,
                 Err(_) => continue,
             };
-            loop {
-                let Ok(fetch) = self.fetch(&tp, pos, 1024, IsolationLevel::ReadUncommitted)
-                else {
-                    break;
-                };
+            while let Ok(fetch) = self.fetch(&tp, pos, 1024, IsolationLevel::ReadUncommitted) {
                 if fetch.count() == 0 {
                     break;
                 }
@@ -530,8 +579,7 @@ mod tests {
         let (pid, epoch) = c.txn_init_producer("app", 60_000).unwrap();
         for i in 0..3 {
             c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&tp)).unwrap();
-            c.produce(&tp, BatchMeta::transactional(pid, epoch, i), vec![rec("k", "v")])
-                .unwrap();
+            c.produce(&tp, BatchMeta::transactional(pid, epoch, i), vec![rec("k", "v")]).unwrap();
             c.txn_end("app", pid, epoch, true).unwrap();
         }
         assert_eq!(committed_count(&c, &tp), 3);
@@ -553,10 +601,7 @@ mod tests {
             c.txn_add_partitions("app", pid, e0, std::slice::from_ref(&tp)),
             Err(BrokerError::ProducerFenced { .. })
         ));
-        assert!(matches!(
-            c.txn_end("app", pid, e0, true),
-            Err(BrokerError::ProducerFenced { .. })
-        ));
+        assert!(matches!(c.txn_end("app", pid, e0, true), Err(BrokerError::ProducerFenced { .. })));
         // And the zombie's data writes are rejected by the partition log
         // (its epoch is stale there too, because init wrote markers… only if
         // data existed; write with new epoch first to record it).
@@ -711,6 +756,47 @@ mod tests {
         assert_eq!(committed_count(&c, &tp), 0);
         // LSO released after the abort marker.
         assert_eq!(c.last_stable_offset(&tp).unwrap(), c.latest_offset(&tp).unwrap());
+    }
+
+    #[test]
+    fn transition_table_matches_state_machine() {
+        use TxnState::{
+            CompleteAbort, CompleteCommit, Empty, Ongoing, PrepareAbort, PrepareCommit,
+        };
+        assert!(txn_transition_legal(Empty, Ongoing));
+        assert!(txn_transition_legal(Ongoing, PrepareCommit));
+        assert!(txn_transition_legal(Ongoing, PrepareAbort));
+        assert!(txn_transition_legal(PrepareCommit, CompleteCommit));
+        assert!(txn_transition_legal(PrepareAbort, CompleteAbort));
+        assert!(txn_transition_legal(CompleteCommit, Ongoing));
+        assert!(txn_transition_legal(CompleteAbort, Empty));
+        // No marker write without a durable prepare record.
+        assert!(!txn_transition_legal(Ongoing, CompleteCommit));
+        assert!(!txn_transition_legal(Ongoing, CompleteAbort));
+        // Decided transactions cannot reopen or flip their outcome.
+        assert!(!txn_transition_legal(PrepareCommit, Ongoing));
+        assert!(!txn_transition_legal(PrepareCommit, CompleteAbort));
+        assert!(!txn_transition_legal(PrepareAbort, CompleteCommit));
+        // Nothing to decide from an idle id.
+        assert!(!txn_transition_legal(Empty, PrepareCommit));
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn illegal_transition_records_violation() {
+        klog::checks::take_violations();
+        let mut meta = TxnMetadata {
+            producer_id: 1,
+            epoch: 0,
+            state: TxnState::Ongoing,
+            partitions: BTreeSet::new(),
+            txn_start_ms: 0,
+            timeout_ms: 60_000,
+        };
+        // A buggy coordinator jumps straight to CompleteCommit.
+        txn_set_state("bad", &mut meta, TxnState::CompleteCommit);
+        let v = klog::checks::take_violations();
+        assert!(v.iter().any(|v| v.invariant == "txn-state-machine"), "{v:?}");
     }
 
     #[test]

@@ -148,8 +148,7 @@ impl StoredBatch {
     /// the "few extra numeric fields" of §4.3).
     pub fn approximate_size(&self) -> usize {
         const BATCH_HEADER_BYTES: usize = 61; // Kafka v2 batch header size
-        BATCH_HEADER_BYTES
-            + self.entries.iter().map(|(_, r)| r.approximate_size()).sum::<usize>()
+        BATCH_HEADER_BYTES + self.entries.iter().map(|(_, r)| r.approximate_size()).sum::<usize>()
     }
 }
 

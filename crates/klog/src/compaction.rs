@@ -65,7 +65,8 @@ pub fn compact(log: &mut PartitionLog, opts: CompactionOptions) -> CompactionSta
     };
 
     let before: Vec<StoredBatch> = log.batches().cloned().collect();
-    let records_before: usize = before.iter().filter(|b| !b.meta.is_control()).map(|b| b.len()).sum();
+    let records_before: usize =
+        before.iter().filter(|b| !b.meta.is_control()).map(|b| b.len()).sum();
     let bytes_before: usize = before.iter().map(|b| b.approximate_size()).sum();
 
     // Pass 1: latest retained offset per key in the clean region.
@@ -194,11 +195,8 @@ mod tests {
     fn tombstone_kept_by_default_removed_on_request() {
         let mut log = PartitionLog::new();
         log.append(BatchMeta::plain(), vec![kv("a", "1", 0)]).unwrap();
-        log.append(
-            BatchMeta::plain(),
-            vec![Record::tombstone(Bytes::from_static(b"a"), 1)],
-        )
-        .unwrap();
+        log.append(BatchMeta::plain(), vec![Record::tombstone(Bytes::from_static(b"a"), 1)])
+            .unwrap();
         let mut log2 = log.clone();
         compact(&mut log, CompactionOptions::default());
         assert_eq!(log.record_count(), 1, "tombstone retained");
@@ -209,16 +207,10 @@ mod tests {
     #[test]
     fn keyless_records_survive() {
         let mut log = PartitionLog::new();
-        log.append(
-            BatchMeta::plain(),
-            vec![Record::new(None, Some(Bytes::from_static(b"x")), 0)],
-        )
-        .unwrap();
-        log.append(
-            BatchMeta::plain(),
-            vec![Record::new(None, Some(Bytes::from_static(b"y")), 1)],
-        )
-        .unwrap();
+        log.append(BatchMeta::plain(), vec![Record::new(None, Some(Bytes::from_static(b"x")), 0)])
+            .unwrap();
+        log.append(BatchMeta::plain(), vec![Record::new(None, Some(Bytes::from_static(b"y")), 1)])
+            .unwrap();
         compact(&mut log, CompactionOptions::default());
         assert_eq!(log.record_count(), 2);
     }
@@ -250,7 +242,7 @@ mod tests {
         assert!(stats.reclaimed_fraction() > 0.8);
         // Replay: last value per key matches the uncompacted history.
         let f = log.fetch(log.log_start(), 1000, IsolationLevel::ReadUncommitted).unwrap();
-        let mut state = std::collections::HashMap::new();
+        let mut state = HashMap::new();
         for (_, r) in f.records() {
             state.insert(r.key.clone().unwrap(), r.value.clone().unwrap());
         }

@@ -11,11 +11,7 @@ use std::fmt;
 pub enum LogError {
     /// The batch's base sequence is neither a duplicate nor the next
     /// expected sequence — a gap means a prior batch was lost.
-    OutOfOrderSequence {
-        producer_id: i64,
-        expected: i64,
-        got: i64,
-    },
+    OutOfOrderSequence { producer_id: i64, expected: i64, got: i64 },
     /// The producer's epoch is older than the latest known epoch for its id:
     /// the producer is a zombie and must not write (§4.2.1 fencing).
     ProducerFenced { producer_id: i64, current_epoch: i32, got_epoch: i32 },
@@ -43,10 +39,9 @@ impl fmt::Display for LogError {
                 f,
                 "producer {producer_id} fenced: current epoch {current_epoch}, got {got_epoch}"
             ),
-            LogError::OffsetOutOfRange { requested, log_start, log_end } => write!(
-                f,
-                "offset {requested} out of range [{log_start}, {log_end})"
-            ),
+            LogError::OffsetOutOfRange { requested, log_start, log_end } => {
+                write!(f, "offset {requested} out of range [{log_start}, {log_end})")
+            }
             LogError::NoOngoingTransaction { producer_id } => {
                 write!(f, "no ongoing transaction for producer {producer_id}")
             }

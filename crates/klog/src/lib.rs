@@ -20,6 +20,7 @@
 //! I/O; `kbroker` composes these into a replicated multi-broker cluster.
 
 pub mod batch;
+pub mod checks;
 pub mod compaction;
 pub mod error;
 pub mod index;

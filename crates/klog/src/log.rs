@@ -147,9 +147,7 @@ impl PartitionLog {
             return Err(LogError::CorruptBatch("empty batch".into()));
         }
         if meta.is_control() {
-            return Err(LogError::CorruptBatch(
-                "control batches must use append_control".into(),
-            ));
+            return Err(LogError::CorruptBatch("control batches must use append_control".into()));
         }
         if meta.transactional && meta.producer_id < 0 {
             return Err(LogError::InvalidTxnState(
@@ -183,11 +181,8 @@ impl PartitionLog {
         }
 
         let base_offset = self.next_offset;
-        let entries: Vec<(Offset, Record)> = records
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| (base_offset + i as i64, r))
-            .collect();
+        let entries: Vec<(Offset, Record)> =
+            records.into_iter().enumerate().map(|(i, r)| (base_offset + i as i64, r)).collect();
         let last_offset = entries.last().expect("non-empty").0;
         let batch = StoredBatch { meta: meta.clone(), entries };
         let max_ts = batch.max_timestamp();
@@ -235,12 +230,7 @@ impl PartitionLog {
             }
         }
         let marker_offset = self.next_offset;
-        let marker_record = Record {
-            key: None,
-            value: None,
-            timestamp,
-            headers: Vec::new(),
-        };
+        let marker_record = Record { key: None, value: None, timestamp, headers: Vec::new() };
         let batch = StoredBatch {
             meta: BatchMeta::control(producer_id, epoch, ctl),
             entries: vec![(marker_offset, marker_record)],
@@ -250,7 +240,14 @@ impl PartitionLog {
         // Close the open transaction; Kafka tolerates markers for
         // transactions with no data on this partition (e.g. retried
         // registration), so a missing open txn is not an error.
-        self.producers.on_append(producer_id, epoch, NO_SEQUENCE, marker_offset, marker_offset, false);
+        self.producers.on_append(
+            producer_id,
+            epoch,
+            NO_SEQUENCE,
+            marker_offset,
+            marker_offset,
+            false,
+        );
         if let Some(first) = self.producers.end_txn(producer_id) {
             if ctl == ControlType::Abort {
                 self.aborted.push(AbortedTxn { producer_id, first_offset: first, marker_offset });
@@ -321,7 +318,10 @@ impl PartitionLog {
             taken += entries.len();
             let last = entries.last().expect("non-empty").0;
             next_offset = next_offset.max(last + 1);
-            out.push(StoredBatch { meta: batch.meta.clone(), entries: std::mem::take(&mut entries) });
+            out.push(StoredBatch {
+                meta: batch.meta.clone(),
+                entries: std::mem::take(&mut entries),
+            });
         }
         Ok(FetchResult {
             batches: out,
@@ -451,8 +451,7 @@ impl PartitionLog {
         self.next_offset = self
             .segments
             .last_offset()
-            .map(|o| o + 1)
-            .unwrap_or_else(|| self.log_start.min(to.max(self.log_start)));
+            .map_or_else(|| self.log_start.min(to.max(self.log_start)), |o| o + 1);
         self.high_watermark = self.high_watermark.min(self.next_offset);
         self.aborted.retain(|a| a.marker_offset < self.next_offset);
         self.recover_producer_state();
@@ -552,7 +551,6 @@ impl PartitionLog {
     pub(crate) fn replace_batches(&mut self, batches: Vec<StoredBatch>) {
         self.segments = SegmentList::from_batches(batches);
     }
-
 }
 
 #[cfg(test)]
@@ -577,10 +575,7 @@ mod tests {
     #[test]
     fn empty_batch_rejected() {
         let mut log = PartitionLog::new();
-        assert!(matches!(
-            log.append(BatchMeta::plain(), vec![]),
-            Err(LogError::CorruptBatch(_))
-        ));
+        assert!(matches!(log.append(BatchMeta::plain(), vec![]), Err(LogError::CorruptBatch(_))));
     }
 
     #[test]
@@ -695,7 +690,7 @@ mod tests {
         log.append(BatchMeta::transactional(2, 0, 0), recs(1, 0)).unwrap(); // off 1
         assert_eq!(log.last_stable_offset(), 0);
         log.append_control(1, 0, ControlType::Commit, 0).unwrap(); // off 2
-        // Producer 2 still open from offset 1.
+                                                                   // Producer 2 still open from offset 1.
         assert_eq!(log.last_stable_offset(), 1);
         let rc = log.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
         assert_eq!(rc.count(), 1, "only producer 1's record visible");
@@ -828,7 +823,6 @@ mod tests {
             Err(LogError::ProducerFenced { .. })
         ));
     }
-
 }
 
 #[cfg(test)]
@@ -852,7 +846,7 @@ mod retention_cutoff_tests {
         log.append(BatchMeta::plain(), recs_at(0, 2)).unwrap(); // 0-1
         log.append(BatchMeta::plain(), recs_at(500, 2)).unwrap(); // 2-3
         log.append(BatchMeta::plain(), recs_at(900, 2)).unwrap(); // 4-5
-        // now=1000, retention=400 ⇒ horizon 600: first two batches expire.
+                                                                  // now=1000, retention=400 ⇒ horizon 600: first two batches expire.
         assert_eq!(log.retention_cutoff(1_000, Some(400), None), Some(4));
         // Everything still fresh ⇒ nothing expires.
         assert_eq!(log.retention_cutoff(1_000, Some(2_000), None), None);
@@ -875,9 +869,7 @@ mod retention_cutoff_tests {
         }
         let total = log.size_bytes();
         let one_batch = total / 10;
-        let cutoff = log
-            .retention_cutoff(100, None, Some(total - one_batch))
-            .expect("must trim");
+        let cutoff = log.retention_cutoff(100, None, Some(total - one_batch)).expect("must trim");
         assert!(cutoff >= 1);
         log.truncate_prefix(cutoff);
         assert!(log.size_bytes() <= total - one_batch + one_batch);

@@ -65,7 +65,11 @@ impl ProducerStateTable {
         base_seq: i64,
         record_count: usize,
     ) -> Result<SequenceCheck, LogError> {
-        debug_assert!(base_seq != NO_SEQUENCE);
+        crate::invariant!(
+            base_seq != NO_SEQUENCE,
+            "sequence-present",
+            "idempotent batch from producer {producer_id} (epoch {epoch}) carries no base sequence"
+        );
         let Some(entry) = self.entries.get(&producer_id) else {
             // First ever batch from this producer: any starting sequence is
             // accepted (Kafka requires 0 for epoch 0, but allows a fresh
@@ -86,7 +90,10 @@ impl ProducerStateTable {
         let last_seq_of_batch = base_seq + record_count as i64 - 1;
         if let Some((cached_base, cached_last, base_off, last_off)) = entry.last_batch {
             if base_seq == cached_base && last_seq_of_batch == cached_last {
-                return Ok(SequenceCheck::Duplicate { base_offset: base_off, last_offset: last_off });
+                return Ok(SequenceCheck::Duplicate {
+                    base_offset: base_off,
+                    last_offset: last_off,
+                });
             }
         }
         if entry.last_seq == NO_SEQUENCE || base_seq == entry.last_seq + 1 {
@@ -127,12 +134,25 @@ impl ProducerStateTable {
             last_batch: None,
             txn_first_offset: None,
         });
+        crate::invariant!(
+            epoch >= entry.epoch,
+            "epoch-fencing",
+            "producer {producer_id} appended at stale epoch {epoch} (current epoch {})",
+            entry.epoch
+        );
         if epoch > entry.epoch {
             entry.epoch = epoch;
             entry.last_seq = NO_SEQUENCE;
             entry.last_batch = None;
         }
         if base_seq != NO_SEQUENCE {
+            crate::invariant!(
+                entry.last_seq == NO_SEQUENCE || base_seq == entry.last_seq + 1,
+                "sequence-monotonicity",
+                "producer {producer_id} (epoch {epoch}) appended base sequence {base_seq}, \
+                 expected {}",
+                entry.last_seq + 1
+            );
             let last_seq = base_seq + record_count - 1;
             entry.last_seq = last_seq;
             entry.last_batch = Some((base_seq, last_seq, base_offset, last_offset));
@@ -298,10 +318,16 @@ mod tests {
     #[test]
     fn rebuild_from_log_matches_incremental() {
         let batches = vec![
-            StoredBatch { meta: BatchMeta::idempotent(1, 0, 0), entries: vec![(0, rec()), (1, rec())] },
+            StoredBatch {
+                meta: BatchMeta::idempotent(1, 0, 0),
+                entries: vec![(0, rec()), (1, rec())],
+            },
             StoredBatch { meta: BatchMeta::transactional(2, 1, 0), entries: vec![(2, rec())] },
             StoredBatch { meta: BatchMeta::idempotent(1, 0, 2), entries: vec![(3, rec())] },
-            StoredBatch { meta: BatchMeta::control(2, 1, ControlType::Commit), entries: vec![(4, rec())] },
+            StoredBatch {
+                meta: BatchMeta::control(2, 1, ControlType::Commit),
+                entries: vec![(4, rec())],
+            },
         ];
         let t = ProducerStateTable::rebuild_from(&batches);
         assert_eq!(t.last_sequence(1), Some(2));
@@ -315,10 +341,37 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn out_of_order_append_records_violation() {
+        let _serial =
+            crate::checks::TEST_SINK_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::checks::take_violations();
+        let mut t = ProducerStateTable::new();
+        t.on_append(1, 0, 0, 0, 2, false);
+        // A buggy caller skips check() and appends a gapped sequence.
+        t.on_append(1, 0, 9, 3, 3, false);
+        let v = crate::checks::take_violations();
+        assert!(v.iter().any(|v| v.invariant == "sequence-monotonicity"), "{v:?}");
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn stale_epoch_append_records_violation() {
+        let _serial =
+            crate::checks::TEST_SINK_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::checks::take_violations();
+        let mut t = ProducerStateTable::new();
+        t.on_append(1, 5, 0, 0, 0, false);
+        // A zombie from epoch 3 bypasses the fencing check.
+        t.on_append(1, 3, 0, 1, 1, false);
+        let v = crate::checks::take_violations();
+        assert!(v.iter().any(|v| v.invariant == "epoch-fencing"), "{v:?}");
+    }
+
     #[test]
     fn rebuild_ignores_plain_batches() {
-        let batches =
-            vec![StoredBatch { meta: BatchMeta::plain(), entries: vec![(0, rec())] }];
+        let batches = vec![StoredBatch { meta: BatchMeta::plain(), entries: vec![(0, rec())] }];
         let t = ProducerStateTable::rebuild_from(&batches);
         assert!(t.is_empty());
     }

@@ -68,8 +68,7 @@ impl Record {
     pub fn approximate_size(&self) -> usize {
         let key_len = self.key.as_ref().map_or(0, |k| k.len());
         let val_len = self.value.as_ref().map_or(0, |v| v.len());
-        let hdr_len: usize =
-            self.headers.iter().map(|(n, v)| n.len() + v.len()).sum();
+        let hdr_len: usize = self.headers.iter().map(|(n, v)| n.len() + v.len()).sum();
         // 8 bytes timestamp + 2 length prefixes.
         key_len + val_len + hdr_len + 16
     }

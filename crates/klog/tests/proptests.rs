@@ -9,11 +9,7 @@ use std::collections::HashMap;
 
 fn arb_record() -> impl Strategy<Value = Record> {
     ("[a-d]{1,3}", "[a-z]{0,6}", 0i64..10_000).prop_map(|(k, v, ts)| {
-        Record::new(
-            Some(Bytes::from(k.into_bytes())),
-            Some(Bytes::from(v.into_bytes())),
-            ts,
-        )
+        Record::new(Some(Bytes::from(k.into_bytes())), Some(Bytes::from(v.into_bytes())), ts)
     })
 }
 

@@ -66,9 +66,7 @@ pub fn compile(q: &Query) -> Result<Topology, StreamsError> {
     let agg_fn = move |row: &Row, acc: f64| -> f64 {
         match &agg {
             Aggregate::CountAll => acc + 1.0,
-            Aggregate::Sum(col) => {
-                acc + row.get(col).and_then(Value::as_f64).unwrap_or(0.0)
-            }
+            Aggregate::Sum(col) => acc + row.get(col).and_then(Value::as_f64).unwrap_or(0.0),
             Aggregate::Min(col) => match row.get(col).and_then(Value::as_f64) {
                 Some(v) => acc.min(v),
                 None => acc,
@@ -93,9 +91,7 @@ pub fn compile(q: &Query) -> Result<Topology, StreamsError> {
     match q.window {
         Some(w) => {
             let table = grouped
-                .windowed_by(
-                    TimeWindows::of(w.size_ms).advance_by(w.advance_ms).grace(w.grace_ms),
-                )
+                .windowed_by(TimeWindows::of(w.size_ms).advance_by(w.advance_ms).grace(w.grace_ms))
                 .aggregate(&store, init, agg_fn);
             let table = match q.emit {
                 Emit::Final => table.suppress_until_window_close(),
@@ -153,9 +149,7 @@ mod tests {
 
     #[test]
     fn where_comparisons() {
-        let row = Row::new()
-            .with("n", Value::Int(5))
-            .with("s", Value::Str("abc".into()));
+        let row = Row::new().with("n", Value::Int(5)).with("s", Value::Str("abc".into()));
         let check = |col: &str, op: &str, lit: Value| {
             matches(&Comparison { column: col.into(), op: op.into(), literal: lit }, &row)
         };

@@ -93,10 +93,7 @@ impl Tokens {
                 _ => spaced.push(c),
             }
         }
-        Self {
-            items: spaced.split_whitespace().map(|s| s.to_string()).collect(),
-            pos: 0,
-        }
+        Self { items: spaced.split_whitespace().map(|s| s.to_string()).collect(), pos: 0 }
     }
 
     fn peek(&self) -> Option<&str> {
@@ -129,10 +126,7 @@ impl Tokens {
 
 fn parse_duration(tokens: &mut Tokens) -> Result<i64, String> {
     tokens.expect("(")?;
-    let n: i64 = tokens
-        .next()?
-        .parse()
-        .map_err(|e| format!("bad duration number: {e}"))?;
+    let n: i64 = tokens.next()?.parse().map_err(|e| format!("bad duration number: {e}"))?;
     let unit = tokens.next()?;
     let ms = match unit.to_ascii_uppercase().as_str() {
         "MILLISECONDS" | "MILLISECOND" | "MS" => n,
@@ -304,8 +298,7 @@ mod tests {
 
     #[test]
     fn string_literal_filter() {
-        let q = parse("SELECT k, COUNT(*) FROM t WHERE city = 'berlin' GROUP BY k INTO o")
-            .unwrap();
+        let q = parse("SELECT k, COUNT(*) FROM t WHERE city = 'berlin' GROUP BY k INTO o").unwrap();
         assert_eq!(q.filter.unwrap().literal, Value::Str("berlin".into()));
     }
 
@@ -337,10 +330,7 @@ mod tests {
              GROUP BY k INTO o",
         )
         .unwrap();
-        assert_eq!(
-            q.window,
-            Some(WindowSpec { size_ms: 10_000, advance_ms: 5_000, grace_ms: 0 })
-        );
+        assert_eq!(q.window, Some(WindowSpec { size_ms: 10_000, advance_ms: 5_000, grace_ms: 0 }));
     }
 
     #[test]
@@ -355,9 +345,12 @@ mod tests {
 
     #[test]
     fn duration_units() {
-        for (unit, ms) in
-            [("500 MILLISECONDS", 500), ("2 SECONDS", 2_000), ("3 MINUTES", 180_000), ("1 HOURS", 3_600_000)]
-        {
+        for (unit, ms) in [
+            ("500 MILLISECONDS", 500),
+            ("2 SECONDS", 2_000),
+            ("3 MINUTES", 180_000),
+            ("1 HOURS", 3_600_000),
+        ] {
             let q = parse(&format!(
                 "SELECT k, COUNT(*) FROM t WINDOW TUMBLING ({unit}) GROUP BY k INTO o"
             ))

@@ -128,14 +128,10 @@ impl KSerde for Row {
             let value = match tag {
                 "s" => Value::Str(unescape(payload)),
                 "i" => Value::Int(
-                    payload
-                        .parse()
-                        .map_err(|e| StreamsError::Serde(format!("bad int: {e}")))?,
+                    payload.parse().map_err(|e| StreamsError::Serde(format!("bad int: {e}")))?,
                 ),
                 "f" => Value::Float(
-                    payload
-                        .parse()
-                        .map_err(|e| StreamsError::Serde(format!("bad float: {e}")))?,
+                    payload.parse().map_err(|e| StreamsError::Serde(format!("bad float: {e}")))?,
                 ),
                 other => return Err(StreamsError::Serde(format!("unknown tag {other}"))),
             };

@@ -44,10 +44,7 @@ fn run_query(s: &Setup, sql: &str, steps: usize) -> KafkaStreamsApp {
     app
 }
 
-fn drain_f64<K: KSerde + std::hash::Hash + Eq>(
-    cluster: &Cluster,
-    topic: &str,
-) -> HashMap<K, f64> {
+fn drain_f64<K: KSerde + std::hash::Hash + Eq>(cluster: &Cluster, topic: &str) -> HashMap<K, f64> {
     let mut c = Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
     c.assign(cluster.partitions_of(topic).unwrap()).unwrap();
     let mut out = HashMap::new();
@@ -67,9 +64,7 @@ fn drain_f64<K: KSerde + std::hash::Hash + Eq>(
 }
 
 fn pageview(category: &str, period: i64) -> Row {
-    Row::new()
-        .with("category", Value::Str(category.into()))
-        .with("period", Value::Int(period))
+    Row::new().with("category", Value::Str(category.into())).with("period", Value::Int(period))
 }
 
 #[test]
@@ -99,12 +94,9 @@ fn figure2_as_a_continuous_query() {
 #[test]
 fn unwindowed_sum_query() {
     let s = setup(&["orders", "totals"]);
-    for (user, amount, ts) in
-        [("a", 10, 0), ("b", 5, 1), ("a", 7, 2), ("b", 1, 3), ("a", 3, 4)]
-    {
-        let row = Row::new()
-            .with("user", Value::Str(user.into()))
-            .with("amount", Value::Int(amount));
+    for (user, amount, ts) in [("a", 10, 0), ("b", 5, 1), ("a", 7, 2), ("b", 1, 3), ("a", 3, 4)] {
+        let row =
+            Row::new().with("user", Value::Str(user.into())).with("amount", Value::Int(amount));
         send_row(&s.cluster, "orders", user, row, ts);
     }
     let mut app =
@@ -119,9 +111,7 @@ fn unwindowed_sum_query() {
 fn min_max_queries() {
     let s = setup(&["ticks", "mins", "maxs"]);
     for (sym, price, ts) in [("X", 9.0, 0), ("X", 4.5, 1), ("X", 7.0, 2)] {
-        let row = Row::new()
-            .with("sym", Value::Str(sym.into()))
-            .with("price", Value::Float(price));
+        let row = Row::new().with("sym", Value::Str(sym.into())).with("price", Value::Float(price));
         send_row(&s.cluster, "ticks", sym, row, ts);
     }
     let mut app1 = run_query(&s, "SELECT sym, MIN(price) FROM ticks GROUP BY sym INTO mins", 20);
@@ -129,13 +119,10 @@ fn min_max_queries() {
     app1.close().unwrap();
     let s2 = setup(&["ticks", "maxs"]);
     for (sym, price, ts) in [("X", 9.0, 0), ("X", 4.5, 1), ("X", 7.0, 2)] {
-        let row = Row::new()
-            .with("sym", Value::Str(sym.into()))
-            .with("price", Value::Float(price));
+        let row = Row::new().with("sym", Value::Str(sym.into())).with("price", Value::Float(price));
         send_row(&s2.cluster, "ticks", sym, row, ts);
     }
-    let mut app2 =
-        run_query(&s2, "SELECT sym, MAX(price) FROM ticks GROUP BY sym INTO maxs", 20);
+    let mut app2 = run_query(&s2, "SELECT sym, MAX(price) FROM ticks GROUP BY sym INTO maxs", 20);
     assert_eq!(drain_f64::<String>(&s2.cluster, "maxs")["X"], 9.0);
     app2.close().unwrap();
 }
@@ -144,13 +131,7 @@ fn min_max_queries() {
 fn emit_final_suppresses_intermediate_revisions() {
     let s = setup(&["events", "finals"]);
     for ts in [100, 200, 300] {
-        send_row(
-            &s.cluster,
-            "events",
-            "k",
-            Row::new().with("k", Value::Str("k".into())),
-            ts,
-        );
+        send_row(&s.cluster, "events", "k", Row::new().with("k", Value::Str("k".into())), ts);
     }
     let mut app = run_query(
         &s,

@@ -162,8 +162,7 @@ mod tests {
 
     #[test]
     fn scripted_fault_fires_once_at_exact_count() {
-        let plan =
-            FaultPlan::none().script(FaultPoint::ProduceAckLost, 3, FaultDecision::DropAck);
+        let plan = FaultPlan::none().script(FaultPoint::ProduceAckLost, 3, FaultDecision::DropAck);
         assert_eq!(plan.decide(FaultPoint::ProduceAckLost), FaultDecision::Deliver);
         assert_eq!(plan.decide(FaultPoint::ProduceAckLost), FaultDecision::Deliver);
         assert_eq!(plan.decide(FaultPoint::ProduceAckLost), FaultDecision::DropAck);

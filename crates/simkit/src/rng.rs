@@ -1,22 +1,36 @@
 //! Deterministic random number generation.
 //!
-//! A thin, explicitly seeded wrapper so that every simulated component that
-//! needs randomness derives it from one recorded seed, making failure
-//! scenarios exactly reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! A small, explicitly seeded generator so that every simulated component
+//! that needs randomness derives it from one recorded seed, making failure
+//! scenarios exactly reproducible. The generator is a self-contained
+//! xoshiro256** seeded through splitmix64 (no external dependency, so the
+//! workspace builds hermetically), with the same statistical profile the
+//! previous `rand::SmallRng` backend provided.
 
 /// Deterministic RNG seeded explicitly; never seeded from the environment.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     pub fn new(seed: u64) -> Self {
-        Self { inner: SmallRng::seed_from_u64(seed), seed }
+        // Expand the 64-bit seed into the full 256-bit state, as the
+        // xoshiro authors recommend, so that nearby seeds do not produce
+        // correlated streams.
+        let mut sm = seed;
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Self { state, seed }
     }
 
     /// The seed this RNG was created with (for logging / reproduction).
@@ -36,33 +50,59 @@ impl DetRng {
 
     /// Uniform in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard float-from-bits recipe.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        p > 0.0 && self.inner.gen::<f64>() < p
+        p > 0.0 && self.unit() < p
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Debiased multiply-shift (Lemire); the retry loop is entered with
+        // probability span/2^64, i.e. essentially never for small spans.
+        let span = hi - lo;
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(span);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(span);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)` for i64.
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.range(0, span) as i64)
     }
 
     /// Pick a uniformly random element index for a slice of length `len`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot pick from an empty collection");
-        self.inner.gen_range(0..len)
+        self.range(0, len as u64) as usize
     }
 
-    /// Raw u64.
+    /// Raw u64 (xoshiro256** step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 }
 
@@ -115,11 +155,32 @@ mod tests {
     }
 
     #[test]
+    fn range_i64_handles_negative_bounds() {
+        let mut r = DetRng::new(13);
+        for _ in 0..1000 {
+            let v = r.range_i64(-50, -10);
+            assert!((-50..-10).contains(&v));
+        }
+    }
+
+    #[test]
     fn unit_in_half_open_interval() {
         let mut r = DetRng::new(11);
         for _ in 0..1000 {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity_over_small_range() {
+        let mut r = DetRng::new(17);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.index(8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "bucket {i} has {c} hits");
         }
     }
 }

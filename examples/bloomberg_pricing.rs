@@ -47,11 +47,15 @@ fn main() {
     let topology = Arc::new(builder.build().unwrap());
 
     // Two instances, as in a two-pod deployment.
-    let config =
-        StreamsConfig::new("mxflow").exactly_once().with_commit_interval_ms(100);
+    let config = StreamsConfig::new("mxflow").exactly_once().with_commit_interval_ms(100);
     let mut pods: Vec<KafkaStreamsApp> = (0..2)
         .map(|i| {
-            KafkaStreamsApp::new(cluster.clone(), topology.clone(), config.clone(), format!("pod-{i}"))
+            KafkaStreamsApp::new(
+                cluster.clone(),
+                topology.clone(),
+                config.clone(),
+                format!("pod-{i}"),
+            )
         })
         .collect();
     for pod in &mut pods {

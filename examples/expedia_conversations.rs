@@ -105,8 +105,7 @@ fn main() {
     }
 
     println!("=== enriched stream (each message exactly once, PII gone) ===");
-    let mut c =
-        Consumer::new(cluster.clone(), "r1", ConsumerConfig::default().read_committed());
+    let mut c = Consumer::new(cluster.clone(), "r1", ConsumerConfig::default().read_committed());
     c.assign(cluster.partitions_of("enriched").unwrap()).unwrap();
     let mut enriched_count = 0;
     loop {
@@ -125,11 +124,7 @@ fn main() {
     assert_eq!(enriched_count, dialogue.len());
 
     println!("\n=== conversation views (suppressed: one consolidated update per interval) ===");
-    let mut c2 = Consumer::new(
-        cluster.clone(),
-        "r2",
-        ConsumerConfig::default().read_committed(),
-    );
+    let mut c2 = Consumer::new(cluster.clone(), "r2", ConsumerConfig::default().read_committed());
     c2.assign(cluster.partitions_of("conversation-views").unwrap()).unwrap();
     let mut view_updates = 0;
     loop {

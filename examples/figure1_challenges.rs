@@ -16,6 +16,7 @@ use kstream_repro::kbroker::{
     group::SESSION_TIMEOUT_MS, Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig,
     TopicConfig,
 };
+use kstream_repro::kstreams::topology::Topology;
 use kstream_repro::kstreams::{
     KSerde, KafkaStreamsApp, ProcessingGuarantee, StreamsBuilder, StreamsConfig, TimeWindows,
     Windowed,
@@ -23,7 +24,7 @@ use kstream_repro::kstreams::{
 use kstream_repro::simkit::ManualClock;
 use std::sync::Arc;
 
-fn counter_topology() -> Arc<kstream_repro::kstreams::topology::Topology> {
+fn counter_topology() -> Arc<Topology> {
     let builder = StreamsBuilder::new();
     builder
         .stream::<String, String>("events")
@@ -72,9 +73,8 @@ fn crash_scenario(guarantee: ProcessingGuarantee) -> i64 {
 
     // Recovery (Figure 1.c): a fresh instance restores state from the
     // changelog and re-fetches the unacknowledged input.
-    let mut config2 = StreamsConfig::new("fig1")
-        .with_commit_interval_ms(10)
-        .with_producer_batch_size(1);
+    let mut config2 =
+        StreamsConfig::new("fig1").with_commit_interval_ms(10).with_producer_batch_size(1);
     if guarantee == ProcessingGuarantee::ExactlyOnce {
         config2 = config2.exactly_once();
     }
@@ -86,8 +86,7 @@ fn crash_scenario(guarantee: ProcessingGuarantee) -> i64 {
     }
     let count = recovery
         .query_kv("counts-store", &"k".to_string().to_bytes())
-        .map(|b| i64::from_bytes(&b).unwrap())
-        .unwrap_or(0);
+        .map_or(0, |b| i64::from_bytes(&b).unwrap());
     recovery.close().unwrap();
     count
 }
@@ -115,7 +114,8 @@ fn completeness_scenario() {
     );
     app.start().unwrap();
 
-    let mut probe = Consumer::new(cluster.clone(), "probe", ConsumerConfig::default().read_committed());
+    let mut probe =
+        Consumer::new(cluster.clone(), "probe", ConsumerConfig::default().read_committed());
     probe.assign(cluster.partitions_of("out").unwrap()).unwrap();
 
     let mut producer = Producer::new(cluster.clone(), ProducerConfig::default());

@@ -94,7 +94,10 @@ fn main() {
         );
     }
     let m = app.metrics();
-    println!("\nmetrics: revisions_emitted={} late_dropped={}", m.revisions_emitted, m.late_dropped);
+    println!(
+        "\nmetrics: revisions_emitted={} late_dropped={}",
+        m.revisions_emitted, m.late_dropped
+    );
     assert_eq!(m.late_dropped, 1, "the final ts=12s record must be dropped");
     assert!(m.revisions_emitted >= 1);
     app.close().unwrap();

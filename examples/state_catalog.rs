@@ -47,18 +47,21 @@ fn main() {
 
     // The state catalog: a read-committed consumer over the changelog.
     let changelog_topic = "orders-app-order-count-store-changelog";
-    let mut catalog = Consumer::new(
-        cluster.clone(),
-        "state-catalog",
-        ConsumerConfig::default().read_committed(),
-    );
+    let mut catalog =
+        Consumer::new(cluster.clone(), "state-catalog", ConsumerConfig::default().read_committed());
     let mut live_view: BTreeMap<String, i64> = BTreeMap::new();
     let mut snapshots: Vec<(i64, BTreeMap<String, i64>)> = Vec::new();
 
     let mut producer = Producer::new(cluster.clone(), ProducerConfig::default());
     let orders = [
-        ("alice", 0), ("bob", 50), ("alice", 120), ("carol", 300),
-        ("alice", 450), ("bob", 500), ("carol", 700), ("alice", 900),
+        ("alice", 0),
+        ("bob", 50),
+        ("alice", 120),
+        ("carol", 300),
+        ("alice", 450),
+        ("bob", 500),
+        ("carol", 700),
+        ("alice", 900),
     ];
     let mut fed = 0;
     let mut catalog_assigned = false;

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so the handful of external dependencies are replaced by small
+//! local shims (see `shims/` in the repo root). This one provides [`Bytes`]:
+//! an immutable, cheaply cloneable byte buffer backed by `Arc<[u8]>`. Only
+//! the API surface actually used by this workspace is implemented.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer holding `data`. (The real crate borrows the static slice;
+    /// this shim copies it once, which is fine for simulation workloads.)
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: Arc::from(data) }
+    }
+
+    /// Copy `data` into a fresh buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::from_static(s.as_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_static(s)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn round_trips_and_compares() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn usable_as_hash_map_key() {
+        let mut m: HashMap<Bytes, i32> = HashMap::new();
+        m.insert(Bytes::from_static(b"k"), 7);
+        assert_eq!(m.get(&Bytes::from(String::from("k"))), Some(&7));
+        // Borrow<[u8]> allows lookup by slice.
+        assert_eq!(m.get(b"k".as_slice()), Some(&7));
+    }
+
+    #[test]
+    fn sorts_lexicographically() {
+        let mut v = [Bytes::from_static(b"b"), Bytes::from_static(b"a")];
+        v.sort();
+        assert_eq!(v[0], Bytes::from_static(b"a"));
+    }
+
+    #[test]
+    fn debug_escapes_non_printable() {
+        assert_eq!(format!("{:?}", Bytes::from(vec![b'a', 0x00])), "b\"a\\x00\"");
+    }
+}

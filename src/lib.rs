@@ -18,8 +18,8 @@
 //! * [`simkit`] — clocks, fault injection, measurement.
 
 pub use ckpt_baseline;
-pub use ksql_mini;
 pub use kbroker;
 pub use klog;
+pub use ksql_mini;
 pub use kstreams;
 pub use simkit;

@@ -25,8 +25,7 @@ fn setup(out_topics: &[&str]) -> Setup {
 
 fn send(cluster: &Cluster, key: &str, value: &str, ts: i64) {
     let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
-    p.send("in", Some(key.to_string().to_bytes()), Some(value.to_string().to_bytes()), ts)
-        .unwrap();
+    p.send("in", Some(key.to_string().to_bytes()), Some(value.to_string().to_bytes()), ts).unwrap();
     p.flush().unwrap();
 }
 
@@ -89,10 +88,7 @@ fn branch_splits_disjointly() {
 fn filter_not_is_the_complement() {
     let s = setup(&["kept"]);
     let builder = StreamsBuilder::new();
-    builder
-        .stream::<String, String>("in")
-        .filter_not(|_k, v| v.contains("drop"))
-        .to("kept");
+    builder.stream::<String, String>("in").filter_not(|_k, v| v.contains("drop")).to("kept");
     send(&s.cluster, "a", "drop-me", 0);
     send(&s.cluster, "b", "keep-me", 1);
     let mut app = run_app(&s, builder.build().unwrap(), 10);
@@ -108,9 +104,7 @@ fn flat_map_rekeys_and_repartitions_for_aggregation() {
     let builder = StreamsBuilder::new();
     builder
         .stream::<String, String>("in")
-        .flat_map(|_k, sentence| {
-            sentence.split(' ').map(|w| (w.to_string(), 1i64)).collect()
-        })
+        .flat_map(|_k, sentence| sentence.split(' ').map(|w| (w.to_string(), 1i64)).collect())
         .group_by_key()
         .count("word-count-store")
         .to_stream()
@@ -150,10 +144,7 @@ fn to_table_materializes_a_stream() {
     let mut app = run_app(&s, builder.build().unwrap(), 10);
     // The table emitted a revision for the overwrite.
     let out = read_pairs(&s.cluster, "latest");
-    assert_eq!(
-        out,
-        vec![("k".into(), "latest:v1".into()), ("k".into(), "latest:v2".into())]
-    );
+    assert_eq!(out, vec![("k".into(), "latest:v1".into()), ("k".into(), "latest:v2".into())]);
     assert_eq!(
         app.query_kv("latest-store", &"k".to_string().to_bytes())
             .map(|b| String::from_bytes(&b).unwrap()),

@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
-use kstreams::{KafkaStreamsApp, KSerde, StreamsBuilder, StreamsConfig, StreamsError};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig, StreamsError};
 use simkit::{FaultDecision, FaultPlan, FaultPoint, ManualClock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,12 +32,8 @@ struct Setup {
 
 fn setup_with(faults: FaultPlan) -> Setup {
     let clock = ManualClock::new();
-    let cluster = Cluster::builder()
-        .brokers(3)
-        .replication(3)
-        .clock(clock.shared())
-        .faults(faults)
-        .build();
+    let cluster =
+        Cluster::builder().brokers(3).replication(3).clock(clock.shared()).faults(faults).build();
     cluster.create_topic("events", TopicConfig::new(1)).unwrap();
     cluster.create_topic("counts", TopicConfig::new(1)).unwrap();
     Setup { cluster, clock }
@@ -240,12 +236,8 @@ fn zombie_instance_cannot_commit() {
 
     // A new incarnation of the same instance registers (§2.1's zombie
     // scenario: the old one is presumed dead but still runs).
-    let mut new = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-0",
-    );
+    let mut new =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-0");
     new.start().unwrap();
 
     // The zombie tries to continue: its producer epoch is stale.
@@ -282,8 +274,7 @@ fn lost_acks_with_eos_do_not_duplicate() {
 fn lost_acks_without_idempotence_duplicate_outputs() {
     // Control experiment for the one above: at-least-once + scripted ack
     // loss on the app's first output append ⇒ a duplicate output record.
-    let faults =
-        FaultPlan::none().script(FaultPoint::ProduceAckLost, 2, FaultDecision::DropAck);
+    let faults = FaultPlan::none().script(FaultPoint::ProduceAckLost, 2, FaultDecision::DropAck);
     let s = setup_with(faults);
     // Fault op #1 is the test generator's send; #2 is the app's first
     // output/changelog append.
@@ -296,10 +287,8 @@ fn lost_acks_without_idempotence_duplicate_outputs() {
     let events = s.cluster.topic_record_count("events").unwrap();
     assert_eq!(events, 1);
     let outputs = s.cluster.topic_record_count("counts").unwrap();
-    let changelog: usize = s
-        .cluster
-        .topic_record_count("counter-app-event-counts-changelog")
-        .unwrap();
+    let changelog: usize =
+        s.cluster.topic_record_count("counter-app-event-counts-changelog").unwrap();
     assert!(
         outputs + changelog > 2,
         "expected a duplicated append, got outputs={outputs} changelog={changelog} total={total}"
@@ -328,12 +317,8 @@ fn task_migration_restores_state_from_changelog() {
     // Instance B starts fresh on another "host": must restore count=4 by
     // replaying the changelog (§3.3), then continue.
     send_events(&s.cluster, 1, 50);
-    let mut b = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-b",
-    );
+    let mut b =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-b");
     b.start().unwrap();
     for _ in 0..10 {
         b.step().unwrap();
@@ -355,12 +340,8 @@ fn task_migration_restores_state_from_changelog() {
 fn broker_failure_is_transparent_to_the_app() {
     let s = setup();
     send_events(&s.cluster, 3, 0);
-    let mut app = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-0",
-    );
+    let mut app =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-0");
     app.start().unwrap();
     for _ in 0..5 {
         app.step().unwrap();
@@ -384,12 +365,8 @@ fn broker_failure_is_transparent_to_the_app() {
 fn interactive_query_reads_current_state() {
     let s = setup();
     send_events(&s.cluster, 7, 0);
-    let mut app = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-0",
-    );
+    let mut app =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-0");
     app.start().unwrap();
     for _ in 0..10 {
         app.step().unwrap();
@@ -408,12 +385,8 @@ fn interactive_query_reads_current_state() {
 fn metrics_reflect_processing() {
     let s = setup();
     send_events(&s.cluster, 5, 0);
-    let mut app = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-0",
-    );
+    let mut app =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-0");
     app.start().unwrap();
     for _ in 0..10 {
         app.step().unwrap();
@@ -475,12 +448,8 @@ fn two_instances_split_work_and_agree() {
 fn run_until_idle_drains_everything() {
     let s = setup();
     send_events(&s.cluster, 25, 0);
-    let mut app = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-0",
-    );
+    let mut app =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-0");
     app.start().unwrap();
     // Interleave clock advances so the commit interval elapses.
     for _ in 0..5 {
@@ -509,22 +478,15 @@ fn consumer_group_offsets_fence_across_generations_in_eos() {
     );
     old.start().unwrap();
     old.step().unwrap(); // open transaction, offsets not yet committed
-    // Membership changes underneath (a second instance joins).
-    let mut newcomer = KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        eos_config(),
-        "instance-1",
-    );
+                         // Membership changes underneath (a second instance joins).
+    let mut newcomer =
+        KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), eos_config(), "instance-1");
     newcomer.start().unwrap();
     // The old instance's next explicit commit is overtaken: with the public
     // commit() API this surfaces as an error...
     let err = old.commit().unwrap_err();
     assert!(
-        matches!(
-            err,
-            StreamsError::Broker(kbroker::BrokerError::IllegalGeneration { .. })
-        ),
+        matches!(err, StreamsError::Broker(kbroker::BrokerError::IllegalGeneration { .. })),
         "{err:?}"
     );
     // ...while step() handles it internally (abort + rebuild) and both

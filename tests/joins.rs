@@ -3,7 +3,7 @@
 //! stream-table enrichment.
 
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
-use kstreams::{JoinWindows, KafkaStreamsApp, KSerde, StreamsBuilder, StreamsConfig};
+use kstreams::{JoinWindows, KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
 use simkit::ManualClock;
 use std::sync::Arc;
 
@@ -45,8 +45,7 @@ fn read_out(cluster: &Cluster) -> Vec<(String, String)> {
                 String::from_bytes(rec.key.as_ref().unwrap()).unwrap(),
                 rec.value
                     .as_ref()
-                    .map(|v| String::from_bytes(v).unwrap())
-                    .unwrap_or_else(|| "<null>".into()),
+                    .map_or_else(|| "<null>".into(), |v| String::from_bytes(v).unwrap()),
             ));
         }
     }
@@ -123,7 +122,7 @@ fn paper_section5_left_join_holds_until_grace() {
     let left = builder.stream::<String, String>("left");
     let right = builder.stream::<String, String>("right");
     left.left_join(&right, JoinWindows::of(1_000).grace(2_000), |l, r| {
-        format!("{l}+{}", r.map(String::as_str).unwrap_or("null"))
+        format!("{l}+{}", r.map_or("null", String::as_str))
     })
     .to("out");
     let mut app = app_with(&s, builder.build().unwrap(), "ssj-left");
@@ -158,7 +157,7 @@ fn left_join_pads_after_grace_when_no_match_arrives() {
     let left = builder.stream::<String, String>("left");
     let right = builder.stream::<String, String>("right");
     left.left_join(&right, JoinWindows::of(1_000).grace(2_000), |l, r| {
-        format!("{l}+{}", r.map(String::as_str).unwrap_or("null"))
+        format!("{l}+{}", r.map_or("null", String::as_str))
     })
     .to("out");
     let mut app = app_with(&s, builder.build().unwrap(), "ssj-pad");
@@ -181,11 +180,7 @@ fn outer_join_pads_both_sides() {
     let left = builder.stream::<String, String>("left");
     let right = builder.stream::<String, String>("right");
     left.outer_join(&right, JoinWindows::of(500).grace(500), |l, r| {
-        format!(
-            "{}|{}",
-            l.map(String::as_str).unwrap_or("null"),
-            r.map(String::as_str).unwrap_or("null")
-        )
+        format!("{}|{}", l.map_or("null", String::as_str), r.map_or("null", String::as_str))
     })
     .to("out");
     let mut app = app_with(&s, builder.build().unwrap(), "ssj-outer");
@@ -211,11 +206,9 @@ fn table_table_join_amends_speculative_results() {
     let builder = StreamsBuilder::new();
     let left = builder.table::<String, String>("lt", "lt-store");
     let right = builder.table::<String, String>("rt", "rt-store");
-    left.left_join(&right, |l, r| {
-        format!("{l}+{}", r.map(String::as_str).unwrap_or("null"))
-    })
-    .to_stream()
-    .to("out");
+    left.left_join(&right, |l, r| format!("{l}+{}", r.map_or("null", String::as_str)))
+        .to_stream()
+        .to("out");
     let mut app = app_with(&s, builder.build().unwrap(), "ttj");
 
     send(&s.cluster, "lt", "k", "a", 1_000);
@@ -304,7 +297,7 @@ fn stream_table_left_join_pads_missing_table_rows() {
     let profiles = builder.table::<String, String>("profiles", "p-store");
     clicks
         .left_join_table(&profiles, |click, profile| {
-            format!("{click}@{}", profile.map(String::as_str).unwrap_or("unknown"))
+            format!("{click}@{}", profile.map_or("unknown", String::as_str))
         })
         .to("out");
     let mut app = app_with(&s, builder.build().unwrap(), "stj-left");

@@ -10,12 +10,7 @@ use std::sync::Arc;
 
 fn counting_topology() -> Arc<kstreams::topology::Topology> {
     let builder = StreamsBuilder::new();
-    builder
-        .stream::<String, String>("events")
-        .group_by_key()
-        .count("counts")
-        .to_stream()
-        .to("out");
+    builder.stream::<String, String>("events").group_by_key().count("counts").to_stream().to("out");
     Arc::new(builder.build().unwrap())
 }
 
@@ -85,8 +80,7 @@ fn compacted_changelog_bounds_restore_work() {
     app2.start().unwrap();
     assert_eq!(app2.metrics().restore_records, 3, "restored exactly |state| records");
     assert_eq!(
-        app2.query_kv("counts", &"k0".to_string().to_bytes())
-            .map(|b| i64::from_bytes(&b).unwrap()),
+        app2.query_kv("counts", &"k0".to_string().to_bytes()).map(|b| i64::from_bytes(&b).unwrap()),
         Some(100),
         "restored value is the latest count"
     );
@@ -125,9 +119,8 @@ fn repartition_topic_can_be_purged_after_consumption() {
 
     // Find the repartition topic and purge up to the committed offsets.
     let repart = {
-        let topics: Vec<String> = (0..1)
-            .map(|_| "p-app-KSTREAM-AGGREGATE-0000000002-repartition".to_string())
-            .collect();
+        let topics: Vec<String> =
+            (0..1).map(|_| "p-app-KSTREAM-AGGREGATE-0000000002-repartition".to_string()).collect();
         topics.into_iter().find(|t| s.cluster.topic_exists(t)).expect("repartition topic")
     };
     let tp = TopicPartition::new(repart.clone(), 0);
@@ -188,8 +181,7 @@ fn restore_after_compaction_equals_restore_before() {
                 let key = format!("k{k}");
                 let v = app
                     .query_kv("counts", &key.clone().to_bytes())
-                    .map(|b| i64::from_bytes(&b).unwrap())
-                    .unwrap_or(0);
+                    .map_or(0, |b| i64::from_bytes(&b).unwrap());
                 (key, v)
             })
             .collect();

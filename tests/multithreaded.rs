@@ -12,12 +12,7 @@ use std::sync::Arc;
 
 fn counting_topology() -> Arc<kstreams::topology::Topology> {
     let builder = StreamsBuilder::new();
-    builder
-        .stream::<String, String>("events")
-        .group_by_key()
-        .count("counts")
-        .to_stream()
-        .to("out");
+    builder.stream::<String, String>("events").group_by_key().count("counts").to_stream().to("out");
     Arc::new(builder.build().unwrap())
 }
 
@@ -107,10 +102,7 @@ fn two_threads_share_the_work_exactly_once() {
     assert_eq!(outputs, RECORDS, "one committed output per input");
     assert_eq!(latest.len(), KEYS);
     let expected = (RECORDS / KEYS) as i64;
-    assert!(
-        latest.values().all(|&v| v == expected),
-        "every key counted to {expected}: {latest:?}"
-    );
+    assert!(latest.values().all(|&v| v == expected), "every key counted to {expected}: {latest:?}");
 }
 
 #[test]

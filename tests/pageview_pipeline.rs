@@ -4,9 +4,7 @@
 //! sub-topologies.
 
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
-use kstreams::{
-    KafkaStreamsApp, KSerde, StreamsBuilder, StreamsConfig, TimeWindows, Windowed,
-};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig, TimeWindows, Windowed};
 use simkit::ManualClock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,11 +46,8 @@ fn send_view(p: &mut Producer, user: &str, cat: &str, period: i64, ts: i64) {
 
 /// Drain all current output records into (category, window_start) → count.
 fn read_counts(cluster: &Cluster) -> HashMap<(String, i64), i64> {
-    let mut consumer = Consumer::new(
-        cluster.clone(),
-        "verifier",
-        ConsumerConfig::default().read_committed(),
-    );
+    let mut consumer =
+        Consumer::new(cluster.clone(), "verifier", ConsumerConfig::default().read_committed());
     consumer.assign(cluster.partitions_of("pageview-windowed-counts").unwrap()).unwrap();
     let mut out = HashMap::new();
     loop {

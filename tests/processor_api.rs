@@ -25,9 +25,8 @@ impl Processor for JumpDetector {
         };
         ctx.observe_ts(record.ts);
         let current = i64::from_bytes(&value).expect("i64 value");
-        let previous = ctx
-            .kv_get(self.store, &key)
-            .map(|b| i64::from_bytes(&b).expect("i64 state"));
+        let previous =
+            ctx.kv_get(self.store, &key).map(|b| i64::from_bytes(&b).expect("i64 state"));
         ctx.kv_put(self.store, key.clone(), Some(value));
         if let Some(prev) = previous {
             if (current - prev).abs() > self.threshold {

@@ -3,9 +3,7 @@
 //! garbage collection, and suppression.
 
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
-use kstreams::{
-    KafkaStreamsApp, KSerde, StreamsBuilder, StreamsConfig, TimeWindows, Windowed,
-};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig, TimeWindows, Windowed};
 use simkit::ManualClock;
 use std::sync::Arc;
 
@@ -37,14 +35,14 @@ fn windowed_count_topology(grace_ms: i64, suppress: bool) -> Arc<kstreams::topol
 
 fn send(cluster: &Cluster, ts: i64) {
     let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
-    p.send("in", Some("k".to_string().to_bytes()), Some("v".to_string().to_bytes()), ts)
-        .unwrap();
+    p.send("in", Some("k".to_string().to_bytes()), Some("v".to_string().to_bytes()), ts).unwrap();
     p.flush().unwrap();
 }
 
 /// All output records in order as (window_start, count).
 fn read_all(cluster: &Cluster) -> Vec<(i64, i64)> {
-    let mut c = Consumer::new(cluster.clone(), "verify", ConsumerConfig::default().read_committed());
+    let mut c =
+        Consumer::new(cluster.clone(), "verify", ConsumerConfig::default().read_committed());
     c.assign(cluster.partitions_of("out").unwrap()).unwrap();
     let mut out = Vec::new();
     loop {
@@ -267,12 +265,7 @@ fn downstream_table_consumes_revisions_correctly() {
         .windowed_by(TimeWindows::of(5000).grace(10_000))
         .count("per-window")
         .group_by(|wk: &Windowed<String>, count| (wk.key.clone(), *count))
-        .aggregate(
-            "total",
-            || 0i64,
-            |v, acc| acc + v,
-            |v, acc| acc - v,
-        )
+        .aggregate("total", || 0i64, |v, acc| acc + v, |v, acc| acc - v)
         .to_stream()
         .to("out");
     let topology = Arc::new(builder.build().unwrap());

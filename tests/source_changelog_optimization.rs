@@ -97,11 +97,7 @@ fn restore_replays_source_up_to_committed_offset() {
         "i1",
     );
     app.start().unwrap();
-    assert_eq!(
-        app.metrics().restore_records,
-        20,
-        "restore covers exactly the committed prefix"
-    );
+    assert_eq!(app.metrics().restore_records, 20, "restore covers exactly the committed prefix");
     assert_eq!(
         app.query_kv("profile-store", &"k0".to_string().to_bytes())
             .map(|b| String::from_bytes(&b).unwrap()),
@@ -175,9 +171,6 @@ fn aggregation_stores_still_use_changelog_topics() {
         .to_stream()
         .to("out");
     let topology = builder.build().unwrap();
-    assert!(topology
-        .internal_topics
-        .iter()
-        .any(|t| t.name == "agg-store-changelog"));
+    assert!(topology.internal_topics.iter().any(|t| t.name == "agg-store-changelog"));
     assert!(topology.source_changelogs.is_empty());
 }

@@ -10,12 +10,7 @@ use std::sync::Arc;
 
 fn counting_topology() -> Arc<kstreams::topology::Topology> {
     let builder = StreamsBuilder::new();
-    builder
-        .stream::<String, String>("events")
-        .group_by_key()
-        .count("counts")
-        .to_stream()
-        .to("out");
+    builder.stream::<String, String>("events").group_by_key().count("counts").to_stream().to("out");
     Arc::new(builder.build().unwrap())
 }
 

@@ -4,8 +4,7 @@
 use bytes::Bytes;
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
 use kstreams::{
-    KSerde, KafkaStreamsApp, SessionWindows, StreamsBuilder, StreamsConfig, TimeWindows,
-    Windowed,
+    KSerde, KafkaStreamsApp, SessionWindows, StreamsBuilder, StreamsConfig, TimeWindows, Windowed,
 };
 use simkit::ManualClock;
 use std::collections::HashMap;
@@ -176,8 +175,7 @@ fn timestamp_ordered_processing_is_deterministic() {
     // require byte-identical output order.
     let run_once = || -> Vec<(Option<Bytes>, i64)> {
         let clock = ManualClock::new();
-        let cluster =
-            Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+        let cluster = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
         cluster.create_topic("a", TopicConfig::new(1)).unwrap();
         cluster.create_topic("b", TopicConfig::new(1)).unwrap();
         cluster.create_topic("out", TopicConfig::new(1)).unwrap();
@@ -194,11 +192,14 @@ fn timestamp_ordered_processing_is_deterministic() {
         app.start().unwrap();
         // Interleaved timestamps across the two inputs.
         let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
-        for (topic, ts) in
-            [("a", 5), ("a", 1), ("b", 3), ("b", 2), ("a", 4), ("b", 6), ("a", 0)]
-        {
-            p.send(topic, Some("k".to_string().to_bytes()), Some(Bytes::from(format!("{topic}{ts}"))), ts)
-                .unwrap();
+        for (topic, ts) in [("a", 5), ("a", 1), ("b", 3), ("b", 2), ("a", 4), ("b", 6), ("a", 0)] {
+            p.send(
+                topic,
+                Some("k".to_string().to_bytes()),
+                Some(Bytes::from(format!("{topic}{ts}"))),
+                ts,
+            )
+            .unwrap();
         }
         p.flush().unwrap();
         for _ in 0..10 {
@@ -206,8 +207,7 @@ fn timestamp_ordered_processing_is_deterministic() {
             clock.advance(10);
         }
         app.close().unwrap();
-        let mut c =
-            Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
+        let mut c = Consumer::new(cluster.clone(), "v", ConsumerConfig::default().read_committed());
         c.assign(cluster.partitions_of("out").unwrap()).unwrap();
         let mut out = Vec::new();
         loop {
