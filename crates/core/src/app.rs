@@ -334,7 +334,11 @@ impl KafkaStreamsApp {
         self.check_rebalance()?;
         let isolation = self.consume_isolation();
         let mut processed = 0;
-        let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        let mut task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        // Deterministic task order: the simulation harness replays runs
+        // byte-identically from a seed, so HashMap iteration order must not
+        // leak into processing order.
+        task_ids.sort();
         for id in &task_ids {
             let task = self.tasks.get_mut(id).expect("owned");
             processed +=
@@ -405,8 +409,9 @@ impl KafkaStreamsApp {
     /// Commit the current cycle: the read-process-write atomicity point
     /// (§4.2).
     pub fn commit(&mut self) -> Result<(), StreamsError> {
-        let offsets: Vec<(TopicPartition, i64)> =
+        let mut offsets: Vec<(TopicPartition, i64)> =
             self.tasks.values().flat_map(|t| t.committable_offsets()).collect();
+        offsets.sort_by(|a, b| a.0.cmp(&b.0));
         match self.config.guarantee {
             ProcessingGuarantee::ExactlyOnce => {
                 if self.txn_open {

@@ -19,6 +19,7 @@ use crate::state::Store;
 use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
 use kbroker::{Cluster, IsolationLevel, TopicPartition};
+use simkit::{FaultDecision, FaultPoint};
 use std::collections::{HashMap, VecDeque};
 
 /// One buffered input record.
@@ -221,6 +222,11 @@ impl StreamTask {
                 Err(kbroker::BrokerError::NoLeader { .. }) => continue,
                 Err(e) => return Err(e.into()),
             };
+            // A lost fetch response: no data ingested, position unchanged —
+            // the next cycle re-fetches the identical range.
+            if cluster.faults().decide(FaultPoint::FetchResponseLost) != FaultDecision::Deliver {
+                continue;
+            }
             if fetch.next_offset > pos {
                 let buf = self.buffers.entry(tp.clone()).or_default();
                 for (offset, rec) in fetch.records() {
@@ -284,9 +290,13 @@ impl StreamTask {
             .collect()
     }
 
-    /// Offsets to commit: next unprocessed offset per input partition.
+    /// Offsets to commit: next unprocessed offset per input partition, in
+    /// deterministic partition order.
     pub fn committable_offsets(&self) -> Vec<(TopicPartition, i64)> {
-        self.processed_positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect()
+        let mut offsets: Vec<(TopicPartition, i64)> =
+            self.processed_positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect();
+        offsets.sort_by(|a, b| a.0.cmp(&b.0));
+        offsets
     }
 
     /// This task's metrics (cumulative).

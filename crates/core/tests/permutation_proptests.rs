@@ -1,0 +1,189 @@
+//! Permutation property tests for revision processing (§5): the *final*
+//! revision per key/window must not depend on record arrival order, as
+//! long as the grace period covers the disorder. Exercises the
+//! grace-period windowed aggregate directly, and the suppressed
+//! ("emit-final-only") variant through the same driver surface the task
+//! runtime uses.
+
+use bytes::Bytes;
+use kstreams::dsl::ops::{Suppress, SuppressMode, WindowAggregate};
+use kstreams::dsl::windows::TimeWindows;
+use kstreams::kserde::{decode_windowed_key, KSerde};
+use kstreams::processor::driver::TaskEnv;
+use kstreams::processor::{Processor, ProcessorContext, StoreEntry};
+use kstreams::record::FlowRecord;
+use kstreams::state::{Store, StoreKind, StoreSpec};
+use proptest::prelude::*;
+use simkit::DetRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A single dummy child node id: `ProcessorContext::forward` only enqueues
+/// when the current node has children, so tests that inspect forwarded
+/// records must supply one.
+const CHILD: &[usize] = &[0];
+
+const WINDOW_MS: i64 = 1_000;
+/// Timestamps are drawn from `[0, SPAN_MS)`.
+const SPAN_MS: i64 = 10_000;
+/// Grace covers the whole timestamp span, so *no permutation* of the
+/// events can make any record late — which is exactly the §5 condition
+/// under which the revision stream must converge to the complete result.
+const GRACE_MS: i64 = SPAN_MS;
+
+fn count_agg() -> kstreams::dsl::ops::AggFn {
+    Arc::new(|cur, _| {
+        let n = cur.map_or(0, |b| i64::from_bytes(&b).unwrap());
+        Some((n + 1).to_bytes())
+    })
+}
+
+fn env_with(stores: &[(&str, StoreKind)]) -> TaskEnv {
+    let mut env = TaskEnv::new(0);
+    for (name, kind) in stores {
+        env.stores.insert(
+            (*name).to_string(),
+            StoreEntry { store: Store::new(*kind), spec: StoreSpec::new(*name, *kind) },
+        );
+    }
+    env
+}
+
+/// In-place Fisher–Yates from an explicit seed (the proptest shim has no
+/// shuffle strategy; a seed keeps the permutation shrinkable/replayable).
+fn permute<T>(items: &mut [T], seed: u64) {
+    let mut rng = DetRng::new(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(u8, i64)>> {
+    prop::collection::vec((0u8..5, 0i64..SPAN_MS), 1..60)
+}
+
+/// Batch oracle: records per (key, window start).
+fn oracle(events: &[(u8, i64)]) -> HashMap<(u8, i64), i64> {
+    let mut counts = HashMap::new();
+    for (k, ts) in events {
+        *counts.entry((*k, (ts / WINDOW_MS) * WINDOW_MS)).or_default() += 1;
+    }
+    counts
+}
+
+fn run_window_aggregate(
+    events: &[(u8, i64)],
+) -> (TaskEnv, VecDeque<FlowRecord>, HashMap<(u8, i64), i64>) {
+    let windows = TimeWindows::of(WINDOW_MS).grace(GRACE_MS);
+    let mut agg = WindowAggregate { store: "w".into(), windows, agg: count_agg() };
+    let mut env = env_with(&[("w", StoreKind::Window)]);
+    let mut forwarded = VecDeque::new();
+    let mut finals: HashMap<(u8, i64), i64> = HashMap::new();
+    for (k, ts) in events {
+        let rec =
+            FlowRecord::stream(Some(Bytes::from(vec![*k])), Some(Bytes::from_static(b"v")), *ts);
+        let mut queue = VecDeque::new();
+        let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+        agg.process(&mut ctx, rec);
+        for (_, out) in queue {
+            let (key, start) = decode_windowed_key(out.key.as_ref().unwrap()).unwrap();
+            let value = i64::from_bytes(out.new.as_ref().unwrap()).unwrap();
+            finals.insert((key[0], start), value);
+            forwarded.push_back(out);
+        }
+    }
+    (env, forwarded, finals)
+}
+
+proptest! {
+    /// Grace-period revision processing: for ANY arrival permutation, the
+    /// last revision emitted per (key, window) equals the batch count —
+    /// out-of-order records revise rather than corrupt (§5, Figure 6).
+    #[test]
+    fn windowed_final_revision_is_permutation_invariant(
+        events in arb_events(),
+        perm_seed in any::<u64>(),
+    ) {
+        let want = oracle(&events);
+        let mut events = events;
+        permute(&mut events, perm_seed);
+        let (env, _, finals) = run_window_aggregate(&events);
+        prop_assert_eq!(env.metrics.late_dropped, 0, "grace covers the span: nothing is late");
+        prop_assert_eq!(&finals, &want, "final revisions must match the in-order batch result");
+    }
+
+    /// Two arbitrary permutations of the same multiset emit the same final
+    /// revision per window (order-independence stated pairwise, without
+    /// reference to the oracle's window assignment).
+    #[test]
+    fn any_two_permutations_agree_on_final_revisions(
+        events in arb_events(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let mut other = events.clone();
+        let mut events = events;
+        permute(&mut events, seed_a);
+        permute(&mut other, seed_b);
+        let (_, _, finals_a) = run_window_aggregate(&events);
+        let (_, _, finals_b) = run_window_aggregate(&other);
+        prop_assert_eq!(finals_a, finals_b);
+    }
+
+    /// Suppressed revision processing: for ANY arrival permutation, once
+    /// every window is closed exactly ONE final result per (key, window)
+    /// is emitted, carrying the complete count (§5's "single final
+    /// result" mode).
+    #[test]
+    fn suppress_emits_one_complete_final_per_window_for_any_permutation(
+        events in arb_events(),
+        perm_seed in any::<u64>(),
+    ) {
+        let want = oracle(&events);
+        let mut events = events;
+        permute(&mut events, perm_seed);
+
+        let windows = TimeWindows::of(WINDOW_MS).grace(GRACE_MS);
+        let mut agg = WindowAggregate { store: "w".into(), windows, agg: count_agg() };
+        let mut suppress = Suppress {
+            store: "buf".into(),
+            mode: SuppressMode::WindowClose { window_size_ms: WINDOW_MS, grace_ms: GRACE_MS },
+        };
+        let mut env = env_with(&[("w", StoreKind::Window), ("buf", StoreKind::KeyValue)]);
+
+        for (k, ts) in &events {
+            let rec = FlowRecord::stream(
+                Some(Bytes::from(vec![*k])),
+                Some(Bytes::from_static(b"v")),
+                *ts,
+            );
+            let mut queue = VecDeque::new();
+            let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+            agg.process(&mut ctx, rec);
+            // Pipe the aggregate's revisions into the suppress buffer, as
+            // the task driver would.
+            for (_, revision) in std::mem::take(&mut queue) {
+                let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+                suppress.process(&mut ctx, revision);
+            }
+            // Nothing may escape the buffer before its window closes.
+            prop_assert!(queue.is_empty(), "suppress leaked an early revision");
+        }
+
+        // Advance stream time far enough to close every window, then flush.
+        let close_all = SPAN_MS + WINDOW_MS + GRACE_MS;
+        let mut queue = VecDeque::new();
+        let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+        suppress.punctuate(&mut ctx, close_all, 0);
+
+        let mut got: HashMap<(u8, i64), i64> = HashMap::new();
+        for (_, out) in queue {
+            let (key, start) = decode_windowed_key(out.key.as_ref().unwrap()).unwrap();
+            let value = i64::from_bytes(out.new.as_ref().unwrap()).unwrap();
+            let dup = got.insert((key[0], start), value);
+            prop_assert!(dup.is_none(), "window ({}, {}) emitted more than once", key[0], start);
+        }
+        prop_assert_eq!(&got, &want, "each closed window emits its complete count exactly once");
+    }
+}

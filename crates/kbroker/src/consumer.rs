@@ -13,7 +13,13 @@ use crate::group::GroupView;
 use crate::topic::TopicPartition;
 use bytes::Bytes;
 use klog::{IsolationLevel, Offset};
+use simkit::{FaultDecision, FaultPoint};
 use std::collections::HashMap;
+
+/// Upper bound on injected-fault retries for one `commit_sync` call; the
+/// fault plans used in tests cap scripted/probabilistic losses well below
+/// this.
+const MAX_COMMIT_ATTEMPTS: usize = 32;
 
 /// Consumer configuration.
 #[derive(Debug, Clone)]
@@ -198,6 +204,14 @@ impl Consumer {
                     Err(BrokerError::NoLeader { .. }) => continue,
                     Err(e) => return Err(e),
                 };
+            // A lost fetch request or a lost fetch response look identical
+            // from the client: no data arrives and the position stays put,
+            // so the next poll re-fetches the same range (fetches are
+            // naturally idempotent reads).
+            if self.cluster.faults().decide(FaultPoint::FetchResponseLost) != FaultDecision::Deliver
+            {
+                continue;
+            }
             for (offset, rec) in fetch.records() {
                 out.push(ConsumerRecord {
                     topic: tp.topic.clone(),
@@ -239,17 +253,44 @@ impl Consumer {
     }
 
     /// Commit current positions through the group (at-least-once mode).
+    ///
+    /// Retries on an injected coordinator fault: offset commits are
+    /// last-write-wins per partition, so re-sending after a lost ack is
+    /// idempotent.
     pub fn commit_sync(&mut self) -> Result<(), BrokerError> {
         let group = self.group()?.to_string();
-        let offsets: Vec<(TopicPartition, Offset)> =
-            self.positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect();
-        self.cluster.group_commit_offsets(&group, &self.member_id, self.generation, &offsets)
+        let offsets = self.current_offsets();
+        for _ in 0..MAX_COMMIT_ATTEMPTS {
+            match self.cluster.faults().decide(FaultPoint::OffsetCommitAckLost) {
+                FaultDecision::DropRequest => {}
+                FaultDecision::DropAck => {
+                    self.cluster.group_commit_offsets(
+                        &group,
+                        &self.member_id,
+                        self.generation,
+                        &offsets,
+                    )?;
+                }
+                FaultDecision::Deliver => {
+                    return self.cluster.group_commit_offsets(
+                        &group,
+                        &self.member_id,
+                        self.generation,
+                        &offsets,
+                    );
+                }
+            }
+        }
+        Err(BrokerError::InvalidOperation("offset commit retries exhausted".into()))
     }
 
     /// Positions of all assigned partitions (what a streams task feeds into
-    /// `send_offsets_to_transaction`).
+    /// `send_offsets_to_transaction`), in deterministic partition order.
     pub fn current_offsets(&self) -> Vec<(TopicPartition, Offset)> {
-        self.positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect()
+        let mut offsets: Vec<(TopicPartition, Offset)> =
+            self.positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect();
+        offsets.sort_by(|a, b| a.0.cmp(&b.0));
+        offsets
     }
 
     /// The group generation this consumer currently holds.
@@ -418,6 +459,49 @@ mod tests {
         assert_eq!(cons.poll().unwrap().len(), 5);
         cons.seek(&tp, 3);
         assert_eq!(cons.poll().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scripted_fetch_response_loss_redelivers_same_records() {
+        // Script: the 1st fetch response is lost. The consumer must not
+        // advance its position, so the next poll re-reads the same range.
+        let plan =
+            FaultPlan::seeded(7).script(FaultPoint::FetchResponseLost, 1, FaultDecision::DropAck);
+        let c = Cluster::builder().brokers(1).replication(1).faults(plan.clone()).build();
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        produce_n(&c, "t", 5);
+        let mut cons = Consumer::new(c, "m", ConsumerConfig::default());
+        cons.assign(vec![TopicPartition::new("t", 0)]).unwrap();
+        assert!(cons.poll().unwrap().is_empty(), "lost response yields no records");
+        assert_eq!(cons.position(&TopicPartition::new("t", 0)), Some(0), "position unchanged");
+        let got = cons.poll().unwrap();
+        assert_eq!(got.len(), 5, "retry redelivers everything");
+        assert_eq!(got[0].offset, 0);
+        assert!(plan.injected(FaultPoint::FetchResponseLost) >= 1);
+    }
+
+    #[test]
+    fn scripted_offset_commit_ack_loss_is_idempotent() {
+        // Script: the 1st commit's ack is lost (request applied broker-side),
+        // the 2nd commit's request is lost entirely. commit_sync retries
+        // until delivery and the committed offset lands exactly once.
+        let plan = FaultPlan::seeded(11)
+            .script(FaultPoint::OffsetCommitAckLost, 1, FaultDecision::DropAck)
+            .script(FaultPoint::OffsetCommitAckLost, 2, FaultDecision::DropRequest);
+        let c = Cluster::builder().brokers(1).replication(1).faults(plan.clone()).build();
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        produce_n(&c, "t", 6);
+        let mut cons = Consumer::new(c.clone(), "m1", ConsumerConfig::grouped("g"));
+        cons.subscribe(&["t"]).unwrap();
+        assert_eq!(cons.poll().unwrap().len(), 6);
+        cons.commit_sync().unwrap();
+        assert_eq!(plan.observed(FaultPoint::OffsetCommitAckLost), 3, "two faults + one delivery");
+        assert_eq!(plan.injected(FaultPoint::OffsetCommitAckLost), 2);
+        assert_eq!(
+            c.group_committed_offset("g", &TopicPartition::new("t", 0)).unwrap(),
+            Some(6),
+            "commit survives lost ack and lost request"
+        );
     }
 
     #[test]

@@ -232,6 +232,20 @@ impl Cluster {
         groups.entry(group.to_string()).or_default().strategy = strategy;
     }
 
+    /// Force a rebalance of the group with its current membership: the
+    /// generation is bumped and partitions reassigned, so every member's
+    /// next heartbeat observes membership churn (the simulation harness
+    /// uses this as a cluster-level fault event). No-op on an unknown or
+    /// empty group.
+    pub fn group_force_rebalance(&self, group: &str) {
+        let mut groups = self.inner.groups.groups.lock();
+        let Some(state) = groups.get_mut(group) else { return };
+        if state.members.is_empty() {
+            return;
+        }
+        self.rebalance(state);
+    }
+
     /// Join (or re-join) a group, triggering a rebalance. Returns the
     /// member's new view.
     pub fn group_join(

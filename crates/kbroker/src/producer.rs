@@ -224,10 +224,13 @@ impl Producer {
         Ok(())
     }
 
-    /// Flush all buffered records.
+    /// Flush all buffered records, in deterministic partition order (the
+    /// simulation harness replays byte-identically from a seed, so no
+    /// client may iterate a `HashMap` into an observable effect).
     pub fn flush(&mut self) -> Result<(), BrokerError> {
-        let tps: Vec<TopicPartition> =
+        let mut tps: Vec<TopicPartition> =
             self.buffers.iter().filter(|(_, b)| !b.is_empty()).map(|(tp, _)| tp.clone()).collect();
+        tps.sort();
         for tp in tps {
             self.flush_partition(&tp)?;
         }
@@ -240,14 +243,7 @@ impl Producer {
             _ => return Ok(()),
         };
         if self.is_transactional() && !self.registered.contains(tp) {
-            let tid = self.tid()?.to_string();
-            self.cluster.txn_add_partitions(
-                &tid,
-                self.producer_id,
-                self.epoch,
-                std::slice::from_ref(tp),
-            )?;
-            self.registered.insert(tp.clone());
+            self.add_partition_with_retries(tp)?;
         }
         let base_seq = if self.config.idempotent || self.is_transactional() {
             *self.sequences.entry(tp.clone()).or_insert(0)
@@ -274,6 +270,46 @@ impl Producer {
         Ok(())
     }
 
+    /// Register a partition with the transaction coordinator, retrying
+    /// through lost AddPartitionsToTxn acks. A `DropAck` retry re-registers
+    /// an already-registered partition — idempotent at the coordinator, so
+    /// the retry is harmless (§4.2).
+    fn add_partition_with_retries(&mut self, tp: &TopicPartition) -> Result<(), BrokerError> {
+        let tid = self.tid()?.to_string();
+        let mut attempts = 0;
+        loop {
+            match self.cluster.faults().decide(FaultPoint::TxnAddPartitionsAckLost) {
+                FaultDecision::DropRequest => {} // never reached the coordinator
+                FaultDecision::DropAck => {
+                    self.cluster.txn_add_partitions(
+                        &tid,
+                        self.producer_id,
+                        self.epoch,
+                        std::slice::from_ref(tp),
+                    )?;
+                }
+                FaultDecision::Deliver => {
+                    self.cluster.txn_add_partitions(
+                        &tid,
+                        self.producer_id,
+                        self.epoch,
+                        std::slice::from_ref(tp),
+                    )?;
+                    self.registered.insert(tp.clone());
+                    return Ok(());
+                }
+            }
+            attempts += 1;
+            self.stats.retries += 1;
+            if attempts > self.config.max_retries {
+                return Err(BrokerError::RetriesExhausted {
+                    topic: tp.topic.clone(),
+                    partition: tp.partition,
+                });
+            }
+        }
+    }
+
     /// The retry loop: a dropped request or dropped ack looks identical to
     /// the client, so both trigger a resend of the *same* batch (same
     /// sequence numbers). Returns the final acknowledged outcome.
@@ -287,6 +323,14 @@ impl Producer {
         for attempt in 0..=self.config.max_retries {
             if attempt > 0 {
                 self.stats.retries += 1;
+            }
+            // The request may vanish before reaching the broker (§2.1's
+            // RPC-failure class, request side): nothing is appended, the
+            // client times out and resends the identical batch.
+            if self.cluster.faults().decide(FaultPoint::ProduceRequestLost)
+                != FaultDecision::Deliver
+            {
+                continue;
             }
             match self.cluster.faults().decide(FaultPoint::ProduceAckLost) {
                 FaultDecision::DropRequest => {} // never reached broker
@@ -320,19 +364,13 @@ impl Producer {
         offsets: &[(TopicPartition, Offset)],
         generation: Option<(&str, i32)>,
     ) -> Result<(), BrokerError> {
-        let tid = self.tid()?.to_string();
+        self.tid()?;
         if !self.in_transaction {
             return Err(BrokerError::InvalidOperation("no open transaction".into()));
         }
         let offsets_tp = self.cluster.offsets_partition_for_group(group);
         if !self.registered.contains(&offsets_tp) {
-            self.cluster.txn_add_partitions(
-                &tid,
-                self.producer_id,
-                self.epoch,
-                std::slice::from_ref(&offsets_tp),
-            )?;
-            self.registered.insert(offsets_tp);
+            self.add_partition_with_retries(&offsets_tp)?;
         }
         self.cluster.group_txn_commit_offsets(
             group,
@@ -495,6 +533,46 @@ mod tests {
         p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0).unwrap();
         p.flush().unwrap();
         assert_eq!(count(&c, "t", IsolationLevel::ReadUncommitted), 1);
+    }
+
+    #[test]
+    fn scripted_produce_request_loss_resends_without_duplicating() {
+        // Script: the 1st and 2nd produce requests vanish before reaching
+        // the broker. The producer resends the identical batch until one
+        // lands; nothing is duplicated because nothing was appended.
+        let faults = FaultPlan::none()
+            .script(FaultPoint::ProduceRequestLost, 1, FaultDecision::DropRequest)
+            .script(FaultPoint::ProduceRequestLost, 2, FaultDecision::DropRequest);
+        let c = cluster_with(faults.clone());
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(c.clone(), ProducerConfig::idempotent_only());
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0).unwrap();
+        p.flush().unwrap();
+        assert_eq!(count(&c, "t", IsolationLevel::ReadUncommitted), 1);
+        assert_eq!(p.stats().retries, 2);
+        assert_eq!(p.stats().duplicates_acked, 0, "lost requests never reach the broker");
+        assert_eq!(faults.injected(FaultPoint::ProduceRequestLost), 2);
+    }
+
+    #[test]
+    fn scripted_txn_add_partitions_ack_loss_retry_is_idempotent() {
+        // Script: the coordinator registers the partition but the ack is
+        // lost, then the retry's request is lost, then the 3rd attempt
+        // delivers. The double-registration must be harmless and the
+        // transaction must commit exactly the records sent.
+        let faults = FaultPlan::none()
+            .script(FaultPoint::TxnAddPartitionsAckLost, 1, FaultDecision::DropAck)
+            .script(FaultPoint::TxnAddPartitionsAckLost, 2, FaultDecision::DropRequest);
+        let c = cluster_with(faults.clone());
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
+        p.init_transactions().unwrap();
+        p.begin_transaction().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"v")), 0).unwrap();
+        p.commit_transaction().unwrap();
+        assert_eq!(count(&c, "t", IsolationLevel::ReadCommitted), 1);
+        assert_eq!(faults.observed(FaultPoint::TxnAddPartitionsAckLost), 3);
+        assert_eq!(faults.injected(FaultPoint::TxnAddPartitionsAckLost), 2);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Seed-replay CLI for the deterministic simulation harness.
+//!
+//! ```text
+//! cargo run -p simkit --bin simtest -- --seed 42
+//! cargo run -p simkit --bin simtest -- --seed 42 --steps 800 --profile windowed
+//! cargo run -p simkit --bin simtest -- --sweep 0..50
+//! ```
+//!
+//! Exit code 0 iff every requested run passed all oracles.
+
+use simkit::simtest::{run, Profile, SimConfig};
+use std::process::ExitCode;
+
+struct Args {
+    seeds: Vec<u64>,
+    steps: Option<u64>,
+    profile: Option<Profile>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--profile count|windowed|suppressed]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seeds: Vec::new(), steps: None, profile: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--seed" => match value.parse() {
+                Ok(seed) => args.seeds.push(seed),
+                Err(_) => usage(),
+            },
+            "--sweep" => {
+                let Some((lo, hi)) = value.split_once("..") else { usage() };
+                match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                    (Ok(lo), Ok(hi)) if lo < hi => args.seeds.extend(lo..hi),
+                    _ => usage(),
+                }
+            }
+            "--steps" => match value.parse() {
+                Ok(steps) => args.steps = Some(steps),
+                Err(_) => usage(),
+            },
+            "--profile" => match Profile::parse(&value) {
+                Some(p) => args.profile = Some(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if args.seeds.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = 0u64;
+    let total = args.seeds.len();
+    for seed in &args.seeds {
+        let mut cfg = SimConfig::new(*seed);
+        if let Some(steps) = args.steps {
+            cfg = cfg.with_steps(steps);
+        }
+        if let Some(profile) = args.profile {
+            cfg = cfg.with_profile(profile);
+        }
+        let report = run(&cfg);
+        println!("{report}");
+        if !report.passed() {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("simtest: {failed}/{total} seeds FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("simtest: {total}/{total} seeds passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,589 @@
+//! The scenario engine: seed → workload + fault schedule + interleaved
+//! step schedule → drain → oracles.
+
+use crate::simtest::report::{EventCounts, SimReport};
+use crate::simtest::workload::{Profile, Workload, GRACE_MS, MAX_JITTER_MS, WINDOW_MS};
+use crate::{DetRng, FaultPlan, FaultPoint, ManualClock};
+use kbroker::group::SESSION_TIMEOUT_MS;
+use kbroker::{
+    Cluster, Consumer, ConsumerConfig, ConsumerRecord, Producer, ProducerConfig, TopicConfig,
+    TopicPartition,
+};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsConfig, Windowed};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Application id of the simulated app (also its consumer group).
+const APP_ID: &str = "sim";
+
+/// Key used for the per-partition window-closing records fed at drain
+/// time; excluded from every oracle.
+const SENTINEL_KEY: &str = "~sentinel";
+
+/// Upper bound on drain iterations before declaring non-convergence.
+const MAX_DRAIN_ITERS: u64 = 5_000;
+
+/// Cap on reported oracle failures (the report stays readable; the count
+/// of suppressed entries is still printed).
+const MAX_FAILURES: usize = 20;
+
+/// The `klog::checks` violation sink is process-global, so concurrent runs
+/// (e.g. `cargo test` threads) would steal each other's violations.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Scheduled actions in the chaos phase (before the healing drain).
+    pub steps: u64,
+    /// Force a topology profile instead of deriving it from the seed.
+    pub profile: Option<Profile>,
+}
+
+impl SimConfig {
+    pub fn new(seed: u64) -> Self {
+        Self { seed, steps: 300, profile: None }
+    }
+
+    pub fn with_steps(mut self, steps: u64) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    pub fn with_profile(mut self, profile: Profile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+}
+
+/// One app slot: the instance index is the identity (`i{idx}`), the app is
+/// present while the instance is "alive".
+type Slot = Option<KafkaStreamsApp>;
+
+struct Engine {
+    cfg: SimConfig,
+    workload: Workload,
+    clock: ManualClock,
+    cluster: Cluster,
+    plan: FaultPlan,
+    slots: Vec<Slot>,
+    feeder: Producer,
+    /// Monotone base for generated timestamps (jitter backdates from it).
+    base_ts: i64,
+    max_ts: i64,
+    records_fed: u64,
+    feed_errors: u64,
+    events: EventCounts,
+    step_errors: Vec<String>,
+    failures: Vec<String>,
+}
+
+/// Run one simulation to completion and report the oracle outcome.
+pub fn run(cfg: &SimConfig) -> SimReport {
+    let _serial = RUN_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Drain stale violations from earlier (non-simtest) activity in this
+    // process so the invariant oracle only sees this run.
+    let _ = klog::checks::take_violations();
+
+    let root = DetRng::new(cfg.seed);
+    let workload = Workload::generate(&mut root.derive(1), cfg.profile);
+    let plan = build_fault_plan(&mut root.derive(2), cfg.seed);
+    let mut schedule = root.derive(3);
+
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder()
+        .brokers(workload.brokers)
+        .replication(workload.brokers)
+        .clock(clock.shared())
+        .faults(plan.clone())
+        .build();
+    cluster.create_topic("events", TopicConfig::new(workload.partitions)).expect("fresh topic");
+    cluster.create_topic("out", TopicConfig::new(workload.partitions)).expect("fresh topic");
+
+    let feeder = Producer::new(cluster.clone(), ProducerConfig::default().with_batch_size(1));
+    let mut engine = Engine {
+        cfg: *cfg,
+        workload,
+        clock,
+        cluster,
+        plan,
+        slots: Vec::new(),
+        feeder,
+        base_ts: 0,
+        max_ts: 0,
+        records_fed: 0,
+        feed_errors: 0,
+        events: EventCounts::default(),
+        step_errors: Vec::new(),
+        failures: Vec::new(),
+    };
+    for idx in 0..engine.workload.instances {
+        let slot = engine.spawn_instance(idx);
+        engine.slots.push(slot);
+    }
+    for _ in 0..cfg.steps {
+        engine.scheduled_action(&mut schedule);
+    }
+    engine.drain_and_check()
+}
+
+fn build_fault_plan(rng: &mut DetRng, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed ^ 0x5151_5151);
+    for point in FaultPoint::ALL {
+        // Per-point: usually faulty, with loss probabilities small enough
+        // that client retry budgets (10 retries) are effectively never
+        // exhausted, but large enough that every point fires across a
+        // modest seed sweep.
+        if rng.chance(0.8) {
+            plan = plan.with_ack_loss(point, rng.unit() * 0.08);
+        }
+        if rng.chance(0.8) {
+            plan = plan.with_request_loss(point, rng.unit() * 0.08);
+        }
+    }
+    plan
+}
+
+impl Engine {
+    fn app_config(&self) -> StreamsConfig {
+        StreamsConfig::new(APP_ID)
+            .exactly_once()
+            .with_commit_interval_ms(10)
+            .with_max_poll_records(64)
+    }
+
+    /// Create and start the app for instance `idx`. On a start error (e.g.
+    /// restoring through a dead broker) the error is recorded and the slot
+    /// stays empty — a later restart event or the drain phase retries.
+    fn spawn_instance(&mut self, idx: usize) -> Slot {
+        let mut app = KafkaStreamsApp::new(
+            self.cluster.clone(),
+            self.workload.profile.topology(),
+            self.app_config(),
+            format!("i{idx}"),
+        );
+        match app.start() {
+            Ok(()) => Some(app),
+            Err(e) => {
+                self.step_errors.push(format!("start i{idx}: {e}"));
+                None
+            }
+        }
+    }
+
+    /// One scheduled action of the chaos phase.
+    fn scheduled_action(&mut self, rng: &mut DetRng) {
+        match rng.range(0, 100) {
+            0..=39 => self.feed(rng),
+            40..=74 => self.step_instance(rng),
+            75..=89 => self.clock.advance(rng.range_i64(1, 50)),
+            _ => self.cluster_event(rng),
+        }
+    }
+
+    fn feed(&mut self, rng: &mut DetRng) {
+        let n = rng.range(1, 6);
+        for _ in 0..n {
+            let key = &self.workload.keys[rng.index(self.workload.keys.len())];
+            self.base_ts += rng.range_i64(0, 400);
+            let jitter = rng.range_i64(0, MAX_JITTER_MS + 1);
+            let ts = (self.base_ts - jitter).max(0);
+            self.max_ts = self.max_ts.max(ts);
+            self.records_fed += 1;
+            let sent = self.feeder.send(
+                "events",
+                Some(key.clone().to_bytes()),
+                Some("v".to_string().to_bytes()),
+                ts,
+            );
+            if sent.is_err() {
+                // The batch may or may not have landed (lost-ack ambiguity);
+                // the oracle folds over the actual topic content, so only
+                // note it and start a fresh generator.
+                self.feed_errors += 1;
+                self.feeder = Producer::new(
+                    self.cluster.clone(),
+                    ProducerConfig::default().with_batch_size(1),
+                );
+            }
+        }
+    }
+
+    fn step_instance(&mut self, rng: &mut DetRng) {
+        let live: Vec<usize> = (0..self.slots.len()).filter(|&i| self.slots[i].is_some()).collect();
+        if live.is_empty() {
+            return;
+        }
+        let idx = live[rng.index(live.len())];
+        let app = self.slots[idx].as_mut().expect("picked from live set");
+        if let Err(e) = app.step() {
+            // A step error is a process death: drop the instance without
+            // commit or group leave, exactly like a crash.
+            self.step_errors.push(format!("step i{idx}: {e}"));
+            self.slots[idx].take().expect("still present").crash();
+        }
+    }
+
+    fn cluster_event(&mut self, rng: &mut DetRng) {
+        match rng.range(0, 5) {
+            0 => {
+                // Kill a broker, but never the last one alive: replication
+                // equals the broker count, so any survivor can lead every
+                // partition and the run stays live.
+                let alive: Vec<usize> =
+                    (0..self.workload.brokers).filter(|&b| self.cluster.broker_alive(b)).collect();
+                if alive.len() >= 2 {
+                    self.cluster.kill_broker(alive[rng.index(alive.len())]);
+                    self.events.broker_kills += 1;
+                }
+            }
+            1 => {
+                let dead: Vec<usize> =
+                    (0..self.workload.brokers).filter(|&b| !self.cluster.broker_alive(b)).collect();
+                if !dead.is_empty() {
+                    self.cluster.restore_broker(dead[rng.index(dead.len())]);
+                    self.events.broker_restores += 1;
+                }
+            }
+            2 => {
+                let live: Vec<usize> =
+                    (0..self.slots.len()).filter(|&i| self.slots[i].is_some()).collect();
+                if !live.is_empty() {
+                    let idx = live[rng.index(live.len())];
+                    self.slots[idx].take().expect("picked from live set").crash();
+                    self.events.instance_crashes += 1;
+                }
+            }
+            3 => {
+                let dead: Vec<usize> =
+                    (0..self.slots.len()).filter(|&i| self.slots[i].is_none()).collect();
+                if !dead.is_empty() {
+                    let idx = dead[rng.index(dead.len())];
+                    self.slots[idx] = self.spawn_instance(idx);
+                    if self.slots[idx].is_some() {
+                        self.events.instance_restarts += 1;
+                    }
+                }
+            }
+            _ => {
+                self.cluster.group_force_rebalance(APP_ID);
+                self.events.forced_rebalances += 1;
+            }
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failures.len() < MAX_FAILURES {
+            self.failures.push(msg);
+        } else if self.failures.len() == MAX_FAILURES {
+            self.failures.push("… further failures suppressed".to_string());
+        }
+    }
+
+    /// Heal the cluster, restart every instance (fencing all stale
+    /// transactions), process to the end of the input, then run the
+    /// oracles.
+    fn drain_and_check(mut self) -> SimReport {
+        self.plan.disable();
+        for b in 0..self.workload.brokers {
+            if !self.cluster.broker_alive(b) {
+                self.cluster.restore_broker(b);
+            }
+        }
+        // Drop every live instance abruptly, expire the whole (now silent)
+        // membership, and rejoin fresh: restarting under the same instance
+        // ids fences every stale transactional producer via its epoch bump.
+        for slot in &mut self.slots {
+            if let Some(app) = slot.take() {
+                app.crash();
+            }
+        }
+        self.clock.advance(SESSION_TIMEOUT_MS + 1);
+        let _ = self.cluster.group_expire_members(APP_ID);
+
+        // Close every data window: one high-timestamp sentinel per input
+        // partition pushes stream time past `end + grace` everywhere.
+        let sentinel_ts = self.max_ts + WINDOW_MS + GRACE_MS + 10_000;
+        let mut closer = Producer::new(self.cluster.clone(), ProducerConfig::default());
+        for p in 0..self.workload.partitions {
+            let sent = closer.send_to_partition(
+                &TopicPartition::new("events", p),
+                klog::Record {
+                    key: Some(SENTINEL_KEY.to_string().to_bytes()),
+                    value: Some("v".to_string().to_bytes()),
+                    timestamp: sentinel_ts,
+                    headers: Vec::new(),
+                },
+            );
+            if let Err(e) = sent {
+                self.fail(format!("sentinel feed events/{p}: {e}"));
+            }
+        }
+        if let Err(e) = closer.flush() {
+            self.fail(format!("sentinel flush: {e}"));
+        }
+
+        for idx in 0..self.slots.len() {
+            self.slots[idx] = self.spawn_instance(idx);
+            if self.slots[idx].is_none() {
+                self.fail(format!("instance i{idx} failed to start during drain"));
+            }
+        }
+
+        let input_tps = self.cluster.partitions_of("events").expect("input topic exists");
+        let targets: Vec<(TopicPartition, i64)> = input_tps
+            .iter()
+            .map(|tp| (tp.clone(), self.cluster.latest_offset(tp).expect("healed cluster")))
+            .collect();
+        let mut converged = false;
+        for _ in 0..MAX_DRAIN_ITERS {
+            for idx in 0..self.slots.len() {
+                if let Some(app) = self.slots[idx].as_mut() {
+                    if let Err(e) = app.step() {
+                        self.fail(format!("drain step i{idx}: {e}"));
+                        self.slots[idx].take().expect("still present").crash();
+                    }
+                }
+            }
+            self.clock.advance(20);
+            let done = targets.iter().all(|(tp, target)| {
+                self.cluster.group_committed_offset(APP_ID, tp).ok().flatten().unwrap_or(0)
+                    >= *target
+            });
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            self.fail(format!(
+                "drain did not converge within {MAX_DRAIN_ITERS} iterations (committed input offsets short of log end)"
+            ));
+        }
+        for idx in 0..self.slots.len() {
+            if let Some(mut app) = self.slots[idx].take() {
+                if let Err(e) = app.close() {
+                    self.fail(format!("close i{idx}: {e}"));
+                }
+            }
+        }
+
+        let input = read_topic(&self.cluster, "events");
+        let output = read_topic(&self.cluster, "out");
+        self.check_oracles(&input, &output);
+
+        let violations = klog::checks::take_violations();
+        for v in &violations {
+            self.fail(format!("protocol {v}"));
+        }
+
+        SimReport {
+            seed: self.cfg.seed,
+            steps: self.cfg.steps,
+            profile: {
+                let mut p = self.workload.profile.name().to_string();
+                if self.cfg.profile.is_some() {
+                    p.push('!');
+                }
+                p
+            },
+            brokers: self.workload.brokers,
+            partitions: self.workload.partitions,
+            n_keys: self.workload.keys.len(),
+            instances: self.workload.instances,
+            records_fed: self.records_fed,
+            feed_errors: self.feed_errors,
+            input_records: input.len() as u64,
+            output_records: output.len() as u64,
+            events: self.events,
+            fault_counts: self.plan.injection_counts(),
+            step_errors: self.step_errors,
+            failures: self.failures,
+        }
+    }
+
+    /// The reference model and the three consistency/completeness checks.
+    ///
+    /// The reference folds over the *actual committed input topic* (not
+    /// over what the generator attempted), so generator-side fault
+    /// ambiguity cannot skew it. All maps are `BTreeMap` so failure
+    /// messages are emitted in a stable order.
+    fn check_oracles(&mut self, input: &[ConsumerRecord], output: &[ConsumerRecord]) {
+        // Reference input per key and per (key, window).
+        let mut per_key: BTreeMap<String, i64> = BTreeMap::new();
+        let mut per_window: BTreeMap<(String, i64), i64> = BTreeMap::new();
+        for rec in input {
+            let key = match String::from_bytes(rec.key.as_deref().unwrap_or_default()) {
+                Ok(k) => k,
+                Err(e) => {
+                    self.fail(format!(
+                        "undecodable input key at {}/{}: {e}",
+                        rec.partition, rec.offset
+                    ));
+                    continue;
+                }
+            };
+            if key == SENTINEL_KEY {
+                continue;
+            }
+            *per_key.entry(key.clone()).or_insert(0) += 1;
+            let window = (rec.timestamp / WINDOW_MS) * WINDOW_MS;
+            *per_window.entry((key, window)).or_insert(0) += 1;
+        }
+
+        // Observed committed output sequences. All outputs for one logical
+        // key land on one output partition (hash partitioning on the key
+        // bytes), and records of one partition arrive in offset order, so
+        // each sequence below is the true commit order.
+        match self.workload.profile {
+            Profile::Count => {
+                let mut seqs: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+                for rec in output {
+                    let (key, value) = match decode_plain(rec) {
+                        Ok(kv) => kv,
+                        Err(e) => {
+                            self.fail(e);
+                            continue;
+                        }
+                    };
+                    if key == SENTINEL_KEY {
+                        continue;
+                    }
+                    seqs.entry(key).or_default().push(value);
+                }
+                self.check_sequences(&per_key, seqs, "key");
+            }
+            Profile::Windowed => {
+                let seqs = match self.windowed_sequences(output) {
+                    Some(s) => s,
+                    None => return,
+                };
+                let reference: BTreeMap<String, i64> =
+                    per_window.iter().map(|((k, w), n)| (format!("{k}@{w}"), *n)).collect();
+                self.check_sequences(&reference, seqs, "window");
+            }
+            Profile::Suppressed => {
+                let seqs = match self.windowed_sequences(output) {
+                    Some(s) => s,
+                    None => return,
+                };
+                // Exactly one final result per closed window (§5): the
+                // sentinel closed every data window, so every reference
+                // window must emit once, with the complete count.
+                for ((key, window), expected) in &per_window {
+                    let label = format!("{key}@{window}");
+                    match seqs.get(&label) {
+                        Some(seq) if seq.as_slice() == [*expected] => {}
+                        Some(seq) => self.fail(format!(
+                            "suppressed window {label}: expected single final [{expected}], got {seq:?}"
+                        )),
+                        None => self.fail(format!(
+                            "suppressed window {label}: no final result emitted (expected {expected})"
+                        )),
+                    }
+                }
+                for label in seqs.keys() {
+                    let known = per_window.iter().any(|((k, w), _)| format!("{k}@{w}") == *label);
+                    if !known {
+                        self.fail(format!("suppressed window {label}: output for unknown window"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode windowed outputs into per-`key@window` value sequences,
+    /// excluding the sentinel key.
+    fn windowed_sequences(
+        &mut self,
+        output: &[ConsumerRecord],
+    ) -> Option<BTreeMap<String, Vec<i64>>> {
+        let mut seqs: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+        for rec in output {
+            let wk = match Windowed::<String>::from_bytes(rec.key.as_deref().unwrap_or_default()) {
+                Ok(wk) => wk,
+                Err(e) => {
+                    self.fail(format!(
+                        "undecodable windowed output key at {}/{}: {e}",
+                        rec.partition, rec.offset
+                    ));
+                    return None;
+                }
+            };
+            if wk.key == SENTINEL_KEY {
+                continue;
+            }
+            let value = match i64::from_bytes(rec.value.as_deref().unwrap_or_default()) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.fail(format!(
+                        "undecodable output value at {}/{}: {e}",
+                        rec.partition, rec.offset
+                    ));
+                    return None;
+                }
+            };
+            seqs.entry(format!("{}@{}", wk.key, wk.window_start)).or_default().push(value);
+        }
+        Some(seqs)
+    }
+
+    /// Exactly-once + completeness for revision streams: the committed
+    /// sequence per entity must be exactly `1..=n` (duplicates repeat,
+    /// losses gap, reorders step backwards) and therefore end at the
+    /// in-order reference total `n`.
+    fn check_sequences(
+        &mut self,
+        reference: &BTreeMap<String, i64>,
+        observed: BTreeMap<String, Vec<i64>>,
+        entity: &str,
+    ) {
+        for (label, &n) in reference {
+            match observed.get(label) {
+                Some(seq) => {
+                    let expected: Vec<i64> = (1..=n).collect();
+                    if seq != &expected {
+                        self.fail(format!(
+                            "{entity} {label}: exactly-once violated — expected 1..={n}, got {seq:?}"
+                        ));
+                    }
+                }
+                None => self.fail(format!(
+                    "{entity} {label}: completeness violated — no output (expected final {n})"
+                )),
+            }
+        }
+        for label in observed.keys() {
+            if !reference.contains_key(label) {
+                self.fail(format!("{entity} {label}: output for unknown {entity}"));
+            }
+        }
+    }
+}
+
+/// Read a whole topic with a fault-free, read-committed consumer. Records
+/// of one partition appear in offset order.
+fn read_topic(cluster: &Cluster, topic: &str) -> Vec<ConsumerRecord> {
+    let mut consumer =
+        Consumer::new(cluster.clone(), "sim-oracle", ConsumerConfig::default().read_committed());
+    consumer.assign(cluster.partitions_of(topic).expect("topic exists")).expect("healed cluster");
+    let mut out = Vec::new();
+    loop {
+        let batch = consumer.poll().expect("healed cluster");
+        if batch.is_empty() {
+            break;
+        }
+        out.extend(batch);
+    }
+    out
+}
+
+fn decode_plain(rec: &ConsumerRecord) -> Result<(String, i64), String> {
+    let key = String::from_bytes(rec.key.as_deref().unwrap_or_default())
+        .map_err(|e| format!("undecodable output key at {}/{}: {e}", rec.partition, rec.offset))?;
+    let value = i64::from_bytes(rec.value.as_deref().unwrap_or_default()).map_err(|e| {
+        format!("undecodable output value at {}/{}: {e}", rec.partition, rec.offset)
+    })?;
+    Ok((key, value))
+}

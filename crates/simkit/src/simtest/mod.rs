@@ -1,0 +1,39 @@
+//! # simtest — deterministic simulation test harness
+//!
+//! A FoundationDB-style simulation engine for the Kafka-Streams
+//! reproduction. One `u64` seed deterministically generates:
+//!
+//! * a **workload**: topic/partition shapes, a key universe, record
+//!   timestamps (including bounded out-of-order jitter), and a topology
+//!   profile (plain count, windowed count, or suppressed windowed count),
+//! * a **fault schedule**: probabilistic ack/request loss at every
+//!   [`FaultPoint`](crate::FaultPoint) plus cluster-level events (broker
+//!   kill/restore, instance crash/restart, forced group rebalances), and
+//! * an **interleaved step schedule** driving real
+//!   [`kstreams::KafkaStreamsApp`] instances on a
+//!   [`ManualClock`](crate::ManualClock).
+//!
+//! After the scheduled run, the engine disables fault injection, heals the
+//! cluster, restarts every instance (fencing all stale transactions), and
+//! drains until the group's committed input offsets reach the log end. It
+//! then checks three oracles against a single-threaded, fault-free
+//! reference fold of the *actual committed input*:
+//!
+//! 1. **Exactly-once** (§4.2): the committed output sequence per key (or
+//!    per key+window) is exactly `1, 2, …, n` — a duplicate shows up as a
+//!    repeat, a loss as a gap, a reorder as a non-monotone step.
+//! 2. **Completeness** (§2.2, §5): the *final revision* per key/window
+//!    equals the in-order reference aggregate; under suppression each
+//!    closed window emits exactly one final result.
+//! 3. **Protocol invariants**: the `klog::checks` violation sink is empty.
+//!
+//! Every report prints (and every failure panics with) the exact replay
+//! command: `cargo run -p simkit --bin simtest -- --seed N --steps M`.
+
+pub mod engine;
+pub mod report;
+pub mod workload;
+
+pub use engine::{run, SimConfig};
+pub use report::SimReport;
+pub use workload::{Profile, Workload, GRACE_MS, MAX_JITTER_MS, WINDOW_MS};

@@ -1,0 +1,126 @@
+//! The deterministic run report: everything a human (or a CI log) needs to
+//! understand one simulated run, rendered byte-identically for identical
+//! seeds.
+
+use crate::FaultPoint;
+use std::fmt;
+
+/// Cluster-level event counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    pub broker_kills: u64,
+    pub broker_restores: u64,
+    pub instance_crashes: u64,
+    pub instance_restarts: u64,
+    pub forced_rebalances: u64,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub seed: u64,
+    pub steps: u64,
+    /// Profile name; suffixed with `!` when forced via `--profile`.
+    pub profile: String,
+    pub brokers: usize,
+    pub partitions: u32,
+    pub n_keys: usize,
+    pub instances: usize,
+    /// Records handed to the generator producer (excluding sentinels).
+    pub records_fed: u64,
+    /// Generator flushes that errored out (records possibly not landed —
+    /// the oracle folds over the *actual* input topic, so this is
+    /// informational).
+    pub feed_errors: u64,
+    /// Records actually in the input topic at drain (including the
+    /// per-partition window-closing sentinels).
+    pub input_records: u64,
+    /// Committed records read from the output topic.
+    pub output_records: u64,
+    pub events: EventCounts,
+    /// `(point, observed, injected)` per fault point, in stable order.
+    pub fault_counts: Vec<(FaultPoint, u64, u64)>,
+    /// Instance step/start errors observed during the scheduled run (an
+    /// erroring instance is treated as crashed).
+    pub step_errors: Vec<String>,
+    /// Oracle failures; empty means the run passed.
+    pub failures: Vec<String>,
+}
+
+impl SimReport {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The exact command that replays this run.
+    pub fn repro(&self) -> String {
+        let mut cmd = format!(
+            "cargo run -p simkit --bin simtest -- --seed {} --steps {}",
+            self.seed, self.steps
+        );
+        if let Some(forced) = self.profile.strip_suffix('!') {
+            cmd.push_str(&format!(" --profile {forced}"));
+        }
+        cmd
+    }
+
+    /// Total faults injected at `point` during this run.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.fault_counts.iter().find(|(p, _, _)| *p == point).map_or(0, |(_, _, i)| *i)
+    }
+
+    /// Panic with the full report and replay command unless the run passed.
+    pub fn assert_passed(&self) {
+        assert!(self.passed(), "simtest oracle failure (reproduce with: {})\n{self}", self.repro());
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simtest seed={} steps={} profile={} brokers={} partitions={} keys={} instances={}",
+            self.seed,
+            self.steps,
+            self.profile,
+            self.brokers,
+            self.partitions,
+            self.n_keys,
+            self.instances
+        )?;
+        writeln!(
+            f,
+            "  fed={} feed_errors={} input_records={} output_records={}",
+            self.records_fed, self.feed_errors, self.input_records, self.output_records
+        )?;
+        writeln!(
+            f,
+            "  events: broker_kills={} broker_restores={} instance_crashes={} instance_restarts={} forced_rebalances={}",
+            self.events.broker_kills,
+            self.events.broker_restores,
+            self.events.instance_crashes,
+            self.events.instance_restarts,
+            self.events.forced_rebalances
+        )?;
+        writeln!(f, "  faults:")?;
+        for (point, observed, injected) in &self.fault_counts {
+            writeln!(f, "    {:<24} observed={observed} injected={injected}", point.name())?;
+        }
+        if !self.step_errors.is_empty() {
+            writeln!(f, "  step_errors ({}):", self.step_errors.len())?;
+            for e in &self.step_errors {
+                writeln!(f, "    - {e}")?;
+            }
+        }
+        if self.failures.is_empty() {
+            writeln!(f, "  oracle: PASS")?;
+        } else {
+            writeln!(f, "  oracle: FAIL ({} failures)", self.failures.len())?;
+            for e in &self.failures {
+                writeln!(f, "    - {e}")?;
+            }
+        }
+        write!(f, "  repro: {}", self.repro())
+    }
+}

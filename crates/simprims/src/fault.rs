@@ -26,6 +26,37 @@ pub enum FaultPoint {
     /// A transaction-coordinator RPC response is lost after the coordinator
     /// applied it.
     TxnRpcAckLost,
+    /// An AddPartitionsToTxn coordinator ack is lost after the partition was
+    /// registered; the producer retries the (idempotent) registration.
+    TxnAddPartitionsAckLost,
+    /// An offset-commit ack is lost; the consumer retries the (idempotent,
+    /// last-write-wins) commit.
+    OffsetCommitAckLost,
+}
+
+impl FaultPoint {
+    /// Every fault point, in a fixed order (stable across runs, used by
+    /// deterministic reports).
+    pub const ALL: [FaultPoint; 6] = [
+        FaultPoint::ProduceAckLost,
+        FaultPoint::ProduceRequestLost,
+        FaultPoint::FetchResponseLost,
+        FaultPoint::TxnRpcAckLost,
+        FaultPoint::TxnAddPartitionsAckLost,
+        FaultPoint::OffsetCommitAckLost,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::ProduceAckLost => "ProduceAckLost",
+            FaultPoint::ProduceRequestLost => "ProduceRequestLost",
+            FaultPoint::FetchResponseLost => "FetchResponseLost",
+            FaultPoint::TxnRpcAckLost => "TxnRpcAckLost",
+            FaultPoint::TxnAddPartitionsAckLost => "TxnAddPartitionsAckLost",
+            FaultPoint::OffsetCommitAckLost => "OffsetCommitAckLost",
+        }
+    }
 }
 
 /// The decision for one protocol operation.
@@ -50,6 +81,8 @@ struct PointPlan {
     scripted: HashMap<u64, FaultDecision>,
     /// Number of operations observed at this point so far.
     count: u64,
+    /// Number of non-`Deliver` decisions handed out at this point.
+    injected: u64,
 }
 
 /// A shareable, seeded fault plan consulted by the simulated RPC layer.
@@ -130,13 +163,18 @@ impl FaultPlan {
         plan.count += 1;
         let count = plan.count;
         if let Some(&d) = plan.scripted.get(&count) {
+            if d != FaultDecision::Deliver {
+                plan.injected += 1;
+            }
             return d;
         }
         let (alp, rlp) = (plan.ack_loss_prob, plan.request_loss_prob);
         if rlp > 0.0 && inner.rng.chance(rlp) {
+            inner.points.get_mut(&point).expect("entry above").injected += 1;
             return FaultDecision::DropRequest;
         }
         if alp > 0.0 && inner.rng.chance(alp) {
+            inner.points.get_mut(&point).expect("entry above").injected += 1;
             return FaultDecision::DropAck;
         }
         FaultDecision::Deliver
@@ -145,6 +183,25 @@ impl FaultPlan {
     /// Number of operations observed so far at `point`.
     pub fn observed(&self, point: FaultPoint) -> u64 {
         self.inner.lock().points.get(&point).map_or(0, |p| p.count)
+    }
+
+    /// Number of faults actually injected (non-`Deliver` decisions) at
+    /// `point`.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.inner.lock().points.get(&point).map_or(0, |p| p.injected)
+    }
+
+    /// `(point, observed, injected)` for every fault point, in the stable
+    /// [`FaultPoint::ALL`] order — byte-identical across identical runs.
+    pub fn injection_counts(&self) -> Vec<(FaultPoint, u64, u64)> {
+        let inner = self.inner.lock();
+        FaultPoint::ALL
+            .iter()
+            .map(|&p| {
+                let (o, i) = inner.points.get(&p).map_or((0, 0), |pp| (pp.count, pp.injected));
+                (p, o, i)
+            })
+            .collect()
     }
 }
 
@@ -211,6 +268,22 @@ mod tests {
         plan.decide(FaultPoint::TxnRpcAckLost);
         assert_eq!(plan.observed(FaultPoint::TxnRpcAckLost), 2);
         assert_eq!(plan.observed(FaultPoint::ProduceRequestLost), 0);
+    }
+
+    #[test]
+    fn injected_counts_track_non_deliver_decisions() {
+        let plan = FaultPlan::none()
+            .script(FaultPoint::ProduceAckLost, 2, FaultDecision::DropAck)
+            .script(FaultPoint::ProduceAckLost, 3, FaultDecision::DropRequest);
+        for _ in 0..4 {
+            plan.decide(FaultPoint::ProduceAckLost);
+        }
+        assert_eq!(plan.observed(FaultPoint::ProduceAckLost), 4);
+        assert_eq!(plan.injected(FaultPoint::ProduceAckLost), 2);
+        let counts = plan.injection_counts();
+        assert_eq!(counts.len(), FaultPoint::ALL.len());
+        assert_eq!(counts[0], (FaultPoint::ProduceAckLost, 4, 2));
+        assert_eq!(counts[2], (FaultPoint::FetchResponseLost, 0, 0));
     }
 
     #[test]

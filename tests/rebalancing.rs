@@ -200,6 +200,94 @@ fn sticky_tasks_do_not_restore_on_unrelated_rebalance() {
 }
 
 #[test]
+fn broker_death_mid_rebalance_preserves_exactly_once() {
+    // §2.1 failure classes colliding: a broker dies in the middle of a
+    // membership change (new instance joining), and a forced rebalance bumps
+    // the generation again before anyone has processed the first one.
+    // Exactly-once output must survive the pile-up.
+    let s = setup(4);
+    let mut a = app(&s, "a");
+    a.start().unwrap();
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..10 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+
+    // Membership churn begins: b joins...
+    let mut b = app(&s, "b");
+    b.start().unwrap();
+    // ...and before the new generation is acted on, a broker dies (leaders
+    // fail over, the txn coordinator recovers from its replicated log) and
+    // the group coordinator forces yet another generation.
+    s.cluster.kill_broker(0);
+    s.cluster.group_force_rebalance("scale-app");
+    send_round(&s.cluster, 8, 1);
+    for _ in 0..20 {
+        a.step().unwrap();
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+
+    // The broker returns and traffic continues.
+    s.cluster.restore_broker(0);
+    send_round(&s.cluster, 8, 2);
+    for _ in 0..20 {
+        a.step().unwrap();
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+
+    assert_eq!(a.task_ids().len() + b.task_ids().len(), 4, "all tasks owned");
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 24, "exactly once through broker death + double rebalance");
+    assert!(latest.values().all(|&v| v == 3), "{latest:?}");
+    a.close().unwrap();
+    b.close().unwrap();
+}
+
+#[test]
+fn instance_crash_mid_rebalance_recovers_exactly_once() {
+    // An instance hard-crashes (no clean close, transactions left dangling)
+    // right after joining, mid-rebalance. Once its session expires, the
+    // survivor must reclaim every task and the output must stay exactly-once.
+    let s = setup(4);
+    let mut a = app(&s, "a");
+    a.start().unwrap();
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..10 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+
+    let mut b = app(&s, "b");
+    b.start().unwrap();
+    a.step().unwrap();
+    b.step().unwrap();
+    b.crash();
+
+    send_round(&s.cluster, 8, 1);
+    // The crashed member only disappears after the session timeout. The
+    // survivor keeps heartbeating while virtual time passes, so only the
+    // silent member expires.
+    for _ in 0..4 {
+        s.clock.advance(kbroker::group::SESSION_TIMEOUT_MS / 3);
+        a.step().unwrap();
+    }
+    s.cluster.group_expire_members("scale-app");
+    for _ in 0..30 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+
+    assert_eq!(a.task_ids().len(), 4, "survivor owns every task");
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 16, "exactly once through the mid-rebalance crash");
+    assert!(latest.values().all(|&v| v == 2), "{latest:?}");
+    a.close().unwrap();
+}
+
+#[test]
 fn more_instances_than_tasks_leaves_spares_idle() {
     let s = setup(2);
     let mut apps: Vec<KafkaStreamsApp> = (0..4).map(|i| app(&s, &format!("i{i}"))).collect();
