@@ -8,7 +8,7 @@
 //! in partition count; EOS latency grows with partition count (one commit
 //! marker per partition per transaction), ALOS latency flat and low.
 
-use bench::{report_header, report_row, run_median, RunSpec};
+use bench::{phase_breakdown, report_header, report_row, run_median, RunSpec};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -35,6 +35,9 @@ fn main() {
             let label = format!("{} partitions={parts}", if eos { "EOS " } else { "ALOS" });
             let report = run_median(spec, repeats);
             println!("{}", report_row(&label, &report));
+            // Where the EOS latency goes: the marker fan-out phase grows
+            // with the partition count while the others stay flat.
+            print!("{}", phase_breakdown(&report));
         }
     }
     println!();

@@ -29,8 +29,12 @@
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
 use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
 use simkit::{Clock, LatencyHistogram, ManualClock};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// The kobs registry is process-global; runs reset it and snapshot it into
+/// their [`RunReport`], so concurrent runs (test threads) must serialize.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// The §4.3 benchmark application: a stateful reduce from `input` to
 /// `output` ("reads from the input topic, does a stateful reduce operation
@@ -183,11 +187,17 @@ pub struct RunReport {
     pub records_generated: u64,
     pub records_processed: u64,
     pub transactions: u64,
+    /// kobs registry snapshot taken at the end of this run (the registry is
+    /// reset at run start), carrying the txn per-phase latency histograms
+    /// behind Figure 5's end-to-end numbers.
+    pub obs: kobs::Snapshot,
 }
 
 /// Execute one benchmark run on a fresh virtual-clock cluster
 /// (3 brokers, replication 3 — the paper's setup).
 pub fn run(spec: RunSpec) -> RunReport {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    kobs::reset();
     let clock = ManualClock::new();
     let cluster = Cluster::builder()
         .brokers(3)
@@ -280,6 +290,7 @@ pub fn run(spec: RunSpec) -> RunReport {
         records_generated: generator.produced(),
         records_processed: processed,
         transactions,
+        obs: kobs::snapshot(),
     }
 }
 
@@ -298,6 +309,8 @@ pub fn run_median(spec: RunSpec, repeats: usize) -> RunReport {
 /// the commit interval (Figure 5.b's comparison).
 pub fn run_checkpoint_baseline(spec: RunSpec) -> RunReport {
     use ckpt_baseline::{CheckpointApp, CheckpointConfig};
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    kobs::reset();
     let clock = ManualClock::new();
     let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
     cluster.create_topic("bench-in", TopicConfig::new(spec.input_partitions)).unwrap();
@@ -346,6 +359,7 @@ pub fn run_checkpoint_baseline(spec: RunSpec) -> RunReport {
         records_generated: generator.produced(),
         records_processed: stats.records_processed,
         transactions: stats.checkpoints_completed,
+        obs: kobs::snapshot(),
     }
 }
 
@@ -366,6 +380,23 @@ pub fn report_header() -> String {
         "{:<28} {:>12} {:>10} {:>10} {:>10}",
         "configuration", "msg/s(wall)", "mean-ms", "p99-ms", "records"
     )
+}
+
+/// Per-phase transaction latency breakdown for one run (comment-prefixed so
+/// figure output stays copy-paste friendly): where the end-to-end latency
+/// of Figure 5 is actually spent. Empty when the run recorded no phase
+/// histograms (ALOS runs, or `kobs-off` builds).
+pub fn phase_breakdown(r: &RunReport) -> String {
+    let mut out = String::new();
+    for h in r.obs.hists.iter().filter(|h| {
+        h.name.starts_with("kbroker.txn.phase.") || h.name == "kstreams.commit_cycle_ms"
+    }) {
+        out.push_str(&format!(
+            "#   {:<34} count={:<6} p50={:<5} p90={:<5} p99={:<5} max={}\n",
+            h.name, h.count, h.p50_ms, h.p90_ms, h.p99_ms, h.max_ms
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -391,6 +422,14 @@ mod tests {
         assert!(report.latency.count() > 0, "probe saw committed outputs");
         assert!(report.throughput_msg_per_sec > 0.0);
         assert!(report.transactions > 0);
+        if kobs::ENABLED {
+            // The run's own snapshot (not the live global registry, which a
+            // later run may have reset) carries the phase breakdown.
+            let markers = report.obs.hist("kbroker.txn.phase.markers_ms");
+            assert!(markers.is_some_and(|h| h.count > 0), "markers phase unrecorded");
+            assert!(report.obs.hist("kstreams.commit_cycle_ms").is_some());
+            assert!(!phase_breakdown(&report).is_empty());
+        }
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl Processor for WindowAggregate {
         for start in self.windows.windows_for(record.ts) {
             if self.windows.is_closed(start, stream_time) {
                 ctx.metrics().late_dropped += 1;
+                kobs::count("kstreams.late_drops", 1);
+                kobs::debug_event!(
+                    stream_time,
+                    "kstreams",
+                    "late_drop",
+                    record_ts = record.ts,
+                    window_start = start,
+                );
                 continue;
             }
             let old = ctx.window_fetch(&self.store, &key, start);
@@ -180,6 +188,8 @@ impl Processor for SessionAggregate {
         let stream_time = ctx.stream_time();
         if record.ts.saturating_add(self.windows.grace_ms) < stream_time {
             ctx.metrics().late_dropped += 1;
+            kobs::count("kstreams.late_drops", 1);
+            kobs::debug_event!(stream_time, "kstreams", "late_drop", record_ts = record.ts);
             return;
         }
         let overlapping = ctx.session_find(&self.store, &key, record.ts, self.windows.gap_ms);
@@ -444,6 +454,10 @@ impl Processor for Suppress {
 
     fn punctuate(&mut self, ctx: &mut ProcessorContext<'_>, stream_time: i64, _wall: i64) {
         let entries = ctx.kv_entries(&self.store);
+        // Occupancy before flushing: how many keys the buffer is holding
+        // back (§6.2's consolidation working set).
+        kobs::gauge_set("kstreams.suppress.buffer_occupancy", entries.len() as i64);
+        kobs::gauge_max("kstreams.suppress.buffer_occupancy_peak", entries.len() as i64);
         for (key, buf) in entries {
             let (first_ts, payload) = <(i64, Bytes)>::from_bytes(&buf).expect("suppress buffer");
             let flush = match self.mode {

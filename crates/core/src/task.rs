@@ -145,6 +145,8 @@ impl StreamTask {
         isolation: IsolationLevel,
         committed: &HashMap<TopicPartition, i64>,
     ) -> Result<(), StreamsError> {
+        let restore_start_ms = cluster.now_ms();
+        let replayed_before = self.env.metrics.restore_records;
         // Source-as-changelog stores: replay the source prefix we already
         // processed (per committed offsets).
         for (store_name, tp) in self.source_restore_tps.clone() {
@@ -193,6 +195,19 @@ impl StreamTask {
                 }
                 pos = fetch.next_offset;
             }
+        }
+        let replayed = self.env.metrics.restore_records - replayed_before;
+        kobs::count("kstreams.restore.records_replayed", replayed);
+        if replayed > 0 {
+            kobs::count("kstreams.restore.sessions", 1);
+            kobs::event!(
+                cluster.now_ms(),
+                "kstreams",
+                "restore_replay",
+                task = self.id.to_string(),
+                records = replayed,
+                elapsed_ms = cluster.now_ms() - restore_start_ms,
+            );
         }
         Ok(())
     }

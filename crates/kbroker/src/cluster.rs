@@ -269,6 +269,8 @@ impl Cluster {
         meta: BatchMeta,
         records: Vec<Record>,
     ) -> Result<AppendOutcome, BrokerError> {
+        kobs::count("kbroker.produce.batches", 1);
+        kobs::count("kbroker.produce.records", records.len() as u64);
         self.replica_set(tp)?.lock().append(meta, records)
     }
 
@@ -292,7 +294,10 @@ impl Cluster {
         max_records: usize,
         isolation: IsolationLevel,
     ) -> Result<FetchResult, BrokerError> {
-        self.replica_set(tp)?.lock().fetch(from, max_records, isolation)
+        let result = self.replica_set(tp)?.lock().fetch(from, max_records, isolation)?;
+        kobs::count("kbroker.fetch.requests", 1);
+        kobs::count("kbroker.fetch.records", result.count() as u64);
+        Ok(result)
     }
 
     /// Earliest retained offset of a partition.
@@ -334,10 +339,16 @@ impl Cluster {
             }
             alive[broker] = false;
         }
+        kobs::count("kbroker.broker_kills", 1);
+        let now = self.now_ms();
         let topics = self.inner.topics.read();
-        for meta in topics.values() {
-            for part in &meta.partitions {
-                part.lock().on_broker_down(broker);
+        // Name order, not HashMap order: the per-partition ISR/leader events
+        // this emits must replay byte-identically for a fixed seed.
+        let mut names: Vec<&String> = topics.keys().collect();
+        names.sort();
+        for name in names {
+            for part in &topics[name].partitions {
+                part.lock().on_broker_down(broker, now);
             }
         }
         drop(topics);
@@ -357,10 +368,15 @@ impl Cluster {
             }
             alive[broker] = true;
         }
+        kobs::count("kbroker.broker_restores", 1);
+        let now = self.now_ms();
         let topics = self.inner.topics.read();
-        for meta in topics.values() {
-            for part in &meta.partitions {
-                part.lock().on_broker_up(broker);
+        // Name order, matching kill_broker: deterministic event replay.
+        let mut names: Vec<&String> = topics.keys().collect();
+        names.sort();
+        for name in names {
+            for part in &topics[name].partitions {
+                part.lock().on_broker_up(broker, now);
             }
         }
         drop(topics);

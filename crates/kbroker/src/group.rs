@@ -211,6 +211,14 @@ fn range_assign(
 impl Cluster {
     fn rebalance(&self, state: &mut GroupState) {
         state.generation += 1;
+        kobs::count("kbroker.group.rebalances", 1);
+        kobs::event!(
+            self.now_ms(),
+            "kbroker.group",
+            "rebalance",
+            generation = state.generation,
+            members = state.members.len(),
+        );
         let topics: BTreeSet<String> =
             state.members.values().flat_map(|m| m.subscribed.iter().cloned()).collect();
         state.assignment = match state.strategy {

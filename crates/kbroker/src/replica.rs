@@ -164,6 +164,15 @@ impl ReplicaSet {
                 );
             }
         }
+        // LSO lag: records visible to read-uncommitted but still pending a
+        // transaction outcome (§4.2's read-committed wait). Open
+        // transactions hold the LSO back, so a growing lag means markers
+        // are outstanding.
+        if let Ok(log) = self.leader_log() {
+            let lag = log.high_watermark() - log.last_stable_offset();
+            kobs::gauge_set("kbroker.lso_lag", lag);
+            kobs::gauge_max("kbroker.lso_lag_peak", lag);
+        }
     }
 
     /// Fetch from the leader.
@@ -193,22 +202,44 @@ impl ReplicaSet {
 
     /// A broker died: remove it from the ISR; if it led this partition,
     /// elect the first remaining ISR member (rebuilding its producer state
-    /// from its local log, §4.1).
-    pub fn on_broker_down(&mut self, broker: usize) {
+    /// from its local log, §4.1). `now_ms` timestamps the emitted
+    /// shrink/election trace events.
+    pub fn on_broker_down(&mut self, broker: usize, now_ms: i64) {
+        let was_member = self.isr.contains(&broker);
         self.isr.retain(|&b| b != broker);
+        if was_member {
+            kobs::count("kbroker.isr.shrinks", 1);
+            kobs::event!(
+                now_ms,
+                "kbroker.isr",
+                "isr_shrink",
+                tp = self.tp.to_string(),
+                broker = broker,
+                isr_size = self.isr.len(),
+            );
+        }
         if self.leader == Some(broker) {
             self.leader = self.isr.first().copied();
             self.leader_epoch += 1;
             if self.leader.is_some() {
                 self.leader_log_mut().expect("just elected").recover_producer_state();
             }
+            kobs::event!(
+                now_ms,
+                "kbroker.isr",
+                "leader_elected",
+                tp = self.tp.to_string(),
+                leader = self.leader.map_or(-1, |b| b as i64),
+                epoch = self.leader_epoch,
+            );
         }
     }
 
     /// A broker came back: catch its replica up from the leader and restore
     /// it to the ISR. (We copy the leader log wholesale — the simulation
-    /// equivalent of follower truncation + re-fetch.)
-    pub fn on_broker_up(&mut self, broker: usize) {
+    /// equivalent of follower truncation + re-fetch.) `now_ms` timestamps
+    /// the emitted expand/election trace events.
+    pub fn on_broker_up(&mut self, broker: usize, now_ms: i64) {
         if !self.assigned_brokers().contains(&broker) || self.isr.contains(&broker) {
             return;
         }
@@ -232,6 +263,15 @@ impl ReplicaSet {
             self.isr.push(broker);
             self.leader_log_mut().expect("just elected").recover_producer_state();
         }
+        kobs::count("kbroker.isr.expands", 1);
+        kobs::event!(
+            now_ms,
+            "kbroker.isr",
+            "isr_expand",
+            tp = self.tp.to_string(),
+            broker = broker,
+            isr_size = self.isr.len(),
+        );
     }
 }
 
@@ -262,7 +302,7 @@ mod tests {
     fn leader_failure_elects_follower_with_full_log() {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
         rs.append(BatchMeta::plain(), recs(5)).unwrap();
-        rs.on_broker_down(0);
+        rs.on_broker_down(0, 0);
         assert_eq!(rs.leader(), Some(1));
         assert_eq!(rs.leader_epoch(), 1);
         let f = rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap();
@@ -273,12 +313,12 @@ mod tests {
     fn survives_n_minus_1_failures() {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
         rs.append(BatchMeta::plain(), recs(2)).unwrap();
-        rs.on_broker_down(0);
-        rs.on_broker_down(1);
+        rs.on_broker_down(0, 0);
+        rs.on_broker_down(1, 0);
         assert_eq!(rs.leader(), Some(2));
         rs.append(BatchMeta::plain(), recs(1)).unwrap();
         assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 3);
-        rs.on_broker_down(2);
+        rs.on_broker_down(2, 0);
         assert_eq!(rs.leader(), None);
         assert!(matches!(
             rs.append(BatchMeta::plain(), recs(1)),
@@ -291,7 +331,7 @@ mod tests {
         // §4.1: the new leader re-populates its sequence cache from the log.
         let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
         rs.append(BatchMeta::idempotent(7, 0, 0), recs(2)).unwrap();
-        rs.on_broker_down(0);
+        rs.on_broker_down(0, 0);
         let retry = rs.append(BatchMeta::idempotent(7, 0, 0), recs(2)).unwrap();
         assert!(retry.duplicate, "retried batch must be deduped by new leader");
         assert_eq!(rs.leader_log().unwrap().log_end(), 2);
@@ -301,12 +341,12 @@ mod tests {
     fn recovered_broker_catches_up_and_rejoins() {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
         rs.append(BatchMeta::plain(), recs(1)).unwrap();
-        rs.on_broker_down(1);
+        rs.on_broker_down(1, 0);
         rs.append(BatchMeta::plain(), recs(2)).unwrap(); // broker 1 misses these
-        rs.on_broker_up(1);
+        rs.on_broker_up(1, 0);
         assert_eq!(rs.isr(), &[0, 1]);
         // Fail the leader; the recovered follower must serve the full log.
-        rs.on_broker_down(0);
+        rs.on_broker_down(0, 0);
         assert_eq!(rs.leader(), Some(1));
         assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 3);
     }
@@ -315,9 +355,9 @@ mod tests {
     fn total_outage_then_recovery() {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
         rs.append(BatchMeta::plain(), recs(4)).unwrap();
-        rs.on_broker_down(0);
-        rs.on_broker_down(1);
-        rs.on_broker_up(1);
+        rs.on_broker_down(0, 0);
+        rs.on_broker_down(1, 0);
+        rs.on_broker_up(1, 0);
         assert_eq!(rs.leader(), Some(1));
         assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 4);
     }
@@ -327,7 +367,7 @@ mod tests {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1]);
         rs.append(BatchMeta::transactional(9, 0, 0), recs(2)).unwrap();
         rs.append_control(9, 0, ControlType::Commit, 0).unwrap();
-        rs.on_broker_down(0);
+        rs.on_broker_down(0, 0);
         // New leader must expose the committed data to read-committed.
         let f = rs.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
         assert_eq!(f.count(), 2);
@@ -336,7 +376,7 @@ mod tests {
     #[test]
     fn down_follower_does_not_block_appends() {
         let mut rs = ReplicaSet::new(tp(), vec![0, 1, 2]);
-        rs.on_broker_down(2);
+        rs.on_broker_down(2, 0);
         rs.append(BatchMeta::plain(), recs(3)).unwrap();
         assert_eq!(rs.leader_log().unwrap().high_watermark(), 3);
     }

@@ -252,10 +252,28 @@ impl Cluster {
                 return Ok(meta);
             }
         };
+        let n_partitions = meta.partitions.len();
+        let t0 = self.now_ms();
         self.txn_write_markers(tid, &meta, ctl)?;
+        let t1 = self.now_ms();
+        kobs::observe("kbroker.txn.phase.markers_ms", t1 - t0);
         txn_set_state(tid, &mut meta, done);
         meta.partitions.clear();
         self.txn_persist(tid, &meta)?;
+        kobs::observe("kbroker.txn.phase.complete_ms", self.now_ms() - t1);
+        match done {
+            TxnState::CompleteCommit => kobs::count("kbroker.txn.commits", 1),
+            _ => kobs::count("kbroker.txn.aborts", 1),
+        }
+        kobs::event!(
+            self.now_ms(),
+            "kbroker.txn",
+            if done == TxnState::CompleteCommit { "txn_commit" } else { "txn_abort" },
+            producer_id = meta.producer_id,
+            epoch = meta.epoch,
+            partitions = n_partitions,
+            markers_ms = t1 - t0,
+        );
         Ok(meta)
     }
 
@@ -266,6 +284,7 @@ impl Cluster {
     /// — then bumps the epoch, fencing all older incarnations. Returns the
     /// `(producer_id, epoch)` the new incarnation must use.
     pub fn txn_init_producer(&self, tid: &str, timeout_ms: i64) -> Result<(i64, i32), BrokerError> {
+        let init_start = self.now_ms();
         let shard = self.inner.txn.shard(tid);
         let mut map = shard.lock();
         let mut meta = match map.get(tid).cloned() {
@@ -294,6 +313,14 @@ impl Cluster {
         meta.timeout_ms = timeout_ms;
         self.txn_persist(tid, &meta)?;
         let result = (meta.producer_id, meta.epoch);
+        kobs::observe("kbroker.txn.phase.init_ms", self.now_ms() - init_start);
+        kobs::event!(
+            self.now_ms(),
+            "kbroker.txn",
+            "txn_init",
+            producer_id = result.0,
+            epoch = result.1,
+        );
         map.insert(tid.to_string(), meta);
         Ok(result)
     }
@@ -357,6 +384,7 @@ impl Cluster {
             let snapshot = meta.clone();
             self.txn_persist(tid, &snapshot)?;
         }
+        kobs::observe("kbroker.txn.phase.add_partitions_ms", self.now_ms() - now);
         Ok(())
     }
 
@@ -373,6 +401,7 @@ impl Cluster {
         let meta = Self::txn_validated(&mut map, tid, pid, epoch)?;
         match (meta.state, commit) {
             (TxnState::Ongoing, _) => {
+                let prepare_start = self.now_ms();
                 txn_set_state(
                     tid,
                     meta,
@@ -382,6 +411,7 @@ impl Cluster {
                 // outcome is decided.
                 let snapshot = meta.clone();
                 self.txn_persist(tid, &snapshot)?;
+                kobs::observe("kbroker.txn.phase.prepare_ms", self.now_ms() - prepare_start);
                 // Phase 2: markers + completion.
                 let finished = self.txn_finish(tid, snapshot)?;
                 map.insert(tid.to_string(), finished);
@@ -445,6 +475,14 @@ impl Cluster {
                 if let Ok(mut finished) = self.txn_finish(&tid, meta) {
                     finished.epoch += 1; // fence the zombie
                     if self.txn_persist(&tid, &finished).is_ok() {
+                        kobs::count("kbroker.txn.expired", 1);
+                        kobs::event!(
+                            now,
+                            "kbroker.txn",
+                            "txn_expired",
+                            producer_id = finished.producer_id,
+                            new_epoch = finished.epoch,
+                        );
                         map.insert(tid, finished);
                         aborted += 1;
                     }

@@ -126,7 +126,18 @@ pub fn compact(log: &mut PartitionLog, opts: CompactionOptions) -> CompactionSta
     let records_after: usize = out.iter().filter(|b| !b.meta.is_control()).map(|b| b.len()).sum();
     let bytes_after: usize = out.iter().map(|b| b.approximate_size()).sum();
     log.replace_batches(out);
-    CompactionStats { records_before, records_after, bytes_before, bytes_after }
+    let stats = CompactionStats { records_before, records_after, bytes_before, bytes_after };
+    kobs::count("klog.compaction.passes", 1);
+    kobs::count("klog.compaction.records_removed", (records_before - records_after) as u64);
+    kobs::event!(
+        log.max_timestamp(),
+        "klog",
+        "compaction",
+        records_before = records_before,
+        records_after = records_after,
+        bytes_after = bytes_after,
+    );
+    stats
 }
 
 #[cfg(test)]

@@ -162,6 +162,15 @@ impl PartitionLog {
                 records.len(),
             )? {
                 SequenceCheck::Duplicate { base_offset, last_offset } => {
+                    kobs::count("klog.dedup_hits", 1);
+                    kobs::event!(
+                        records.iter().map(|r| r.timestamp).max().unwrap_or(0),
+                        "klog",
+                        "dedup_hit",
+                        producer_id = meta.producer_id,
+                        base_sequence = meta.base_sequence,
+                        base_offset = base_offset,
+                    );
                     return Ok(AppendOutcome { base_offset, last_offset, duplicate: true });
                 }
                 SequenceCheck::InOrder => {}

@@ -67,6 +67,14 @@ impl SegmentList {
         debug_assert!(!batch.is_empty());
         let active = self.segments.last_mut().expect("at least one segment");
         if active.is_full() && !active.batches.is_empty() {
+            kobs::count("klog.segment_rolls", 1);
+            kobs::event!(
+                batch.max_timestamp(),
+                "klog",
+                "segment_roll",
+                segments = self.segments.len() + 1,
+                base_offset = batch.base_offset(),
+            );
             self.segments.push(Segment::default());
         }
         let active = self.segments.last_mut().expect("at least one segment");

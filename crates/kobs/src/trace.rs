@@ -1,0 +1,367 @@
+//! Structured trace events: a bounded ring of `Event { ts, component,
+//! kind, fields }` records cheap enough to stay on by default.
+//!
+//! Components are coarse subsystem names (`klog`, `kbroker.txn`,
+//! `kbroker.isr`, `kstreams`, ...) with independent levels; `kind` is a
+//! short verb-ish tag (`segment_roll`, `isr_shrink`, `txn_complete`,
+//! `late_drop`). Fields are small typed key/values — no format strings on
+//! the hot path. When a component's level filters an event out, the field
+//! closure is never invoked, so a disabled trace point costs one level
+//! lookup.
+//!
+//! The ring keeps the last [`RING_CAPACITY`] events; `simtest` dumps the
+//! tail next to the `--seed` repro line when an oracle fails, which is
+//! usually enough to see the path into the failure. Under the `off`
+//! feature [`emit`] compiles to nothing.
+
+use crate::json::{self, Value};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Maximum events retained; older events are evicted FIFO.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Verbosity for one component (or the default for all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Drop everything from this component.
+    Off,
+    /// Lifecycle transitions and anomalies (the default).
+    Info,
+    /// High-frequency detail (per-batch, per-record).
+    Debug,
+}
+
+/// One typed field value on an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    I64(i64),
+    U64(u64),
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number within the process (survives ring eviction,
+    /// so gaps reveal how much was dropped).
+    pub seq: u64,
+    /// Virtual-clock timestamp (ms) at emission.
+    pub ts: i64,
+    /// Subsystem that emitted the event, e.g. `kbroker.txn`.
+    pub component: &'static str,
+    /// Short event tag, e.g. `txn_complete`.
+    pub kind: &'static str,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("seq", json::num(self.seq as f64)),
+            ("ts", json::num(self.ts as f64)),
+            ("component", json::str(self.component)),
+            ("kind", json::str(self.kind)),
+        ];
+        let fields: Vec<(String, Value)> = self
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let jv = match v {
+                    FieldValue::I64(n) => json::num(*n as f64),
+                    FieldValue::U64(n) => json::num(*n as f64),
+                    FieldValue::Str(s) => json::str(s.clone()),
+                };
+                (k.to_string(), jv)
+            })
+            .collect();
+        pairs.push(("fields", Value::Obj(fields)));
+        json::obj(pairs)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:<14} {:<18}", self.ts, self.component, self.kind)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    default_level: Level,
+    overrides: Vec<(&'static str, Level)>,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Self {
+            events: VecDeque::new(),
+            next_seq: 0,
+            default_level: Level::Info,
+            overrides: Vec::new(),
+        }
+    }
+
+    #[cfg_attr(feature = "off", allow(dead_code))]
+    fn level_for(&self, component: &str) -> Level {
+        self.overrides.iter().find(|(c, _)| *c == component).map_or(self.default_level, |(_, l)| *l)
+    }
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: Mutex<Ring> = Mutex::new(Ring::new());
+    &RING
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Emit one event at `level` iff the component's level admits it. The
+/// `fields` closure runs only when the event is admitted.
+#[allow(unused_variables)]
+pub fn emit<F>(level: Level, ts: i64, component: &'static str, kind: &'static str, fields: F)
+where
+    F: FnOnce() -> Vec<(&'static str, FieldValue)>,
+{
+    #[cfg(not(feature = "off"))]
+    {
+        let mut ring = lock();
+        if level > ring.level_for(component) || level == Level::Off {
+            return;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == RING_CAPACITY {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(Event { seq, ts, component, kind, fields: fields() });
+    }
+}
+
+/// Set the default level applied to components without an override.
+#[allow(unused_variables)]
+pub fn set_default_level(level: Level) {
+    #[cfg(not(feature = "off"))]
+    {
+        lock().default_level = level;
+    }
+}
+
+/// Override the level for one component (exact match on the component tag).
+#[allow(unused_variables)]
+pub fn set_level(component: &'static str, level: Level) {
+    #[cfg(not(feature = "off"))]
+    {
+        let mut ring = lock();
+        if let Some(slot) = ring.overrides.iter_mut().find(|(c, _)| *c == component) {
+            slot.1 = level;
+        } else {
+            ring.overrides.push((component, level));
+        }
+    }
+}
+
+/// The last `n` events, oldest first.
+pub fn tail(n: usize) -> Vec<Event> {
+    let ring = lock();
+    let skip = ring.events.len().saturating_sub(n);
+    ring.events.iter().skip(skip).cloned().collect()
+}
+
+/// Total events emitted (admitted) so far, including evicted ones.
+pub fn emitted() -> u64 {
+    lock().next_seq
+}
+
+/// Clear the ring and level configuration (run isolation in simtest).
+pub fn clear() {
+    let mut ring = lock();
+    ring.events.clear();
+    ring.next_seq = 0;
+    ring.default_level = Level::Info;
+    ring.overrides.clear();
+}
+
+/// Emit an info-level event on the global ring.
+///
+/// ```
+/// kobs::event!(17, "kbroker.txn", "txn_complete", pid = 4u64, partitions = 2usize);
+/// assert_eq!(kobs::trace::tail(1).len(), kobs::ENABLED as usize);
+/// # kobs::trace::clear();
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($ts:expr, $component:expr, $kind:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::trace::emit($crate::trace::Level::Info, $ts, $component, $kind, || {
+            vec![$((stringify!($key), $crate::trace::FieldValue::from($val))),*]
+        })
+    };
+}
+
+/// Emit a debug-level event (dropped unless the component is at `Debug`).
+#[macro_export]
+macro_rules! debug_event {
+    ($ts:expr, $component:expr, $kind:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::trace::emit($crate::trace::Level::Debug, $ts, $component, $kind, || {
+            vec![$((stringify!($key), $crate::trace::FieldValue::from($val))),*]
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, MutexGuard};
+
+    // The ring is process-global; serialize tests that touch it.
+    static TEST_LOCK: TestMutex<()> = TestMutex::new(());
+
+    fn isolated() -> MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        guard
+    }
+
+    #[test]
+    fn emit_and_tail_round_trip() {
+        let _g = isolated();
+        crate::event!(5, "kbroker.txn", "txn_init", pid = 7u64);
+        crate::event!(9, "kbroker.txn", "txn_complete", pid = 7u64, partitions = 3usize);
+        let tail = tail(10);
+        if !crate::ENABLED {
+            assert!(tail.is_empty());
+            return;
+        }
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind, "txn_init");
+        assert_eq!(tail[1].ts, 9);
+        assert_eq!(tail[1].field("partitions"), Some(&FieldValue::U64(3)));
+        assert_eq!(tail[0].seq + 1, tail[1].seq);
+    }
+
+    #[test]
+    fn debug_events_filtered_by_default_and_closure_not_run() {
+        let _g = isolated();
+        let mut ran = false;
+        emit(Level::Debug, 0, "klog", "per_record", || {
+            ran = true;
+            vec![]
+        });
+        assert!(tail(10).is_empty());
+        assert!(!ran, "field closure must not run for filtered events");
+
+        set_level("klog", Level::Debug);
+        crate::debug_event!(1, "klog", "per_record", n = 1u64);
+        assert_eq!(tail(10).len(), crate::ENABLED as usize);
+    }
+
+    #[test]
+    fn component_off_silences_only_that_component() {
+        let _g = isolated();
+        if !crate::ENABLED {
+            return;
+        }
+        set_level("klog", Level::Off);
+        crate::event!(0, "klog", "segment_roll");
+        crate::event!(0, "kstreams", "commit");
+        let tail = tail(10);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].component, "kstreams");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_seq_keeps_counting() {
+        let _g = isolated();
+        if !crate::ENABLED {
+            return;
+        }
+        for i in 0..(RING_CAPACITY + 5) {
+            crate::event!(i as i64, "kstreams", "tick");
+        }
+        let t = tail(RING_CAPACITY + 10);
+        assert_eq!(t.len(), RING_CAPACITY);
+        assert_eq!(t.last().unwrap().seq, (RING_CAPACITY + 4) as u64);
+        assert_eq!(emitted(), (RING_CAPACITY + 5) as u64);
+    }
+
+    #[test]
+    fn event_json_and_display() {
+        let e = Event {
+            seq: 3,
+            ts: 42,
+            component: "kbroker.isr",
+            kind: "isr_shrink",
+            fields: vec![("tp", FieldValue::Str("orders-0".into())), ("isr", FieldValue::U64(2))],
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("kind").unwrap().as_str(), Some("isr_shrink"));
+        assert_eq!(j.get("fields").unwrap().get("isr").unwrap().as_f64(), Some(2.0));
+        let text = e.to_string();
+        assert!(text.contains("isr_shrink") && text.contains("tp=orders-0"), "{text}");
+        let parsed = json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("seq").unwrap().as_f64(), Some(3.0));
+    }
+}

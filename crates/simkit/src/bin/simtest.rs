@@ -3,8 +3,15 @@
 //! ```text
 //! cargo run -p simkit --bin simtest -- --seed 42
 //! cargo run -p simkit --bin simtest -- --seed 42 --steps 800 --profile windowed
+//! cargo run -p simkit --bin simtest -- --seed 42 --profile           # obs snapshot
+//! cargo run -p simkit --bin simtest -- --seed 42 --profile --json
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
 //! ```
+//!
+//! `--profile` with a topology argument forces that topology (historic
+//! meaning, kept for replay commands); `--profile` with no argument attaches
+//! the kobs metrics snapshot and trace tail to the report. Combine both as
+//! `--profile count --profile`.
 //!
 //! Exit code 0 iff every requested run passed all oracles.
 
@@ -15,40 +22,60 @@ struct Args {
     seeds: Vec<u64>,
     steps: Option<u64>,
     profile: Option<Profile>,
+    obs: bool,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--profile count|windowed|suppressed]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--profile [count|windowed|suppressed]] [--json]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seeds: Vec::new(), steps: None, profile: None };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let Some(value) = it.next() else { usage() };
+    let mut args = Args { seeds: Vec::new(), steps: None, profile: None, obs: false, json: false };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = &argv[i];
+        i += 1;
         match flag.as_str() {
-            "--seed" => match value.parse() {
-                Ok(seed) => args.seeds.push(seed),
-                Err(_) => usage(),
+            "--json" => args.json = true,
+            "--profile" => match argv.get(i) {
+                // `--profile <topology>` keeps its historic meaning (force
+                // the topology); a bare `--profile` (end of args, or next
+                // token is another flag) turns on observability profiling.
+                Some(v) if !v.starts_with("--") => match Profile::parse(v) {
+                    Some(p) => {
+                        args.profile = Some(p);
+                        i += 1;
+                    }
+                    None => usage(),
+                },
+                _ => args.obs = true,
             },
-            "--sweep" => {
-                let Some((lo, hi)) = value.split_once("..") else { usage() };
-                match (lo.parse::<u64>(), hi.parse::<u64>()) {
-                    (Ok(lo), Ok(hi)) if lo < hi => args.seeds.extend(lo..hi),
-                    _ => usage(),
+            "--seed" | "--sweep" | "--steps" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                match flag.as_str() {
+                    "--seed" => match value.parse() {
+                        Ok(seed) => args.seeds.push(seed),
+                        Err(_) => usage(),
+                    },
+                    "--sweep" => {
+                        let Some((lo, hi)) = value.split_once("..") else { usage() };
+                        match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                            (Ok(lo), Ok(hi)) if lo < hi => args.seeds.extend(lo..hi),
+                            _ => usage(),
+                        }
+                    }
+                    _ => match value.parse() {
+                        Ok(steps) => args.steps = Some(steps),
+                        Err(_) => usage(),
+                    },
                 }
             }
-            "--steps" => match value.parse() {
-                Ok(steps) => args.steps = Some(steps),
-                Err(_) => usage(),
-            },
-            "--profile" => match Profile::parse(&value) {
-                Some(p) => args.profile = Some(p),
-                None => usage(),
-            },
             _ => usage(),
         }
     }
@@ -70,8 +97,15 @@ fn main() -> ExitCode {
         if let Some(profile) = args.profile {
             cfg = cfg.with_profile(profile);
         }
+        if args.obs {
+            cfg = cfg.with_obs_profile();
+        }
         let report = run(&cfg);
-        println!("{report}");
+        if args.json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
         if !report.passed() {
             failed += 1;
         }

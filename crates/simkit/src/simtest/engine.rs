@@ -27,6 +27,9 @@ const MAX_DRAIN_ITERS: u64 = 5_000;
 /// of suppressed entries is still printed).
 const MAX_FAILURES: usize = 20;
 
+/// Trailing trace-event window attached to profiled or failing reports.
+const TRACE_TAIL: usize = 32;
+
 /// The `klog::checks` violation sink is process-global, so concurrent runs
 /// (e.g. `cargo test` threads) would steal each other's violations.
 static RUN_LOCK: Mutex<()> = Mutex::new(());
@@ -39,11 +42,13 @@ pub struct SimConfig {
     pub steps: u64,
     /// Force a topology profile instead of deriving it from the seed.
     pub profile: Option<Profile>,
+    /// Attach a kobs metrics snapshot (and trace tail) to the report.
+    pub obs_profile: bool,
 }
 
 impl SimConfig {
     pub fn new(seed: u64) -> Self {
-        Self { seed, steps: 300, profile: None }
+        Self { seed, steps: 300, profile: None, obs_profile: false }
     }
 
     pub fn with_steps(mut self, steps: u64) -> Self {
@@ -53,6 +58,11 @@ impl SimConfig {
 
     pub fn with_profile(mut self, profile: Profile) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    pub fn with_obs_profile(mut self) -> Self {
+        self.obs_profile = true;
         self
     }
 }
@@ -85,6 +95,10 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     // Drain stale violations from earlier (non-simtest) activity in this
     // process so the invariant oracle only sees this run.
     let _ = klog::checks::take_violations();
+    // Same story for the kobs registry and trace ring: both are
+    // process-global, so start every run from a clean slate to keep the
+    // attached snapshot deterministic per seed.
+    kobs::reset();
 
     let root = DetRng::new(cfg.seed);
     let workload = Workload::generate(&mut root.derive(1), cfg.profile);
@@ -97,6 +111,11 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         .replication(workload.brokers)
         .clock(clock.shared())
         .faults(plan.clone())
+        // Charge a small per-marker RPC cost so the txn-phase and
+        // commit-cycle histograms in `--profile` reports have the Figure 5
+        // shape (marker fan-out dominates, scaling with partition count)
+        // instead of collapsing to zero.
+        .txn_marker_cost_ms(2.0)
         .build();
     cluster.create_topic("events", TopicConfig::new(workload.partitions)).expect("fresh topic");
     cluster.create_topic("out", TopicConfig::new(workload.partitions)).expect("fresh topic");
@@ -378,6 +397,16 @@ impl Engine {
             self.fail(format!("protocol {v}"));
         }
 
+        // Metrics ride along when profiling was requested; the trace tail
+        // additionally rides along on any oracle failure so the repro line
+        // comes with the events leading up to it.
+        let obs = if self.cfg.obs_profile { Some(kobs::snapshot()) } else { None };
+        let trace = if self.cfg.obs_profile || !self.failures.is_empty() {
+            kobs::trace::tail(TRACE_TAIL)
+        } else {
+            Vec::new()
+        };
+
         SimReport {
             seed: self.cfg.seed,
             steps: self.cfg.steps,
@@ -400,6 +429,8 @@ impl Engine {
             fault_counts: self.plan.injection_counts(),
             step_errors: self.step_errors,
             failures: self.failures,
+            obs,
+            trace,
         }
     }
 

@@ -45,6 +45,12 @@ pub struct SimReport {
     pub step_errors: Vec<String>,
     /// Oracle failures; empty means the run passed.
     pub failures: Vec<String>,
+    /// kobs metrics snapshot; present when the run was observability
+    /// profiled (`--profile` with no topology argument).
+    pub obs: Option<kobs::Snapshot>,
+    /// Trailing trace-event window; populated when profiled or when an
+    /// oracle failed (so the repro line comes with its context).
+    pub trace: Vec<kobs::Event>,
 }
 
 impl SimReport {
@@ -73,6 +79,35 @@ impl SimReport {
     /// Panic with the full report and replay command unless the run passed.
     pub fn assert_passed(&self) {
         assert!(self.passed(), "simtest oracle failure (reproduce with: {})\n{self}", self.repro());
+    }
+
+    /// Machine-readable form of the report (`simtest --json`). Metrics and
+    /// trace sections appear only when captured, mirroring [`fmt::Display`].
+    pub fn to_json(&self) -> kobs::json::Value {
+        use kobs::json::{num, obj, str as jstr, Value};
+        let mut fields = vec![
+            ("seed", num(self.seed as f64)),
+            ("steps", num(self.steps as f64)),
+            ("profile", jstr(self.profile.clone())),
+            ("brokers", num(self.brokers as f64)),
+            ("partitions", num(self.partitions as f64)),
+            ("instances", num(self.instances as f64)),
+            ("records_fed", num(self.records_fed as f64)),
+            ("feed_errors", num(self.feed_errors as f64)),
+            ("input_records", num(self.input_records as f64)),
+            ("output_records", num(self.output_records as f64)),
+            ("passed", Value::Bool(self.passed())),
+            ("failures", Value::Arr(self.failures.iter().map(|e| jstr(e.clone())).collect())),
+            ("repro", jstr(self.repro())),
+        ];
+        if let Some(obs) = &self.obs {
+            fields.push(("metrics", obs.to_json()));
+        }
+        if !self.trace.is_empty() {
+            fields
+                .push(("trace", Value::Arr(self.trace.iter().map(kobs::Event::to_json).collect())));
+        }
+        obj(fields)
     }
 }
 
@@ -113,12 +148,28 @@ impl fmt::Display for SimReport {
                 writeln!(f, "    - {e}")?;
             }
         }
+        if let Some(obs) = &self.obs {
+            if obs.is_empty() {
+                writeln!(f, "  metrics: (empty — instrumentation compiled out?)")?;
+            } else {
+                writeln!(f, "  metrics:")?;
+                for line in obs.to_string().lines() {
+                    writeln!(f, "    {line}")?;
+                }
+            }
+        }
         if self.failures.is_empty() {
             writeln!(f, "  oracle: PASS")?;
         } else {
             writeln!(f, "  oracle: FAIL ({} failures)", self.failures.len())?;
             for e in &self.failures {
                 writeln!(f, "    - {e}")?;
+            }
+        }
+        if !self.trace.is_empty() {
+            writeln!(f, "  trace (last {} events):", self.trace.len())?;
+            for e in &self.trace {
+                writeln!(f, "    {e}")?;
             }
         }
         write!(f, "  repro: {}", self.repro())

@@ -1,240 +1,8 @@
-//! Latency histograms and throughput meters for the benchmark harness.
+//! Latency histograms and throughput meters, re-exported from `kobs`.
 //!
-//! The figure-reproduction binaries report end-to-end latency percentiles
-//! (record create time → read-committed consumer receive time, as in the
-//! paper's §4.3 setup) and sustained throughput.
+//! The types were promoted into `crates/kobs` so the metrics registry,
+//! broker/streams instrumentation, and the bench harness all share one
+//! histogram implementation; this module keeps `simprims::hist` (and the
+//! `simkit::hist` alias the broker/streams crates see) source-compatible.
 
-/// A simple log-bucketed latency histogram over millisecond values.
-///
-/// Buckets grow geometrically so a single histogram covers sub-millisecond
-/// to multi-minute latencies with bounded memory and ~4% relative error.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    /// bucket i covers [floor(GROWTH^i) - 1, floor(GROWTH^(i+1)) - 1)
-    counts: Vec<u64>,
-    total: u64,
-    sum_ms: u128,
-    min_ms: i64,
-    max_ms: i64,
-}
-
-const GROWTH: f64 = 1.08;
-const NUM_BUCKETS: usize = 256;
-
-fn bucket_for(ms: i64) -> usize {
-    let v = ms.max(0) as f64 + 1.0;
-    let idx = v.log(GROWTH).floor() as usize;
-    idx.min(NUM_BUCKETS - 1)
-}
-
-fn bucket_lower_bound(idx: usize) -> i64 {
-    (GROWTH.powi(idx as i32) - 1.0).floor() as i64
-}
-
-impl LatencyHistogram {
-    pub fn new() -> Self {
-        Self {
-            counts: vec![0; NUM_BUCKETS],
-            total: 0,
-            sum_ms: 0,
-            min_ms: i64::MAX,
-            max_ms: i64::MIN,
-        }
-    }
-
-    /// Record one latency observation in milliseconds (negative values are
-    /// clamped to zero — they can arise from clock granularity).
-    pub fn record(&mut self, ms: i64) {
-        let ms = ms.max(0);
-        self.counts[bucket_for(ms)] += 1;
-        self.total += 1;
-        self.sum_ms += ms as u128;
-        self.min_ms = self.min_ms.min(ms);
-        self.max_ms = self.max_ms.max(ms);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    pub fn mean_ms(&self) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        self.sum_ms as f64 / self.total as f64
-    }
-
-    pub fn min_ms(&self) -> i64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min_ms
-        }
-    }
-
-    pub fn max_ms(&self) -> i64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.max_ms
-        }
-    }
-
-    /// Approximate percentile (`q` in [0, 1]) in milliseconds.
-    pub fn percentile_ms(&self, q: f64) -> i64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_lower_bound(i).clamp(self.min_ms, self.max_ms);
-            }
-        }
-        self.max_ms
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ms += other.sum_ms;
-        if other.total > 0 {
-            self.min_ms = self.min_ms.min(other.min_ms);
-            self.max_ms = self.max_ms.max(other.max_ms);
-        }
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Counts events over a measured time span to report a rate.
-#[derive(Debug, Clone, Default)]
-pub struct ThroughputMeter {
-    events: u64,
-    start_ms: Option<i64>,
-    end_ms: i64,
-}
-
-impl ThroughputMeter {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record `n` events occurring at time `now_ms`.
-    pub fn record(&mut self, n: u64, now_ms: i64) {
-        if self.start_ms.is_none() {
-            self.start_ms = Some(now_ms);
-        }
-        self.end_ms = self.end_ms.max(now_ms);
-        self.events += n;
-    }
-
-    pub fn events(&self) -> u64 {
-        self.events
-    }
-
-    /// Events per second over the observed span (0 if the span is empty).
-    pub fn rate_per_sec(&self) -> f64 {
-        match self.start_ms {
-            Some(start) if self.end_ms > start => {
-                self.events as f64 * 1000.0 / (self.end_ms - start) as f64
-            }
-            _ => 0.0,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_is_zeroed() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ms(), 0.0);
-        assert_eq!(h.percentile_ms(0.5), 0);
-        assert_eq!(h.min_ms(), 0);
-        assert_eq!(h.max_ms(), 0);
-    }
-
-    #[test]
-    fn single_value() {
-        let mut h = LatencyHistogram::new();
-        h.record(100);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.mean_ms(), 100.0);
-        assert_eq!(h.min_ms(), 100);
-        assert_eq!(h.max_ms(), 100);
-        let p50 = h.percentile_ms(0.5);
-        assert!((90..=110).contains(&p50), "p50={p50}");
-    }
-
-    #[test]
-    fn percentiles_are_ordered() {
-        let mut h = LatencyHistogram::new();
-        for i in 0..1000 {
-            h.record(i);
-        }
-        let p50 = h.percentile_ms(0.5);
-        let p90 = h.percentile_ms(0.9);
-        let p99 = h.percentile_ms(0.99);
-        assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
-        assert!((400..620).contains(&p50), "p50={p50}");
-        assert!((800..1010).contains(&p90), "p90={p90}");
-    }
-
-    #[test]
-    fn negative_latencies_clamped() {
-        let mut h = LatencyHistogram::new();
-        h.record(-5);
-        assert_eq!(h.min_ms(), 0);
-        assert_eq!(h.mean_ms(), 0.0);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(10);
-        b.record(1000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.min_ms(), 10);
-        assert_eq!(a.max_ms(), 1000);
-    }
-
-    #[test]
-    fn large_values_do_not_overflow_buckets() {
-        let mut h = LatencyHistogram::new();
-        h.record(i64::MAX / 2);
-        assert_eq!(h.count(), 1);
-    }
-
-    #[test]
-    fn throughput_meter_rate() {
-        let mut m = ThroughputMeter::new();
-        m.record(500, 0);
-        m.record(500, 1000);
-        assert_eq!(m.events(), 1000);
-        assert!((m.rate_per_sec() - 1000.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn throughput_meter_empty_span() {
-        let mut m = ThroughputMeter::new();
-        m.record(10, 5);
-        assert_eq!(m.rate_per_sec(), 0.0);
-        assert_eq!(m.events(), 10);
-    }
-}
+pub use kobs::hist::{LatencyHistogram, ThroughputMeter};

@@ -1,0 +1,175 @@
+//! Observability consistency across crash + restore: state restoration must
+//! show up as `restore_records` (matching the committed changelog length)
+//! and must NOT be double-counted as processing work, in both the
+//! per-instance `StreamsMetrics` and the global kobs registry.
+
+use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
+use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
+use simkit::ManualClock;
+use std::sync::{Arc, Mutex};
+
+/// The kobs registry is process-global; tests in this binary that reset and
+/// inspect it must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn counting_topology() -> Arc<kstreams::topology::Topology> {
+    let builder = StreamsBuilder::new();
+    builder
+        .stream::<String, String>("events")
+        .group_by_key()
+        .count("event-counts")
+        .to_stream()
+        .to("counts");
+    Arc::new(builder.build().unwrap())
+}
+
+fn eos_config() -> StreamsConfig {
+    StreamsConfig::new("obs-app").exactly_once().with_commit_interval_ms(10)
+}
+
+fn send_events(cluster: &Cluster, n: usize, ts0: i64) {
+    let mut p = Producer::new(cluster.clone(), ProducerConfig::default());
+    for i in 0..n {
+        p.send(
+            "events",
+            Some("key".to_string().to_bytes()),
+            Some(format!("e{i}").to_bytes()),
+            ts0 + i as i64,
+        )
+        .unwrap();
+    }
+    p.flush().unwrap();
+}
+
+/// Committed (read-committed, markers excluded) record count of a topic —
+/// exactly what a restoring task replays from a changelog.
+fn committed_len(cluster: &Cluster, topic: &str) -> u64 {
+    let mut consumer =
+        Consumer::new(cluster.clone(), "obs-verify", ConsumerConfig::default().read_committed());
+    consumer.assign(cluster.partitions_of(topic).unwrap()).unwrap();
+    let mut n = 0;
+    loop {
+        let batch = consumer.poll().unwrap();
+        if batch.is_empty() {
+            return n;
+        }
+        n += batch.len() as u64;
+    }
+}
+
+#[test]
+fn restore_counters_are_consistent_across_crash_and_restart() {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    kobs::reset();
+
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder().brokers(3).replication(3).clock(clock.shared()).build();
+    cluster.create_topic("events", TopicConfig::new(1)).unwrap();
+    cluster.create_topic("counts", TopicConfig::new(1)).unwrap();
+
+    // First incarnation: processes AND commits 5 records, then crashes.
+    send_events(&cluster, 5, 0);
+    let first_processed;
+    {
+        let mut app =
+            KafkaStreamsApp::new(cluster.clone(), counting_topology(), eos_config(), "instance-0");
+        app.start().unwrap();
+        for _ in 0..10 {
+            app.step().unwrap();
+            clock.advance(10);
+        }
+        let m = app.metrics();
+        first_processed = m.records_processed;
+        assert_eq!(m.records_processed, 5, "first incarnation processed the feed");
+        assert_eq!(m.restore_records, 0, "nothing to restore on a fresh changelog");
+        app.crash();
+    }
+    clock.advance(kbroker::group::SESSION_TIMEOUT_MS + 1);
+
+    // The committed changelog at restart time is exactly what the second
+    // incarnation must replay.
+    let changelog_len = committed_len(&cluster, "obs-app-event-counts-changelog");
+    assert_eq!(changelog_len, 5, "one committed changelog update per input record");
+
+    // Second incarnation: restores, then processes only the NEW records.
+    send_events(&cluster, 3, 100);
+    let mut app =
+        KafkaStreamsApp::new(cluster.clone(), counting_topology(), eos_config(), "instance-0");
+    app.start().unwrap();
+    for _ in 0..10 {
+        app.step().unwrap();
+        clock.advance(10);
+    }
+    let m = app.metrics();
+    assert_eq!(
+        m.restore_records, changelog_len,
+        "restore_records must equal the committed changelog replay length"
+    );
+    assert_eq!(
+        m.records_processed, 3,
+        "replayed changelog records must not be double-counted as processing"
+    );
+    assert_eq!(first_processed + m.records_processed, 8, "every input processed exactly once");
+    app.close().unwrap();
+
+    // The global registry tells the same story: the replay counter sums the
+    // restores of both incarnations (0 + 5), and no processing gauge ever
+    // included replayed records.
+    if kobs::ENABLED {
+        let snap = kobs::snapshot();
+        assert_eq!(
+            snap.counter("kstreams.restore.records_replayed"),
+            Some(changelog_len),
+            "registry replay counter matches the changelog length"
+        );
+        assert_eq!(
+            snap.counter("kstreams.restore.sessions"),
+            Some(1),
+            "exactly one non-empty restore session"
+        );
+        assert_eq!(
+            snap.gauge("kstreams.records_processed"),
+            Some(3),
+            "last published processing gauge excludes replayed records"
+        );
+        assert_eq!(snap.gauge("kstreams.restore_records"), Some(changelog_len as i64));
+    }
+}
+
+#[test]
+fn commit_cycles_reach_the_registry_histogram() {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    kobs::reset();
+
+    let clock = ManualClock::new();
+    let cluster = Cluster::builder()
+        .brokers(3)
+        .replication(3)
+        .clock(clock.shared())
+        .txn_marker_cost_ms(1.0)
+        .build();
+    cluster.create_topic("events", TopicConfig::new(2)).unwrap();
+    cluster.create_topic("counts", TopicConfig::new(2)).unwrap();
+    send_events(&cluster, 8, 0);
+
+    let mut app =
+        KafkaStreamsApp::new(cluster.clone(), counting_topology(), eos_config(), "instance-0");
+    app.start().unwrap();
+    for _ in 0..10 {
+        app.step().unwrap();
+        clock.advance(10);
+    }
+    app.close().unwrap();
+
+    if kobs::ENABLED {
+        let snap = kobs::snapshot();
+        let cycle = snap.hist("kstreams.commit_cycle_ms").expect("commit cycle histogram");
+        assert!(cycle.count >= 1, "at least one commit cycle observed");
+        let markers = snap.hist("kbroker.txn.phase.markers_ms").expect("marker phase histogram");
+        assert!(markers.count >= 1);
+        assert!(
+            markers.max_ms >= 1,
+            "marker fan-out must charge the virtual clock (cost 1 ms/partition)"
+        );
+    }
+}
