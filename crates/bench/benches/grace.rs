@@ -42,10 +42,10 @@ fn run_agg(records: &[FlowRecord], grace_ms: i64) -> (u64, u64) {
     let mut env = TaskEnv::new(0);
     env.stores.insert(
         "w".into(),
-        StoreEntry {
-            store: Store::new(StoreKind::Window),
-            spec: StoreSpec::new("w", StoreKind::Window).without_changelog(),
-        },
+        StoreEntry::new(
+            Store::new(StoreKind::Window),
+            StoreSpec::new("w", StoreKind::Window).without_changelog(),
+        ),
     );
     let mut queue = VecDeque::new();
     for rec in records {

@@ -275,7 +275,12 @@ impl KafkaStreamsApp {
             if self.tasks.contains_key(&id) {
                 continue; // sticky: keep state and positions
             }
-            let mut task = StreamTask::new(&self.topology, id, self.app_id())?;
+            let mut task = StreamTask::with_cache(
+                &self.topology,
+                id,
+                self.app_id(),
+                self.config.cache_max_entries,
+            )?;
             // Promote a warm standby if we host one: only the changelog
             // suffix written after the standby's positions replays (§3.3).
             if let Some(standby) = self.standbys.remove(&id) {
@@ -353,28 +358,7 @@ impl KafkaStreamsApp {
             processed +=
                 task.poll_and_process(&self.cluster, self.config.max_poll_records, isolation)?;
             task.punctuate(self.cluster.now_ms())?;
-            // Collect the cycle's writes.
-            let outputs = task.take_outputs();
-            let changelog = task.take_changelog();
-            if !outputs.is_empty() || !changelog.is_empty() {
-                self.begin_txn_if_needed()?;
-            }
-            let app_id = self.config.application_id.clone();
-            for out in outputs {
-                let topic = out.topic.resolve(&app_id);
-                self.producer.send(&topic, out.key, out.value, out.ts)?;
-            }
-            for (tp, key, value) in changelog {
-                self.producer.send_to_partition(
-                    &tp,
-                    klog::Record {
-                        key: Some(key),
-                        value,
-                        timestamp: self.cluster.now_ms(),
-                        headers: Vec::new(),
-                    },
-                )?;
-            }
+            self.send_task_writes(*id)?;
         }
         // Standby replicas tail their changelogs (pure replay; no output,
         // no commit, no effect on semantics).
@@ -415,10 +399,51 @@ impl KafkaStreamsApp {
         Ok(())
     }
 
+    /// Drain one task's buffered sink outputs and changelog appends into the
+    /// producer, opening a transaction first if anything is pending.
+    fn send_task_writes(&mut self, id: TaskId) -> Result<(), StreamsError> {
+        let task = self.tasks.get_mut(&id).expect("owned");
+        let outputs = task.take_outputs();
+        let changelog = task.take_changelog();
+        if outputs.is_empty() && changelog.is_empty() {
+            return Ok(());
+        }
+        self.begin_txn_if_needed()?;
+        let app_id = self.config.application_id.clone();
+        for out in outputs {
+            let topic = out.topic.resolve(&app_id);
+            self.producer.send(&topic, out.key, out.value, out.ts)?;
+        }
+        for (tp, key, value) in changelog {
+            self.producer.send_to_partition(
+                &tp,
+                klog::Record {
+                    key: Some(key),
+                    value,
+                    timestamp: self.cluster.now_ms(),
+                    headers: Vec::new(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
     /// Commit the current cycle: the read-process-write atomicity point
     /// (§4.2).
     pub fn commit(&mut self) -> Result<(), StreamsError> {
         let commit_start = self.cluster.now_ms();
+        // Write back record caches first: the flushed changelog appends,
+        // coalesced revisions, and any sink outputs they produce must enter
+        // the transaction *before* its offsets are sent, so they commit
+        // atomically with the inputs that produced them (§4.2 atomicity of
+        // the §6.2 caching layer).
+        let now_ms = self.cluster.now_ms();
+        let mut task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
+        task_ids.sort();
+        for id in &task_ids {
+            self.tasks.get_mut(id).expect("owned").flush_caches(now_ms)?;
+            self.send_task_writes(*id)?;
+        }
         let mut offsets: Vec<(TopicPartition, i64)> =
             self.tasks.values().flat_map(|t| t.committable_offsets()).collect();
         offsets.sort_by(|a, b| a.0.cmp(&b.0));
@@ -460,7 +485,16 @@ impl KafkaStreamsApp {
         // explains Figure 5's EOS latency shape.
         kobs::observe("kstreams.commit_cycle_ms", self.last_commit_ms - commit_start);
         kobs::count("kstreams.commit_cycles", 1);
-        self.metrics().publish();
+        let m = self.metrics();
+        // Changelog amplification: appends per 1000 inputs. 1000 with
+        // caching off and one store write per input; drops as the cache
+        // dedups repeated keys.
+        if let Some(per_1k) =
+            m.changelog_appends.saturating_mul(1000).checked_div(m.records_processed)
+        {
+            kobs::gauge_set("kstreams.changelog_appends_per_1k_inputs", per_1k as i64);
+        }
+        m.publish();
         Ok(())
     }
 

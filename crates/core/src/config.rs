@@ -35,6 +35,14 @@ pub struct StreamsConfig {
     /// Warm standby replicas per task hosted on other instances (§3.3's
     /// state-migration minimization; 0 disables).
     pub num_standby_replicas: usize,
+    /// Per-store write-back record cache capacity in dirty entries (§6.2's
+    /// output-suppression caching): repeated same-key store writes coalesce
+    /// and flush once per commit interval — one changelog append and one
+    /// downstream revision per key — instead of once per update. `0`
+    /// disables caching (every write flushes inline). Caching is a pure
+    /// performance transform: final store contents and final revisions are
+    /// identical either way, only intermediate revisions are consolidated.
+    pub cache_max_entries: usize,
     /// Verifier rules escalated from warnings to errors
     /// (`Topology::verify_with`); an app refuses to start while a denied
     /// rule fires (see `crate::analyze`).
@@ -50,6 +58,7 @@ impl StreamsConfig {
             max_poll_records: 512,
             producer_batch_size: 16,
             num_standby_replicas: 0,
+            cache_max_entries: 0,
             deny_rules: Vec::new(),
         }
     }
@@ -98,6 +107,13 @@ impl StreamsConfig {
         self.num_standby_replicas = n;
         self
     }
+
+    /// Bound each store's write-back record cache to `n` dirty entries
+    /// (`0` disables caching).
+    pub fn with_cache_max_entries(mut self, n: usize) -> Self {
+        self.cache_max_entries = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +125,13 @@ mod tests {
         let c = StreamsConfig::new("app");
         assert_eq!(c.guarantee, ProcessingGuarantee::AtLeastOnce);
         assert_eq!(c.commit_interval_ms, 100);
+        assert_eq!(c.cache_max_entries, 0, "record caching off unless configured");
+    }
+
+    #[test]
+    fn cache_knob_round_trips() {
+        let c = StreamsConfig::new("app").with_cache_max_entries(1024);
+        assert_eq!(c.cache_max_entries, 1024);
     }
 
     #[test]

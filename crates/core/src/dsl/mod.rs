@@ -1088,7 +1088,7 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
             ops::SuppressMode::TimeLimit { .. } => None,
         };
         let factory: ProcessorFactory =
-            Arc::new(move || Box::new(ops::Suppress { store: store_name.clone(), mode }));
+            Arc::new(move || Box::new(ops::Suppress::new(store_name.clone(), mode)));
         let node = b.add_processor(name, factory, &[self.node], vec![store]).expect("valid parent");
         b.tag_suppress(node, upstream_grace);
         KTable {

@@ -85,16 +85,12 @@ impl Processor for WindowAggregate {
             }
             let old = ctx.window_fetch(&self.store, &key, start);
             let new = (self.agg)(old.clone(), &value);
-            ctx.window_put(&self.store, key.clone(), start, new.clone());
             if old.is_some() {
                 ctx.metrics().revisions_emitted += 1;
             }
-            ctx.forward(FlowRecord {
-                key: Some(crate::state::Store::windowed_changelog_key(&key, start)),
-                old,
-                new,
-                ts: record.ts,
-            });
+            // Put + revision forward in one step, so the record cache can
+            // coalesce repeated updates of the same window (§6.2).
+            ctx.window_put_forward(&self.store, key.clone(), start, new, record.ts);
         }
         // GC windows whose grace elapsed.
         let horizon = stream_time
@@ -143,8 +139,9 @@ impl Processor for KvAggregate {
         if let Some(new) = &record.new {
             agg = (self.add)(agg, new);
         }
-        ctx.kv_put(&self.store, key.clone(), agg.clone());
-        ctx.forward(FlowRecord { key: Some(key), old: before, new: agg, ts: record.ts });
+        // Put + revision forward in one step (cache-coalescible, §6.2); the
+        // put's prior value is exactly `before`.
+        ctx.table_put(&self.store, key, agg, record.ts);
     }
 }
 
@@ -159,8 +156,7 @@ impl Processor for TableMaterialize {
     fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord) {
         let Some(key) = record.key.clone() else { return };
         ctx.observe_ts(record.ts);
-        let old = ctx.kv_put(&self.store, key.clone(), record.new.clone());
-        ctx.forward(FlowRecord { key: Some(key), old, new: record.new, ts: record.ts });
+        ctx.table_put(&self.store, key, record.new, record.ts);
     }
 }
 
@@ -228,7 +224,10 @@ impl Processor for SessionAggregate {
         // Sessions whose end fell behind gap + grace can no longer change.
         let horizon =
             stream_time.saturating_sub(self.windows.gap_ms).saturating_sub(self.windows.grace_ms);
-        ctx.session_expire(&self.store, horizon);
+        let evicted = ctx.session_expire(&self.store, horizon);
+        if !evicted.is_empty() {
+            kobs::count("kstreams.session.expired", evicted.len() as u64);
+        }
     }
 }
 
@@ -339,11 +338,12 @@ impl StreamStreamJoin {
         }
     }
 
-    /// How long my record can still be matched: until every other-side
-    /// record that could pair with it is certainly seen.
-    fn my_expiry(&self, ts: i64) -> i64 {
+    /// Buffered records with timestamp strictly below this horizon can no
+    /// longer be matched by any other-side record (their window reach plus
+    /// grace has fully elapsed), so their null padding is due.
+    fn pad_horizon(&self, stream_time: i64) -> i64 {
         let reach = if self.this_is_left { self.window.after_ms } else { self.window.before_ms };
-        ts.saturating_add(reach).saturating_add(self.window.grace_ms)
+        stream_time.saturating_sub(reach).saturating_sub(self.window.grace_ms)
     }
 }
 
@@ -398,16 +398,16 @@ impl Processor for StreamStreamJoin {
     fn punctuate(&mut self, ctx: &mut ProcessorContext<'_>, stream_time: i64, _wall: i64) {
         let Some(mp) = self.my_pending.clone() else { return };
         // Emit null-padded results for records whose match window (plus
-        // grace) has fully elapsed — the §5 hold-then-pad rule.
-        let entries = ctx.window_entries(&mp);
+        // grace) has fully elapsed — the §5 hold-then-pad rule. The scan is
+        // bounded to the flush horizon: live pending windows above it are
+        // never materialized.
+        let entries = ctx.window_entries_below(&mp, self.pad_horizon(stream_time));
         for (ts, key, packed) in entries {
-            if self.my_expiry(ts) < stream_time {
-                for val in decode_list(&packed).expect("buffer") {
-                    let joined = self.oriented(Some(&val), None);
-                    ctx.forward(FlowRecord { key: Some(key.clone()), old: None, new: joined, ts });
-                }
-                ctx.window_put(mp.as_str(), key, ts, None);
+            for val in decode_list(&packed).expect("buffer") {
+                let joined = self.oriented(Some(&val), None);
+                ctx.forward(FlowRecord { key: Some(key.clone()), old: None, new: joined, ts });
             }
+            ctx.window_put(mp.as_str(), key, ts, None);
         }
     }
 }
@@ -431,14 +431,64 @@ pub enum SuppressMode {
 /// Buffers intermediate revisions of an evolving table so "multiple
 /// revisions of the same key \[are\] consolidated as a single record" (§5).
 pub struct Suppress {
-    pub store: String,
-    pub mode: SuppressMode,
+    store: String,
+    mode: SuppressMode,
+    /// Due-time index over the buffered keys: `(due_ts, key)`. A flush scan
+    /// walks only the due prefix instead of the whole store. Rebuilt lazily
+    /// whenever it drifts from the store — e.g. after changelog restore
+    /// populated the store behind the operator's back.
+    due: std::collections::BTreeSet<(i64, Bytes)>,
+    /// Stream time as observed through *this operator's own input*, the
+    /// flush horizon for `punctuate`. Upstream record caches hold revisions
+    /// back until commit, so the task-wide stream time can run ahead of
+    /// what this buffer has actually absorbed; closing windows against it
+    /// would emit stale finals. Time observed from processed records cannot
+    /// run ahead of pending revisions: a revision due before `observed`
+    /// was either already absorbed or its source record was late-dropped.
+    observed: i64,
+}
+
+impl Suppress {
+    pub fn new(store: impl Into<String>, mode: SuppressMode) -> Self {
+        Self {
+            store: store.into(),
+            mode,
+            due: std::collections::BTreeSet::new(),
+            observed: i64::MIN,
+        }
+    }
+
+    /// Stream time at which the buffered entry for `key` becomes due.
+    /// Invariant per key: the windowed start never changes and `first_ts`
+    /// is fixed by the first buffered revision, so the due time computed on
+    /// insert stays valid for the entry's whole buffered life.
+    fn due_ts(&self, key: &Bytes, first_ts: i64) -> i64 {
+        match self.mode {
+            SuppressMode::WindowClose { window_size_ms, grace_ms } => {
+                match decode_windowed_key(key) {
+                    Ok((_, start)) => start.saturating_add(window_size_ms).saturating_add(grace_ms),
+                    Err(_) => i64::MIN, // non-windowed key: flush immediately
+                }
+            }
+            SuppressMode::TimeLimit { interval_ms } => first_ts.saturating_add(interval_ms),
+        }
+    }
+
+    /// Re-derive the due index from the store contents.
+    fn rebuild_index(&mut self, ctx: &mut ProcessorContext<'_>) {
+        self.due.clear();
+        for (key, buf) in ctx.kv_entries(&self.store) {
+            let (first_ts, _) = <(i64, Bytes)>::from_bytes(&buf).expect("suppress buffer");
+            self.due.insert((self.due_ts(&key, first_ts), key));
+        }
+    }
 }
 
 impl Processor for Suppress {
     fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord) {
         let Some(key) = record.key.clone() else { return };
         ctx.observe_ts(record.ts);
+        self.observed = self.observed.max(record.ts);
         let existing = ctx.kv_get(&self.store, &key);
         let first_ts = match &existing {
             Some(buf) => {
@@ -447,35 +497,40 @@ impl Processor for Suppress {
             }
             None => record.ts,
         };
+        if existing.is_none() {
+            self.due.insert((self.due_ts(&key, first_ts), key.clone()));
+        }
         let payload = crate::kserde::encode_change(&record.old, &record.new);
         let buf = (first_ts, payload).to_bytes();
         ctx.kv_put(&self.store, key, Some(buf));
     }
 
-    fn punctuate(&mut self, ctx: &mut ProcessorContext<'_>, stream_time: i64, _wall: i64) {
-        let entries = ctx.kv_entries(&self.store);
+    fn punctuate(&mut self, ctx: &mut ProcessorContext<'_>, _stream_time: i64, _wall: i64) {
+        let buffered = ctx.kv_len(&self.store);
+        if self.due.len() != buffered {
+            self.rebuild_index(ctx);
+        }
         // Occupancy before flushing: how many keys the buffer is holding
         // back (§6.2's consolidation working set).
-        kobs::gauge_set("kstreams.suppress.buffer_occupancy", entries.len() as i64);
-        kobs::gauge_max("kstreams.suppress.buffer_occupancy_peak", entries.len() as i64);
-        for (key, buf) in entries {
+        kobs::gauge_set("kstreams.suppress.buffer_occupancy", buffered as i64);
+        kobs::gauge_max("kstreams.suppress.buffer_occupancy_peak", buffered as i64);
+        // Flush against the operator-observed stream time, not the task's:
+        // see the `observed` field for why the two can differ under caching.
+        // Only the due prefix of the index is visited; live entries above
+        // the horizon are neither scanned nor cloned.
+        let upper = match self.observed.checked_add(1) {
+            Some(hi) => std::ops::Bound::Excluded((hi, Bytes::new())),
+            None => std::ops::Bound::Unbounded,
+        };
+        let due: Vec<(i64, Bytes)> =
+            self.due.range((std::ops::Bound::Unbounded, upper)).cloned().collect();
+        for (due_ts, key) in due {
+            self.due.remove(&(due_ts, key.clone()));
+            let Some(buf) = ctx.kv_get(&self.store, &key) else { continue };
             let (first_ts, payload) = <(i64, Bytes)>::from_bytes(&buf).expect("suppress buffer");
-            let flush = match self.mode {
-                SuppressMode::WindowClose { window_size_ms, grace_ms } => {
-                    match decode_windowed_key(&key) {
-                        Ok((_, start)) => start + window_size_ms + grace_ms <= stream_time,
-                        Err(_) => true, // non-windowed key: flush immediately
-                    }
-                }
-                SuppressMode::TimeLimit { interval_ms } => {
-                    first_ts.saturating_add(interval_ms) <= stream_time
-                }
-            };
-            if flush {
-                let (old, new) = crate::kserde::decode_change(&payload).expect("suppress buffer");
-                ctx.kv_put(&self.store, key.clone(), None);
-                ctx.forward(FlowRecord { key: Some(key), old, new, ts: first_ts });
-            }
+            let (old, new) = crate::kserde::decode_change(&payload).expect("suppress buffer");
+            ctx.kv_put(&self.store, key.clone(), None);
+            ctx.forward(FlowRecord { key: Some(key), old, new, ts: first_ts });
         }
     }
 }

@@ -59,6 +59,16 @@ streams_metrics! {
     standby_tasks,
     /// Changelog records applied by standby replicas.
     standby_records_applied,
+    /// Record-cache writes that coalesced into an existing dirty entry
+    /// (§6.2's output-suppression caching — the appends saved).
+    cache_hits,
+    /// Record-cache writes that created a new dirty entry.
+    cache_misses,
+    /// Dirty entries evicted mid-interval by the cache capacity bound.
+    cache_evictions,
+    /// Records appended to store changelog topics (post-cache, so the
+    /// dedup ratio is `records_processed / changelog_appends`).
+    changelog_appends,
 }
 
 impl StreamsMetrics {
@@ -91,12 +101,14 @@ mod tests {
         let m = StreamsMetrics {
             records_processed: 3,
             standby_records_applied: 9,
+            changelog_appends: 4,
             ..Default::default()
         };
         let fields: Vec<(&str, u64)> = m.fields().collect();
-        assert_eq!(fields.len(), 11, "field iterator must cover the whole struct");
+        assert_eq!(fields.len(), 15, "field iterator must cover the whole struct");
         assert_eq!(fields[0], ("kstreams.records_processed", 3));
         assert_eq!(fields[10], ("kstreams.standby_records_applied", 9));
+        assert_eq!(fields[14], ("kstreams.changelog_appends", 4));
         assert!(fields.iter().all(|(n, _)| n.starts_with("kstreams.")));
     }
 

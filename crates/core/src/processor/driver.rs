@@ -50,6 +50,37 @@ impl TaskEnv {
             partition,
         }
     }
+
+    /// Total dirty record-cache entries across this task's stores.
+    pub fn cache_dirty_entries(&self) -> usize {
+        self.stores.values().map(|e| e.cache.len()).sum()
+    }
+
+    /// Flush one store's record cache: every dirty entry becomes a changelog
+    /// append (when the store is changelogged), and entries registered for
+    /// forwarding are returned — in changelog-key order, so seed replays are
+    /// byte-identical regardless of write order — for the caller to route to
+    /// the owning node's children.
+    pub fn flush_cache(&mut self, store: &str) -> Vec<FlowRecord> {
+        let Some(entry) = self.stores.get_mut(store) else { return Vec::new() };
+        if entry.cache.is_empty() {
+            return Vec::new();
+        }
+        let changelogged = entry.spec.changelog;
+        let drained = entry.cache.drain_sorted();
+        kobs::count("kstreams.cache.flush_entries", drained.len() as u64);
+        let mut forwards = Vec::new();
+        for (key, e) in drained {
+            if changelogged {
+                self.metrics.changelog_appends += 1;
+                self.changelog.push((store.to_string(), key.clone(), e.new.clone()));
+            }
+            if e.forward {
+                forwards.push(FlowRecord { key: Some(key), old: e.old, new: e.new, ts: e.ts });
+            }
+        }
+        forwards
+    }
 }
 
 enum RuntimeKind {
@@ -69,6 +100,10 @@ pub struct SubTopologyDriver {
     nodes: Vec<RuntimeNode>,
     /// Logical source-topic name → local source node.
     sources: HashMap<String, usize>,
+    /// Every store of this sub-topology with the local node that owns it
+    /// (first declaring processor; `None` for stores no node declared).
+    /// Cache flushes forward through the owner's children.
+    store_owners: Vec<(Option<usize>, String)>,
     queue: VecDeque<(usize, FlowRecord)>,
 }
 
@@ -86,6 +121,7 @@ impl SubTopologyDriver {
         }
         let mut nodes = Vec::with_capacity(st.nodes.len());
         let mut sources = HashMap::new();
+        let mut store_owners: Vec<(Option<usize>, String)> = Vec::new();
         for (li, &gi) in st.nodes.iter().enumerate() {
             let node = &topology.nodes[gi];
             let children = node
@@ -105,14 +141,28 @@ impl SubTopologyDriver {
                     sources.insert(topic.name.clone(), li);
                     RuntimeKind::Source { mode: *mode }
                 }
-                NodeKind::Processor { factory, .. } => RuntimeKind::Proc(Some(factory())),
+                NodeKind::Processor { factory, stores } => {
+                    for s in stores {
+                        if !store_owners.iter().any(|(_, name)| name == s) {
+                            store_owners.push((Some(li), s.clone()));
+                        }
+                    }
+                    RuntimeKind::Proc(Some(factory()))
+                }
                 NodeKind::Sink { topic, mode } => {
                     RuntimeKind::Sink { topic: topic.clone(), mode: *mode }
                 }
             };
             nodes.push(RuntimeNode { kind, children });
         }
-        Ok(Self { nodes, sources, queue: VecDeque::new() })
+        // Stores attached to the sub-topology but declared by no node still
+        // need their caches flushed (changelog only, nothing to forward).
+        for s in &st.stores {
+            if !store_owners.iter().any(|(_, name)| name == s) {
+                store_owners.push((None, s.clone()));
+            }
+        }
+        Ok(Self { nodes, sources, store_owners, queue: VecDeque::new() })
     }
 
     /// Feed one input record from `topic` through the graph, running every
@@ -177,6 +227,40 @@ impl SubTopologyDriver {
             }
         }
         self.drain(env)
+    }
+
+    /// Flush every store's record cache through the operator graph (the
+    /// commit-time write-back): dirty entries become changelog appends, and
+    /// revisions registered for forwarding travel to the owning node's
+    /// children like any processed record. A flushed revision may dirty a
+    /// *downstream* store's cache (e.g. a suppress buffer absorbing it), so
+    /// passes repeat until the graph is clean — bounded by graph depth,
+    /// because forwards only flow down the DAG.
+    pub fn flush_caches(&mut self, env: &mut TaskEnv) -> Result<(), StreamsError> {
+        for _ in 0..=self.nodes.len() {
+            let mut forwarded = false;
+            for oi in 0..self.store_owners.len() {
+                let (owner, store) = self.store_owners[oi].clone();
+                let records = env.flush_cache(&store);
+                if records.is_empty() {
+                    continue;
+                }
+                let Some(owner) = owner else { continue };
+                forwarded = true;
+                for record in records {
+                    for &c in &self.nodes[owner].children {
+                        self.queue.push_back((c, record.clone()));
+                    }
+                }
+            }
+            if !forwarded {
+                return Ok(());
+            }
+            self.drain(env)?;
+        }
+        // A DAG hands dirtiness strictly downstream, so depth-many passes
+        // always suffice; running out means the graph is not a DAG.
+        Err(StreamsError::InvalidOperation("record-cache flush did not converge".into()))
     }
 
     fn drain(&mut self, env: &mut TaskEnv) -> Result<(), StreamsError> {
@@ -258,7 +342,7 @@ mod tests {
         let mut env = TaskEnv::new(0);
         env.stores.insert(
             name.to_string(),
-            StoreEntry { store: Store::new(kind), spec: StoreSpec::new(name, kind) },
+            StoreEntry::new(Store::new(kind), StoreSpec::new(name, kind)),
         );
         env
     }

@@ -12,7 +12,7 @@ pub mod driver;
 pub use driver::{SinkOutput, SubTopologyDriver, TaskEnv};
 
 use crate::record::FlowRecord;
-use crate::state::{Store, StoreSpec};
+use crate::state::{RecordCache, Store, StoreSpec};
 use bytes::Bytes;
 
 /// A stream processor: receives one record at a time, may read/write stores
@@ -31,6 +31,24 @@ pub trait Processor {
 pub struct StoreEntry {
     pub store: Store,
     pub spec: StoreSpec,
+    /// Write-back cache fronting this store's changelog appends and deferred
+    /// downstream revisions (capacity 0 = caching off, every write flushes
+    /// inline). The store itself stays write-through; only the log-shaped
+    /// side effects are buffered here until commit.
+    pub cache: RecordCache,
+}
+
+impl StoreEntry {
+    /// Entry with caching disabled.
+    pub fn new(store: Store, spec: StoreSpec) -> Self {
+        Self::with_cache(store, spec, 0)
+    }
+
+    /// Entry buffering up to `cache_max_entries` dirty entries between
+    /// commits.
+    pub fn with_cache(store: Store, spec: StoreSpec, cache_max_entries: usize) -> Self {
+        Self { store, spec, cache: RecordCache::new(cache_max_entries) }
+    }
 }
 
 /// The context a processor sees while handling one record.
@@ -88,9 +106,12 @@ impl<'a> ProcessorContext<'a> {
     }
 
     // ---------------------------------------------------------------
-    // Store access. Every mutation is mirrored into the changelog buffer
-    // (drained by the task into the store's changelog topic) when the
-    // store is changelogged.
+    // Store access. Every mutation's log-shaped side effects — the
+    // changelog append (drained by the task into the store's changelog
+    // topic) and, for the `*_put_forward` variants, the downstream
+    // revision — route through the store's write-back record cache when
+    // one is enabled, and are emitted inline otherwise. The store itself
+    // is always written through, so reads never consult the cache.
     // ---------------------------------------------------------------
 
     fn entry(&mut self, store: &str) -> &mut StoreEntry {
@@ -100,9 +121,57 @@ impl<'a> ProcessorContext<'a> {
             .unwrap_or_else(|| panic!("processor accessed undeclared store {store}"))
     }
 
-    fn log_change(&mut self, store: &str, key: Bytes, value: Option<Bytes>) {
-        if self.env.stores[store].spec.changelog {
-            self.env.changelog.push((store.to_string(), key, value));
+    /// Record one write's side effects. `changelog_key` is the store-shape
+    /// composite key (also the forwarded record key); `old` is the store
+    /// value before this write and becomes the revision's retraction half
+    /// when `forward` is set.
+    ///
+    /// With a cache enabled the write coalesces into a dirty entry that the
+    /// task flushes at commit; an entry evicted by the capacity bound is
+    /// flushed here, through the current node — safe because revisions are
+    /// only registered by the single operator that owns the store.
+    fn record_write(
+        &mut self,
+        store: &str,
+        changelog_key: Bytes,
+        value: Option<Bytes>,
+        old: Option<Bytes>,
+        ts: i64,
+        forward: bool,
+    ) {
+        let entry = self.entry(store);
+        let changelogged = entry.spec.changelog;
+        if !changelogged && !forward {
+            return;
+        }
+        if !entry.cache.enabled() {
+            if changelogged {
+                self.env.metrics.changelog_appends += 1;
+                self.env.changelog.push((store.to_string(), changelog_key.clone(), value.clone()));
+            }
+            if forward {
+                self.forward(FlowRecord { key: Some(changelog_key), old, new: value, ts });
+            }
+            return;
+        }
+        let outcome = entry.cache.put(changelog_key, old, value, ts, forward);
+        if outcome.hit {
+            self.env.metrics.cache_hits += 1;
+            kobs::count("kstreams.cache.hits", 1);
+        } else {
+            self.env.metrics.cache_misses += 1;
+            kobs::count("kstreams.cache.misses", 1);
+        }
+        if let Some((key, e)) = outcome.evicted {
+            self.env.metrics.cache_evictions += 1;
+            kobs::count("kstreams.cache.evictions", 1);
+            if changelogged {
+                self.env.metrics.changelog_appends += 1;
+                self.env.changelog.push((store.to_string(), key.clone(), e.new.clone()));
+            }
+            if e.forward {
+                self.forward(FlowRecord { key: Some(key), old: e.old, new: e.new, ts: e.ts });
+            }
         }
     }
 
@@ -114,8 +183,30 @@ impl<'a> ProcessorContext<'a> {
     /// Key/value put (None deletes); returns the prior value.
     pub fn kv_put(&mut self, store: &str, key: Bytes, value: Option<Bytes>) -> Option<Bytes> {
         let old = self.entry(store).store.as_kv().put(key.clone(), value.clone());
-        self.log_change(store, key, value);
+        let ts = self.env.stream_time;
+        self.record_write(store, key, value, None, ts, false);
         old
+    }
+
+    /// Key/value put that also emits the table revision `old → new`
+    /// downstream — deferred and coalesced through the record cache when one
+    /// is enabled, so N same-key updates per commit emit one revision whose
+    /// `old` is the value before the first of them. Returns the prior value.
+    pub fn table_put(
+        &mut self,
+        store: &str,
+        key: Bytes,
+        value: Option<Bytes>,
+        ts: i64,
+    ) -> Option<Bytes> {
+        let old = self.entry(store).store.as_kv().put(key.clone(), value.clone());
+        self.record_write(store, key, value, old.clone(), ts, true);
+        old
+    }
+
+    /// Number of entries in a KV store (suppress occupancy, index checks).
+    pub fn kv_len(&mut self, store: &str) -> usize {
+        self.entry(store).store.as_kv().len()
     }
 
     /// Ordered scan of a KV store over `[from, to)` (interactive queries,
@@ -149,7 +240,26 @@ impl<'a> ProcessorContext<'a> {
         value: Option<Bytes>,
     ) -> Option<Bytes> {
         let old = self.entry(store).store.as_window().put(key.clone(), window_start, value.clone());
-        self.log_change(store, Store::windowed_changelog_key(&key, window_start), value);
+        let ck = Store::windowed_changelog_key(&key, window_start);
+        let ts = self.env.stream_time;
+        self.record_write(store, ck, value, None, ts, false);
+        old
+    }
+
+    /// Windowed put that also emits the window's revision downstream (keyed
+    /// by the windowed changelog key), coalesced through the record cache
+    /// when one is enabled. Returns the prior value.
+    pub fn window_put_forward(
+        &mut self,
+        store: &str,
+        key: Bytes,
+        window_start: i64,
+        value: Option<Bytes>,
+        ts: i64,
+    ) -> Option<Bytes> {
+        let old = self.entry(store).store.as_window().put(key.clone(), window_start, value.clone());
+        let ck = Store::windowed_changelog_key(&key, window_start);
+        self.record_write(store, ck, value, old.clone(), ts, true);
         old
     }
 
@@ -172,12 +282,26 @@ impl<'a> ProcessorContext<'a> {
         self.entry(store).store.as_window().expire_before(before)
     }
 
-    /// Iterate all windowed entries (suppress flush scans).
+    /// Iterate all windowed entries (interactive queries; flush scans should
+    /// use [`window_entries_below`](Self::window_entries_below) instead so
+    /// they don't materialize live windows).
     pub fn window_entries(&mut self, store: &str) -> Vec<(i64, Bytes, Bytes)> {
         self.entry(store)
             .store
             .as_window()
             .iter()
+            .map(|(s, k, v)| (s, k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Windowed entries with window start `< before`, in window order — the
+    /// bounded flush scan: only windows at-or-below the flush horizon are
+    /// cloned, not the whole store.
+    pub fn window_entries_below(&mut self, store: &str, before: i64) -> Vec<(i64, Bytes, Bytes)> {
+        self.entry(store)
+            .store
+            .as_window()
+            .iter_below(before)
             .map(|(s, k, v)| (s, k.clone(), v.clone()))
             .collect()
     }
@@ -196,22 +320,28 @@ impl<'a> ProcessorContext<'a> {
     /// Store a session.
     pub fn session_put(&mut self, store: &str, key: Bytes, start: i64, end: i64, value: Bytes) {
         self.entry(store).store.as_session().put(key.clone(), start, end, value.clone());
-        self.log_change(
-            store,
-            crate::state::session::encode_session_key(&key, start, end),
-            Some(value),
-        );
+        let ck = crate::state::session::encode_session_key(&key, start, end);
+        let ts = self.env.stream_time;
+        self.record_write(store, ck, Some(value), None, ts, false);
     }
 
     /// Remove a session.
     pub fn session_remove(&mut self, store: &str, key: &[u8], start: i64, end: i64) {
         self.entry(store).store.as_session().remove(key, start, end);
-        self.log_change(store, crate::state::session::encode_session_key(key, start, end), None);
+        let ck = crate::state::session::encode_session_key(key, start, end);
+        let ts = self.env.stream_time;
+        self.record_write(store, ck, None, None, ts, false);
     }
 
     /// Expire sessions ended before `horizon` (grace GC; not changelogged,
-    /// same rationale as [`window_expire`](Self::window_expire)).
-    pub fn session_expire(&mut self, store: &str, horizon: i64) {
-        self.entry(store).store.as_session().expire_before(horizon);
+    /// same rationale as [`window_expire`](Self::window_expire)). Returns
+    /// the evicted `(key, entry)` pairs, mirroring `window_expire` — callers
+    /// that emit final results or metrics on eviction get to observe them.
+    pub fn session_expire(
+        &mut self,
+        store: &str,
+        horizon: i64,
+    ) -> Vec<(Bytes, crate::state::session::SessionEntry)> {
+        self.entry(store).store.as_session().expire_before(horizon)
     }
 }

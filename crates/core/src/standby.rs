@@ -44,10 +44,7 @@ impl StandbyTask {
             if !spec.changelog {
                 continue; // nothing to tail — the store cannot be replicated
             }
-            stores.insert(
-                store_name.clone(),
-                StoreEntry { store: Store::new(spec.kind), spec: spec.clone() },
-            );
+            stores.insert(store_name.clone(), StoreEntry::new(Store::new(spec.kind), spec.clone()));
             let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
             positions.insert(store_name.clone(), (TopicPartition::new(topic, id.partition), 0));
         }

@@ -12,10 +12,12 @@
 //!   stream-time-driven expiry implementing the grace period (§5),
 //! * [`session::SessionStore`] — variable-length session windows per key.
 
+pub mod cache;
 pub mod kv;
 pub mod session;
 pub mod window;
 
+pub use cache::{DirtyEntry, PutOutcome, RecordCache};
 pub use kv::KvStore;
 pub use session::SessionStore;
 pub use window::WindowStore;

@@ -62,6 +62,13 @@ impl WindowStore {
         self.map.iter().map(|((start, k), v)| (*start, k, v))
     }
 
+    /// Iterate only entries with window start `< before`, in window order —
+    /// the bounded variant of [`iter`](Self::iter) for flush scans that must
+    /// not touch live windows above the horizon.
+    pub fn iter_below(&self, before: i64) -> impl Iterator<Item = (i64, &Bytes, &Bytes)> {
+        self.map.range(..(before, Bytes::new())).map(|((start, k), v)| (*start, k, v))
+    }
+
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -142,6 +149,17 @@ mod tests {
         s.put(b("k"), 0, Some(b("v")));
         s.put(b("k"), 0, None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_below_is_bounded() {
+        let mut s = WindowStore::new();
+        s.put(b("k"), 0, Some(b("a")));
+        s.put(b("k"), 5000, Some(b("b")));
+        s.put(b("k"), 10_000, Some(b("c")));
+        let got: Vec<i64> = s.iter_below(5000).map(|(start, _, _)| start).collect();
+        assert_eq!(got, vec![0], "only windows strictly below the horizon");
+        assert_eq!(s.len(), 3, "iteration does not remove");
     }
 
     #[test]

@@ -53,11 +53,25 @@ pub struct StreamTask {
     /// Stores restored from a *source topic* instead of a changelog (§3.3
     /// optimization): store → source partition.
     source_restore_tps: HashMap<String, TopicPartition>,
+    /// Configured per-store record-cache capacity (0 = caching off).
+    cache_max_entries: usize,
 }
 
 impl StreamTask {
-    /// Instantiate the task's operator graph and empty stores.
+    /// Instantiate the task's operator graph and empty stores, with record
+    /// caching disabled.
     pub fn new(topology: &Topology, id: TaskId, app_id: &str) -> Result<Self, StreamsError> {
+        Self::with_cache(topology, id, app_id, 0)
+    }
+
+    /// Instantiate with each store fronted by a write-back record cache of
+    /// up to `cache_max_entries` dirty entries (0 = off).
+    pub fn with_cache(
+        topology: &Topology,
+        id: TaskId,
+        app_id: &str,
+        cache_max_entries: usize,
+    ) -> Result<Self, StreamsError> {
         let st = topology
             .subtopologies
             .get(id.subtopology)
@@ -70,7 +84,7 @@ impl StreamTask {
             let (spec, _) = &topology.stores[store_name];
             env.stores.insert(
                 store_name.clone(),
-                StoreEntry { store: Store::new(spec.kind), spec: spec.clone() },
+                StoreEntry::with_cache(Store::new(spec.kind), spec.clone(), cache_max_entries),
             );
             if spec.changelog {
                 let topic = format!("{app_id}-{}", Topology::changelog_topic(store_name));
@@ -99,6 +113,7 @@ impl StreamTask {
             changelog_tps,
             restore_from: HashMap::new(),
             source_restore_tps,
+            cache_max_entries,
         })
     }
 
@@ -110,8 +125,11 @@ impl StreamTask {
         stores: HashMap<String, StoreEntry>,
         positions: HashMap<String, (TopicPartition, i64)>,
     ) {
-        for (name, entry) in stores {
+        for (name, mut entry) in stores {
             if self.env.stores.contains_key(&name) {
+                // Standby replicas apply changelogs directly and never cache;
+                // re-arm the cache at this task's configured capacity.
+                entry.cache = crate::state::RecordCache::new(self.cache_max_entries);
                 self.env.stores.insert(name, entry);
             }
         }
@@ -288,6 +306,29 @@ impl StreamTask {
     /// Run time-driven operators (suppress flushes, join padding, GC).
     pub fn punctuate(&mut self, wall_time: i64) -> Result<(), StreamsError> {
         self.driver.punctuate(&mut self.env, wall_time)
+    }
+
+    /// Write back every store's record cache (the commit-time flush): dirty
+    /// entries become changelog appends and coalesced downstream revisions,
+    /// which may in turn produce sink outputs. Must run — and its outputs
+    /// must be sent — *before* the transaction's offsets, so the flushed
+    /// writes commit atomically with the inputs that produced them.
+    ///
+    /// Flushed revisions can make time-driven output due *within this
+    /// commit* (a suppress buffer absorbing the revision that closes a
+    /// window), so a punctuation pass runs after the flush — and the
+    /// store writes punctuation performs (buffer removals, GC) are flushed
+    /// again so their changelog appends ride the same transaction.
+    pub fn flush_caches(&mut self, wall_time: i64) -> Result<(), StreamsError> {
+        let dirty = self.env.cache_dirty_entries();
+        if dirty == 0 {
+            return Ok(());
+        }
+        kobs::gauge_set("kstreams.cache.dirty_entries", dirty as i64);
+        kobs::gauge_max("kstreams.cache.dirty_entries_peak", dirty as i64);
+        self.driver.flush_caches(&mut self.env)?;
+        self.driver.punctuate(&mut self.env, wall_time)?;
+        self.driver.flush_caches(&mut self.env)
     }
 
     /// Drain this cycle's sink outputs.

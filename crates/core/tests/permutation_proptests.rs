@@ -9,13 +9,15 @@ use bytes::Bytes;
 use kstreams::dsl::ops::{Suppress, SuppressMode, WindowAggregate};
 use kstreams::dsl::windows::TimeWindows;
 use kstreams::kserde::{decode_windowed_key, KSerde};
-use kstreams::processor::driver::TaskEnv;
+use kstreams::processor::driver::{SubTopologyDriver, TaskEnv};
 use kstreams::processor::{Processor, ProcessorContext, StoreEntry};
 use kstreams::record::FlowRecord;
 use kstreams::state::{Store, StoreKind, StoreSpec};
+use kstreams::topology::builder::InternalBuilder;
+use kstreams::topology::node::{TopicRef, ValueMode};
 use proptest::prelude::*;
 use simkit::DetRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A single dummy child node id: `ProcessorContext::forward` only enqueues
@@ -43,7 +45,7 @@ fn env_with(stores: &[(&str, StoreKind)]) -> TaskEnv {
     for (name, kind) in stores {
         env.stores.insert(
             (*name).to_string(),
-            StoreEntry { store: Store::new(*kind), spec: StoreSpec::new(*name, *kind) },
+            StoreEntry::new(Store::new(*kind), StoreSpec::new(*name, *kind)),
         );
     }
     env
@@ -96,7 +98,125 @@ fn run_window_aggregate(
     (env, forwarded, finals)
 }
 
+/// Outcome of one windowed-count pipeline run at a given cache capacity.
+struct CacheRun {
+    /// Window-store contents after the final flush.
+    store_dump: Vec<(i64, Bytes, Bytes)>,
+    /// A fresh store rebuilt from the captured changelog (what restore
+    /// would produce).
+    replayed_dump: Vec<(i64, Bytes, Bytes)>,
+    /// Last sink value per windowed key — the final revision downstream
+    /// consumers settle on.
+    final_outputs: BTreeMap<Bytes, Bytes>,
+    changelog_appends: u64,
+}
+
+/// Drive `events` through source → windowed count → sink with a record
+/// cache of `cache` entries on the store, flushing (as a commit would)
+/// every `commit_every` records and once at the end.
+fn run_cached_pipeline(events: &[(u8, i64)], commit_every: usize, cache: usize) -> CacheRun {
+    let mut b = InternalBuilder::new();
+    let src = b.add_source("s".into(), TopicRef::external("in"), ValueMode::Plain).unwrap();
+    b.add_store(StoreSpec::new("w", StoreKind::Window)).unwrap();
+    let p = b
+        .add_processor(
+            "agg".into(),
+            Arc::new(move || {
+                let windows = TimeWindows::of(WINDOW_MS).grace(GRACE_MS);
+                Box::new(WindowAggregate { store: "w".into(), windows, agg: count_agg() })
+            }),
+            &[src],
+            vec!["w".into()],
+        )
+        .unwrap();
+    b.add_sink("k".into(), TopicRef::external("out"), ValueMode::Plain, &[p]).unwrap();
+    let t = b.build().unwrap();
+    let mut driver = SubTopologyDriver::new(&t, 0).unwrap();
+    let mut env = TaskEnv::new(0);
+    env.stores.insert(
+        "w".into(),
+        StoreEntry::with_cache(
+            Store::new(StoreKind::Window),
+            StoreSpec::new("w", StoreKind::Window),
+            cache,
+        ),
+    );
+    for (i, (k, ts)) in events.iter().enumerate() {
+        driver
+            .process(
+                &mut env,
+                "in",
+                Some(Bytes::from(vec![*k])),
+                Some(Bytes::from_static(b"v")),
+                *ts,
+            )
+            .unwrap();
+        if (i + 1) % commit_every == 0 {
+            driver.flush_caches(&mut env).unwrap();
+        }
+    }
+    driver.flush_caches(&mut env).unwrap();
+
+    let store_dump = match &env.stores["w"].store {
+        Store::Window(s) => s.iter().map(|(st, k, v)| (st, k.clone(), v.clone())).collect(),
+        _ => unreachable!(),
+    };
+    let mut replayed = Store::new(StoreKind::Window);
+    for (_, key, value) in &env.changelog {
+        replayed.apply_changelog(key, value.clone());
+    }
+    let replayed_dump = match &replayed {
+        Store::Window(s) => s.iter().map(|(st, k, v)| (st, k.clone(), v.clone())).collect(),
+        _ => unreachable!(),
+    };
+    let final_outputs =
+        env.outputs.iter().filter_map(|o| Some((o.key.clone()?, o.value.clone()?))).collect();
+    CacheRun {
+        store_dump,
+        replayed_dump,
+        final_outputs,
+        changelog_appends: env.metrics.changelog_appends,
+    }
+}
+
 proptest! {
+    /// Caching is a pure performance transform: for ANY input permutation,
+    /// ANY commit cadence, and cache capacity off / pathological / ample,
+    /// the final store contents, the changelog-restored store, and the
+    /// final downstream revision per key are byte-identical — while the
+    /// changelog append count only ever shrinks.
+    #[test]
+    fn cache_size_is_invisible_in_final_revisions(
+        events in arb_events(),
+        perm_seed in any::<u64>(),
+        commit_every in 1usize..20,
+    ) {
+        let mut events = events;
+        permute(&mut events, perm_seed);
+        let base = run_cached_pipeline(&events, commit_every, 0);
+        prop_assert_eq!(
+            &base.store_dump, &base.replayed_dump,
+            "uncached changelog restore must rebuild the store exactly"
+        );
+        for cache in [1usize, 1024] {
+            let cached = run_cached_pipeline(&events, commit_every, cache);
+            prop_assert_eq!(&base.store_dump, &cached.store_dump, "store (cache={})", cache);
+            prop_assert_eq!(
+                &cached.store_dump, &cached.replayed_dump,
+                "cached changelog restore must rebuild the store exactly (cache={})", cache
+            );
+            prop_assert_eq!(
+                &base.final_outputs, &cached.final_outputs,
+                "final downstream revisions (cache={})", cache
+            );
+            prop_assert!(
+                cached.changelog_appends <= base.changelog_appends,
+                "caching may only reduce changelog appends: cache={} appends={} uncached={}",
+                cache, cached.changelog_appends, base.changelog_appends
+            );
+        }
+    }
+
     /// Grace-period revision processing: for ANY arrival permutation, the
     /// last revision emitted per (key, window) equals the batch count —
     /// out-of-order records revise rather than corrupt (§5, Figure 6).
@@ -146,10 +266,10 @@ proptest! {
 
         let windows = TimeWindows::of(WINDOW_MS).grace(GRACE_MS);
         let mut agg = WindowAggregate { store: "w".into(), windows, agg: count_agg() };
-        let mut suppress = Suppress {
-            store: "buf".into(),
-            mode: SuppressMode::WindowClose { window_size_ms: WINDOW_MS, grace_ms: GRACE_MS },
-        };
+        let mut suppress = Suppress::new(
+            "buf",
+            SuppressMode::WindowClose { window_size_ms: WINDOW_MS, grace_ms: GRACE_MS },
+        );
         let mut env = env_with(&[("w", StoreKind::Window), ("buf", StoreKind::KeyValue)]);
 
         for (k, ts) in &events {
@@ -171,9 +291,26 @@ proptest! {
             prop_assert!(queue.is_empty(), "suppress leaked an early revision");
         }
 
-        // Advance stream time far enough to close every window, then flush.
+        // Close every data window: a closer record (key 255, outside the
+        // data key range) with a far-future timestamp pushes the suppress
+        // operator's observed stream time past `end + grace` everywhere.
+        // Its own revision stays buffered (its window never closes) and is
+        // excluded from the comparison below.
         let close_all = SPAN_MS + WINDOW_MS + GRACE_MS;
         let mut queue = VecDeque::new();
+        {
+            let closer = FlowRecord::stream(
+                Some(Bytes::from(vec![255u8])),
+                Some(Bytes::from_static(b"v")),
+                close_all,
+            );
+            let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+            agg.process(&mut ctx, closer);
+        }
+        for (_, revision) in std::mem::take(&mut queue) {
+            let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
+            suppress.process(&mut ctx, revision);
+        }
         let mut ctx = ProcessorContext::new(CHILD, &mut queue, &mut env);
         suppress.punctuate(&mut ctx, close_all, 0);
 

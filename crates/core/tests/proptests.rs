@@ -25,10 +25,7 @@ fn window_env() -> TaskEnv {
     let mut env = TaskEnv::new(0);
     env.stores.insert(
         "w".into(),
-        StoreEntry {
-            store: Store::new(StoreKind::Window),
-            spec: StoreSpec::new("w", StoreKind::Window),
-        },
+        StoreEntry::new(Store::new(StoreKind::Window), StoreSpec::new("w", StoreKind::Window)),
     );
     env
 }
@@ -37,10 +34,7 @@ fn kv_env() -> TaskEnv {
     let mut env = TaskEnv::new(0);
     env.stores.insert(
         "s".into(),
-        StoreEntry {
-            store: Store::new(StoreKind::KeyValue),
-            spec: StoreSpec::new("s", StoreKind::KeyValue),
-        },
+        StoreEntry::new(Store::new(StoreKind::KeyValue), StoreSpec::new("s", StoreKind::KeyValue)),
     );
     env
 }

@@ -619,6 +619,80 @@ mod tests {
     }
 
     #[test]
+    fn abort_with_unsent_buffer_then_new_transaction_is_clean() {
+        // Abort while records sit in the client buffer, partly flushed:
+        // batch 1 reached the broker (sequence advanced), batch 2 never
+        // left the client. The abort must discard the unsent buffer
+        // *without* rolling client sequences back — they track what the
+        // broker's producer-state saw, which includes the flushed (now
+        // aborted) batch — so the next transaction neither trips
+        // OutOfOrderSequence nor gets falsely deduplicated.
+        let c = cluster_with(FaultPlan::none());
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
+        p.init_transactions().unwrap();
+        p.begin_transaction().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"flushed")), 0)
+            .unwrap();
+        p.flush().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"buffered")), 1)
+            .unwrap();
+        p.abort_transaction().unwrap();
+
+        p.begin_transaction().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"next")), 2).unwrap();
+        p.commit_transaction().unwrap();
+
+        let f =
+            c.fetch(&TopicPartition::new("t", 0), 0, 100, IsolationLevel::ReadCommitted).unwrap();
+        let values: Vec<&[u8]> = f.records().map(|(_, r)| r.value.as_deref().unwrap()).collect();
+        assert_eq!(
+            values,
+            vec![b"next".as_slice()],
+            "committed view: the aborted flushed batch is hidden, the buffered one was never \
+             appended, the new transaction's record is present exactly once"
+        );
+        assert_eq!(
+            p.stats().duplicates_acked,
+            0,
+            "the post-abort batch must not be mistaken for a retry of the aborted one"
+        );
+    }
+
+    #[test]
+    fn scripted_ack_loss_then_abort_keeps_next_transaction_exactly_once() {
+        // Script: the first produce ack is lost (the broker appended batch
+        // 1 but the client retried it — duplicate-acked). The transaction
+        // is then aborted with another record still buffered. The producer
+        // state at the broker now holds sequences for an aborted batch; the
+        // next transaction must continue the sequence from there.
+        let faults =
+            FaultPlan::none().script(FaultPoint::ProduceAckLost, 1, FaultDecision::DropAck);
+        let c = cluster_with(faults);
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        let mut p = Producer::new(c.clone(), ProducerConfig::transactional("app"));
+        p.init_transactions().unwrap();
+        p.begin_transaction().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"lost-ack")), 0)
+            .unwrap();
+        p.flush().unwrap();
+        assert_eq!(p.stats().duplicates_acked, 1, "the retry was deduplicated by the broker");
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"buffered")), 1)
+            .unwrap();
+        p.abort_transaction().unwrap();
+
+        p.begin_transaction().unwrap();
+        p.send("t", Some(Bytes::from_static(b"k")), Some(Bytes::from_static(b"next")), 2).unwrap();
+        p.commit_transaction().unwrap();
+
+        let f =
+            c.fetch(&TopicPartition::new("t", 0), 0, 100, IsolationLevel::ReadCommitted).unwrap();
+        let values: Vec<&[u8]> = f.records().map(|(_, r)| r.value.as_deref().unwrap()).collect();
+        assert_eq!(values, vec![b"next".as_slice()]);
+        assert_eq!(p.stats().duplicates_acked, 1, "no false dedup after the abort");
+    }
+
+    #[test]
     fn zombie_producer_fenced_after_new_incarnation() {
         let c = cluster_with(FaultPlan::none());
         c.create_topic("t", TopicConfig::new(1)).unwrap();

@@ -22,19 +22,27 @@ struct Args {
     seeds: Vec<u64>,
     steps: Option<u64>,
     profile: Option<Profile>,
+    cache: Option<usize>,
     obs: bool,
     json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--profile [count|windowed|suppressed]] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--profile [count|windowed|suppressed]] [--json]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seeds: Vec::new(), steps: None, profile: None, obs: false, json: false };
+    let mut args = Args {
+        seeds: Vec::new(),
+        steps: None,
+        profile: None,
+        cache: None,
+        obs: false,
+        json: false,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -55,6 +63,14 @@ fn parse_args() -> Args {
                 },
                 _ => args.obs = true,
             },
+            "--cache" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                match value.parse() {
+                    Ok(n) => args.cache = Some(n),
+                    Err(_) => usage(),
+                }
+            }
             "--seed" | "--sweep" | "--steps" => {
                 let Some(value) = argv.get(i) else { usage() };
                 i += 1;
@@ -96,6 +112,9 @@ fn main() -> ExitCode {
         }
         if let Some(profile) = args.profile {
             cfg = cfg.with_profile(profile);
+        }
+        if let Some(cache) = args.cache {
+            cfg = cfg.with_cache(cache);
         }
         if args.obs {
             cfg = cfg.with_obs_profile();

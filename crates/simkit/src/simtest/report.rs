@@ -22,6 +22,8 @@ pub struct SimReport {
     pub steps: u64,
     /// Profile name; suffixed with `!` when forced via `--profile`.
     pub profile: String,
+    /// Record-cache capacity per store (`--cache`); 0 means caching off.
+    pub cache_max_entries: usize,
     pub brokers: usize,
     pub partitions: u32,
     pub n_keys: usize,
@@ -68,6 +70,9 @@ impl SimReport {
         if let Some(forced) = self.profile.strip_suffix('!') {
             cmd.push_str(&format!(" --profile {forced}"));
         }
+        if self.cache_max_entries > 0 {
+            cmd.push_str(&format!(" --cache {}", self.cache_max_entries));
+        }
         cmd
     }
 
@@ -89,6 +94,7 @@ impl SimReport {
             ("seed", num(self.seed as f64)),
             ("steps", num(self.steps as f64)),
             ("profile", jstr(self.profile.clone())),
+            ("cache_max_entries", num(self.cache_max_entries as f64)),
             ("brokers", num(self.brokers as f64)),
             ("partitions", num(self.partitions as f64)),
             ("instances", num(self.instances as f64)),
@@ -115,10 +121,11 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "simtest seed={} steps={} profile={} brokers={} partitions={} keys={} instances={}",
+            "simtest seed={} steps={} profile={} cache={} brokers={} partitions={} keys={} instances={}",
             self.seed,
             self.steps,
             self.profile,
+            self.cache_max_entries,
             self.brokers,
             self.partitions,
             self.n_keys,
