@@ -65,7 +65,7 @@ fn bench_grace(c: &mut Criterion) {
         ("disorder-500ms/grace-1s", 500, 1_000),
         ("disorder-500ms/grace-10s", 500, 10_000),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
             let records = out_of_order_stream(10_000, disorder, 7);
             b.iter(|| run_agg(&records, grace));
         });

@@ -30,19 +30,18 @@ fn bench_commit_vs_partitions(c: &mut Criterion) {
     for &parts in &[1u32, 10, 100] {
         group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
             let cluster = cluster_with_topic(parts);
-            let (pid, epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
+            let (pid, mut epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
             let tps: Vec<TopicPartition> =
                 (0..parts).map(|p| TopicPartition::new("t", p)).collect();
-            let mut seqs = vec![0i64; parts as usize];
             b.iter(|| {
                 cluster.txn_add_partitions("bench", pid, epoch, &tps).unwrap();
-                for (i, tp) in tps.iter().enumerate() {
+                for tp in &tps {
+                    // Sequences restart at 0 each epoch (bumped per commit).
                     cluster
-                        .produce(tp, BatchMeta::transactional(pid, epoch, seqs[i]), vec![rec()])
+                        .produce(tp, BatchMeta::transactional(pid, epoch, 0), vec![rec()])
                         .unwrap();
-                    seqs[i] += 1;
                 }
-                cluster.txn_end("bench", pid, epoch, true).unwrap();
+                epoch = cluster.txn_end("bench", pid, epoch, true).unwrap();
             });
         });
     }
@@ -56,17 +55,15 @@ fn bench_commit_vs_records(c: &mut Criterion) {
     for &n in &[1usize, 64, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let cluster = cluster_with_topic(1);
-            let (pid, epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
+            let (pid, mut epoch) = cluster.txn_init_producer("bench", 60_000).unwrap();
             let tp = TopicPartition::new("t", 0);
             let recs: Vec<Record> = (0..n).map(|_| rec()).collect();
-            let mut seq = 0i64;
             b.iter(|| {
                 cluster.txn_add_partitions("bench", pid, epoch, std::slice::from_ref(&tp)).unwrap();
                 cluster
-                    .produce(&tp, BatchMeta::transactional(pid, epoch, seq), recs.clone())
+                    .produce(&tp, BatchMeta::transactional(pid, epoch, 0), recs.clone())
                     .unwrap();
-                seq += n as i64;
-                cluster.txn_end("bench", pid, epoch, true).unwrap();
+                epoch = cluster.txn_end("bench", pid, epoch, true).unwrap();
             });
         });
     }

@@ -86,7 +86,7 @@ impl Aligner {
         assert_eq!(channels.len(), self.blocked_on.len());
         // If every channel is blocked on the same barrier, alignment is
         // complete: unblock and emit the barrier.
-        if self.blocked_on.iter().all(|b| b.is_some()) {
+        if self.blocked_on.iter().all(Option::is_some) {
             let barrier = self.blocked_on[0].expect("checked");
             debug_assert!(
                 self.blocked_on.iter().all(|b| *b == Some(barrier)),
@@ -122,7 +122,7 @@ impl Aligner {
 
     /// Whether any channel is currently blocked waiting for alignment.
     pub fn is_aligning(&self) -> bool {
-        self.blocked_on.iter().any(|b| b.is_some())
+        self.blocked_on.iter().any(Option::is_some)
     }
 }
 

@@ -30,7 +30,7 @@ use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
 use kbroker::producer::{Producer, ProducerConfig};
 use kbroker::{Cluster, IsolationLevel, TopicConfig, TopicPartition};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// What one [`KafkaStreamsApp::step`] did.
@@ -52,8 +52,10 @@ pub struct KafkaStreamsApp {
     instance_id: String,
     producer: Producer,
     generation: i32,
-    tasks: HashMap<TaskId, StreamTask>,
-    standbys: HashMap<TaskId, StandbyTask>,
+    // BTreeMaps, not HashMaps: task iteration order feeds processing,
+    // flush, and commit order, all of which must replay byte-identically.
+    tasks: BTreeMap<TaskId, StreamTask>,
+    standbys: BTreeMap<TaskId, StandbyTask>,
     last_commit_ms: i64,
     txn_open: bool,
     started: bool,
@@ -93,8 +95,8 @@ impl KafkaStreamsApp {
             instance_id,
             producer,
             generation: 0,
-            tasks: HashMap::new(),
-            standbys: HashMap::new(),
+            tasks: BTreeMap::new(),
+            standbys: BTreeMap::new(),
             last_commit_ms: 0,
             txn_open: false,
             started: false,
@@ -115,9 +117,7 @@ impl KafkaStreamsApp {
 
     /// Task ids currently owned.
     pub fn task_ids(&self) -> Vec<TaskId> {
-        let mut ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        ids.sort();
-        ids
+        self.tasks.keys().copied().collect()
     }
 
     fn consume_isolation(&self) -> IsolationLevel {
@@ -131,7 +131,7 @@ impl KafkaStreamsApp {
 
     /// Compute how many tasks (partitions) each sub-topology runs, resolving
     /// internal topic partition counts in the process (§3.3).
-    fn plan_partitions(&self) -> Result<HashMap<usize, u32>, StreamsError> {
+    fn plan_partitions(&self) -> Result<BTreeMap<usize, u32>, StreamsError> {
         // Default partition count for repartition topics: the max partition
         // count among external source topics.
         let mut default_parts = 1;
@@ -155,7 +155,7 @@ impl KafkaStreamsApp {
         }
         // Task count per sub-topology = partitions of its source topics
         // (which must agree).
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for (si, st) in self.topology.subtopologies.iter().enumerate() {
             let mut count: Option<u32> = None;
             for t in &st.source_topics {
@@ -185,7 +185,7 @@ impl KafkaStreamsApp {
         Ok(counts)
     }
 
-    fn all_task_ids(&self, counts: &HashMap<usize, u32>) -> Vec<TaskId> {
+    fn all_task_ids(counts: &BTreeMap<usize, u32>) -> Vec<TaskId> {
         let mut ids = Vec::new();
         for (si, &parts) in counts {
             for p in 0..parts {
@@ -237,7 +237,7 @@ impl KafkaStreamsApp {
         let view =
             self.cluster.group_join(self.app_id(), &self.instance_id, &self.subscribed_topics())?;
         self.generation = view.generation;
-        let all = self.all_task_ids(&counts);
+        let all = Self::all_task_ids(&counts);
         let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
         self.adopt_tasks(mine)?;
         let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
@@ -330,7 +330,7 @@ impl KafkaStreamsApp {
         kobs::gauge_max("kstreams.rebalance_generation", view.generation as i64);
         self.generation = view.generation;
         let counts = self.plan_partitions()?;
-        let all = self.all_task_ids(&counts);
+        let all = Self::all_task_ids(&counts);
         let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
         self.adopt_tasks(mine)?;
         let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
@@ -348,11 +348,9 @@ impl KafkaStreamsApp {
         self.check_rebalance()?;
         let isolation = self.consume_isolation();
         let mut processed = 0;
-        let mut task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        // Deterministic task order: the simulation harness replays runs
-        // byte-identically from a seed, so HashMap iteration order must not
-        // leak into processing order.
-        task_ids.sort();
+        // Deterministic task order (BTreeMap iterates keys in sorted order):
+        // the simulation harness replays runs byte-identically from a seed.
+        let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
         for id in &task_ids {
             let task = self.tasks.get_mut(id).expect("owned");
             processed +=
@@ -438,14 +436,13 @@ impl KafkaStreamsApp {
         // atomically with the inputs that produced them (§4.2 atomicity of
         // the §6.2 caching layer).
         let now_ms = self.cluster.now_ms();
-        let mut task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        task_ids.sort();
+        let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
         for id in &task_ids {
             self.tasks.get_mut(id).expect("owned").flush_caches(now_ms)?;
             self.send_task_writes(*id)?;
         }
         let mut offsets: Vec<(TopicPartition, i64)> =
-            self.tasks.values().flat_map(|t| t.committable_offsets()).collect();
+            self.tasks.values().flat_map(StreamTask::committable_offsets).collect();
         offsets.sort_by(|a, b| a.0.cmp(&b.0));
         match self.config.guarantee {
             ProcessingGuarantee::ExactlyOnce => {
@@ -571,9 +568,7 @@ impl KafkaStreamsApp {
 
     /// Task ids of hosted standby replicas.
     pub fn standby_ids(&self) -> Vec<TaskId> {
-        let mut ids: Vec<TaskId> = self.standbys.keys().copied().collect();
-        ids.sort();
-        ids
+        self.standbys.keys().copied().collect()
     }
 
     /// Interactive query against a *standby* replica's KV store — the

@@ -51,7 +51,7 @@ mod tests {
     fn balanced_within_one() {
         let tasks: Vec<TaskId> = (0..7).map(|p| tid(0, p)).collect();
         let a = assign_tasks(&tasks, &["a".into(), "b".into(), "c".into()]);
-        let counts: Vec<usize> = a.values().map(|v| v.len()).collect();
+        let counts: Vec<usize> = a.values().map(Vec::len).collect();
         assert_eq!(counts.iter().sum::<usize>(), 7);
         assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
     }

@@ -307,6 +307,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
     pub fn merge(&self, other: &KStream<K, V>) -> KStream<K, V> {
         let mut b = self.inner.borrow_mut();
         let name = b.next_name("KSTREAM-MERGE");
+        // The closure is required: a bare `ProcessorContext::forward` method
+        // path cannot generalize over the context lifetime (HRTB).
+        #[allow(clippy::redundant_closure_for_method_calls)]
         let body: FnOpBody = Arc::new(|ctx, rec| ctx.forward(rec));
         let node = b
             .add_processor(name, fn_op_factory(body), &[self.node, other.node], vec![])
@@ -538,6 +541,9 @@ impl<K: KSerde, V: KSerde> KStream<K, V> {
             (jl, jr)
         };
         let merge_name = b.next_name("KSTREAM-JOINMERGE");
+        // The closure is required: a bare `ProcessorContext::forward` method
+        // path cannot generalize over the context lifetime (HRTB).
+        #[allow(clippy::redundant_closure_for_method_calls)]
         let body: FnOpBody = Arc::new(|ctx, rec| ctx.forward(rec));
         let node =
             b.add_processor(merge_name, fn_op_factory(body), &[jl, jr], vec![]).expect("valid");
@@ -1013,6 +1019,9 @@ impl<K: KSerde, V: KSerde> KTable<K, V> {
         let jr =
             b.add_processor(name_r, right_factory, &[right_node], stores).expect("valid parent");
         let merge = b.next_name("KTABLE-JOINMERGE");
+        // The closure is required: a bare `ProcessorContext::forward` method
+        // path cannot generalize over the context lifetime (HRTB).
+        #[allow(clippy::redundant_closure_for_method_calls)]
         let body: FnOpBody = Arc::new(|ctx, rec| ctx.forward(rec));
         let node = b.add_processor(merge, fn_op_factory(body), &[jl, jr], vec![]).expect("valid");
         b.tag_join(node);

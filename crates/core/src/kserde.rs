@@ -127,7 +127,7 @@ fn decode_opt(bytes: &[u8]) -> Result<(Option<Bytes>, &[u8]), StreamsError> {
 /// retract the prior result (§5).
 pub fn encode_change(old: &Option<Bytes>, new: &Option<Bytes>) -> Bytes {
     let mut out = Vec::with_capacity(
-        10 + old.as_ref().map_or(0, |b| b.len()) + new.as_ref().map_or(0, |b| b.len()),
+        10 + old.as_ref().map_or(0, Bytes::len) + new.as_ref().map_or(0, Bytes::len),
     );
     encode_opt(&mut out, old);
     encode_opt(&mut out, new);
@@ -272,6 +272,6 @@ mod tests {
 
     #[test]
     fn empty_string_ok() {
-        assert_eq!(String::from_bytes(&"".to_string().to_bytes()).unwrap(), "");
+        assert_eq!(String::from_bytes(&String::new().to_bytes()).unwrap(), "");
     }
 }

@@ -13,7 +13,7 @@ use crate::record::FlowRecord;
 use crate::topology::node::{NodeKind, TopicRef, ValueMode};
 use crate::topology::Topology;
 use bytes::Bytes;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// One record bound for a sink topic.
 #[derive(Debug, Clone)]
@@ -27,7 +27,9 @@ pub struct SinkOutput {
 
 /// Mutable task state shared with processors during execution.
 pub struct TaskEnv {
-    pub stores: HashMap<String, StoreEntry>,
+    // BTreeMap: store iteration order feeds cache-flush and changelog
+    // append order, which must replay byte-identically.
+    pub stores: BTreeMap<String, StoreEntry>,
     /// Records produced to sinks this cycle.
     pub outputs: Vec<SinkOutput>,
     /// Captured store mutations: `(store, changelog key, value)`.
@@ -42,7 +44,7 @@ pub struct TaskEnv {
 impl TaskEnv {
     pub fn new(partition: u32) -> Self {
         Self {
-            stores: HashMap::new(),
+            stores: BTreeMap::new(),
             outputs: Vec::new(),
             changelog: Vec::new(),
             metrics: StreamsMetrics::default(),

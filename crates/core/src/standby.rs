@@ -18,14 +18,15 @@ use crate::processor::StoreEntry;
 use crate::state::Store;
 use crate::topology::{TaskId, Topology};
 use kbroker::{Cluster, IsolationLevel, TopicPartition};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A warm replica of one task's stores, fed by changelog tailing.
 pub struct StandbyTask {
     pub id: TaskId,
-    stores: HashMap<String, StoreEntry>,
+    // BTreeMaps: poll order over stores must be deterministic for replay.
+    stores: BTreeMap<String, StoreEntry>,
     /// Next changelog offset to apply, per store.
-    positions: HashMap<String, (TopicPartition, i64)>,
+    positions: BTreeMap<String, (TopicPartition, i64)>,
     /// Changelog records applied so far (metrics/tests).
     records_applied: u64,
 }
@@ -37,8 +38,8 @@ impl StandbyTask {
             .subtopologies
             .get(id.subtopology)
             .ok_or_else(|| StreamsError::InvalidTopology("unknown sub-topology".into()))?;
-        let mut stores = HashMap::new();
-        let mut positions = HashMap::new();
+        let mut stores = BTreeMap::new();
+        let mut positions = BTreeMap::new();
         for store_name in &st.stores {
             let (spec, _) = &topology.stores[store_name];
             if !spec.changelog {
@@ -102,7 +103,7 @@ impl StandbyTask {
     /// after `positions`.
     pub fn into_parts(
         self,
-    ) -> (HashMap<String, StoreEntry>, HashMap<String, (TopicPartition, i64)>) {
+    ) -> (BTreeMap<String, StoreEntry>, BTreeMap<String, (TopicPartition, i64)>) {
         (self.stores, self.positions)
     }
 
@@ -122,13 +123,13 @@ pub fn assign_standbys(
     tasks: &[TaskId],
     members: &[String],
     replicas: usize,
-) -> std::collections::BTreeMap<String, Vec<TaskId>> {
+) -> BTreeMap<String, Vec<TaskId>> {
     let mut members_sorted: Vec<&String> = members.iter().collect();
     members_sorted.sort();
     members_sorted.dedup();
     let mut tasks_sorted: Vec<TaskId> = tasks.to_vec();
     tasks_sorted.sort();
-    let mut out: std::collections::BTreeMap<String, Vec<TaskId>> =
+    let mut out: BTreeMap<String, Vec<TaskId>> =
         members_sorted.iter().map(|m| ((*m).clone(), Vec::new())).collect();
     let n = members_sorted.len();
     if n <= 1 || replicas == 0 {
@@ -156,7 +157,7 @@ mod tests {
     #[test]
     fn no_standbys_with_single_member() {
         let a = assign_standbys(&[tid(0), tid(1)], &["only".into()], 1);
-        assert!(a.values().all(|v| v.is_empty()));
+        assert!(a.values().all(Vec::is_empty));
     }
 
     #[test]
@@ -177,7 +178,7 @@ mod tests {
         let tasks: Vec<TaskId> = (0..5).map(tid).collect();
         let members = vec!["a".to_string(), "b".to_string(), "c".to_string()];
         let standbys = assign_standbys(&tasks, &members, 2);
-        let mut per_task: HashMap<TaskId, usize> = HashMap::new();
+        let mut per_task: BTreeMap<TaskId, usize> = BTreeMap::new();
         for stand in standbys.values() {
             for t in stand {
                 *per_task.entry(*t).or_default() += 1;
@@ -193,7 +194,7 @@ mod tests {
         let tasks = vec![tid(0)];
         let members = vec!["a".to_string(), "b".to_string()];
         let standbys = assign_standbys(&tasks, &members, 5);
-        let total: usize = standbys.values().map(|v| v.len()).sum();
+        let total: usize = standbys.values().map(Vec::len).sum();
         assert_eq!(total, 1, "only one other member exists");
     }
 }

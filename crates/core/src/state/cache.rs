@@ -167,6 +167,7 @@ impl RecordCache {
     /// write order).
     pub fn drain_sorted(&mut self) -> Vec<(Bytes, DirtyEntry)> {
         self.order.clear();
+        // detlint:allow[unordered-iter] drained then sorted by key below
         let mut out: Vec<(Bytes, DirtyEntry)> = self.map.drain().collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out

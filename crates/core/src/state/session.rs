@@ -110,7 +110,7 @@ impl SessionStore {
     }
 
     pub fn len(&self) -> usize {
-        self.map.values().map(|v| v.len()).sum()
+        self.map.values().map(Vec::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -20,7 +20,7 @@ use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
 use kbroker::{Cluster, IsolationLevel, TopicPartition};
 use simkit::{FaultDecision, FaultPoint};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// One buffered input record.
 #[derive(Debug, Clone)]
@@ -122,8 +122,8 @@ impl StreamTask {
     /// positions, instead of the full changelog.
     pub fn adopt_warm_stores(
         &mut self,
-        stores: HashMap<String, StoreEntry>,
-        positions: HashMap<String, (TopicPartition, i64)>,
+        stores: BTreeMap<String, StoreEntry>,
+        positions: BTreeMap<String, (TopicPartition, i64)>,
     ) {
         for (name, mut entry) in stores {
             if self.env.stores.contains_key(&name) {
@@ -295,7 +295,8 @@ impl StreamTask {
             }
             let Some((input_idx, _)) = best else { break };
             let (logical, tp) = self.inputs[input_idx].clone();
-            let rec = self.buffers.get_mut(&tp).and_then(|b| b.pop_front()).expect("head existed");
+            let rec =
+                self.buffers.get_mut(&tp).and_then(VecDeque::pop_front).expect("head existed");
             self.driver.process(&mut self.env, &logical, rec.key, rec.value, rec.ts)?;
             self.processed_positions.insert(tp.clone(), rec.offset + 1);
             processed += 1;
@@ -350,6 +351,7 @@ impl StreamTask {
     /// deterministic partition order.
     pub fn committable_offsets(&self) -> Vec<(TopicPartition, i64)> {
         let mut offsets: Vec<(TopicPartition, i64)> =
+            // detlint:allow[unordered-iter] collected then sorted below
             self.processed_positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect();
         offsets.sort_by(|a, b| a.0.cmp(&b.0));
         offsets

@@ -176,12 +176,6 @@ impl InternalBuilder {
     /// topologies), attach stores to the component of their users, and
     /// register changelog topics for changelogged stores.
     pub fn build(mut self) -> Result<Topology, StreamsError> {
-        if self.nodes.is_empty() {
-            return Err(StreamsError::InvalidTopology("empty topology".into()));
-        }
-        // Union-find over undirected in-memory edges.
-        let n = self.nodes.len();
-        let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {
             if parent[x] != x {
                 let root = find(parent, parent[x]);
@@ -189,6 +183,12 @@ impl InternalBuilder {
             }
             parent[x]
         }
+        if self.nodes.is_empty() {
+            return Err(StreamsError::InvalidTopology("empty topology".into()));
+        }
+        // Union-find over undirected in-memory edges.
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
         for i in 0..n {
             for &c in self.nodes[i].children.clone().iter() {
                 let (a, b) = (find(&mut parent, i), find(&mut parent, c));
@@ -199,6 +199,9 @@ impl InternalBuilder {
         }
         // Nodes sharing a store must be co-located in one sub-topology
         // (e.g. the two sides of a table-table join).
+        // Union-find merges commute; the final partition is canonicalized by
+        // smallest-node-index grouping below.
+        // detlint:allow[unordered-iter] commutative merges; canonicalized after
         for users in self.store_users.values() {
             for w in users.windows(2) {
                 let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
@@ -267,6 +270,7 @@ impl InternalBuilder {
         // Processor references to stores that were never declared — the
         // verifier reports these as errors (rule `undeclared-store`).
         let mut undeclared_stores: Vec<(String, usize)> = Vec::new();
+        // detlint:allow[unordered-iter] collected then sorted below
         for (name, users) in &self.store_users {
             if !declared.contains(name) {
                 for &u in users {

@@ -105,14 +105,8 @@ proptest! {
             prop_assert_eq!(store.as_str(), "w");
             restored.apply_changelog(key, value.clone());
         }
-        let original = match &env.stores.get("w").unwrap().store {
-            Store::Window(s) => s,
-            _ => unreachable!(),
-        };
-        let restored = match &restored {
-            Store::Window(s) => s,
-            _ => unreachable!(),
-        };
+        let Store::Window(original) = &env.stores.get("w").unwrap().store else { unreachable!() };
+        let Store::Window(restored) = &restored else { unreachable!() };
         let a: Vec<_> = original.iter().map(|(s, k, v)| (s, k.clone(), v.clone())).collect();
         let b: Vec<_> = restored.iter().map(|(s, k, v)| (s, k.clone(), v.clone())).collect();
         prop_assert_eq!(a, b);
@@ -204,7 +198,7 @@ proptest! {
         let mut want = tasks.clone();
         want.sort();
         prop_assert_eq!(seen, want, "disjoint + complete");
-        let sizes: Vec<usize> = assignment.values().map(|v| v.len()).collect();
+        let sizes: Vec<usize> = assignment.values().map(Vec::len).collect();
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
         prop_assert!(max - min <= 1, "balanced: {sizes:?}");
     }

@@ -121,7 +121,7 @@ impl Consumer {
     /// and adopts the group-assigned partitions.
     pub fn subscribe(&mut self, topics: &[&str]) -> Result<(), BrokerError> {
         let group = self.group()?.to_string();
-        self.subscribed = topics.iter().map(|t| t.to_string()).collect();
+        self.subscribed = topics.iter().map(ToString::to_string).collect();
         let view = self.cluster.group_join(&group, &self.member_id, &self.subscribed)?;
         self.adopt(view)?;
         Ok(())
@@ -288,6 +288,7 @@ impl Consumer {
     /// `send_offsets_to_transaction`), in deterministic partition order.
     pub fn current_offsets(&self) -> Vec<(TopicPartition, Offset)> {
         let mut offsets: Vec<(TopicPartition, Offset)> =
+            // detlint:allow[unordered-iter] collected then sorted below
             self.positions.iter().map(|(tp, off)| (tp.clone(), *off)).collect();
         offsets.sort_by(|a, b| a.0.cmp(&b.0));
         offsets

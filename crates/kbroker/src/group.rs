@@ -122,6 +122,9 @@ fn sticky_assign(
         members.keys().map(|m| (m.clone(), Vec::new())).collect();
     let mut taken: BTreeSet<TopicPartition> = BTreeSet::new();
     // Phase 1: keep what survives.
+    // Prior assignments are disjoint per partition, so visit order cannot
+    // change which member keeps a partition.
+    // detlint:allow[unordered-iter] disjoint per partition; order-insensitive
     for (member, parts) in previous {
         let Some(info) = members.get(member) else { continue };
         for tp in parts {
@@ -623,7 +626,8 @@ mod tests {
         // First, a committed offset at 5.
         c.txn_add_partitions("app", pid, epoch, std::slice::from_ref(&offsets_tp)).unwrap();
         c.group_txn_commit_offsets("g", &[(src.clone(), 5)], pid, epoch, None).unwrap();
-        c.txn_end("app", pid, epoch, true).unwrap();
+        // Completion bumps the epoch; the next transaction adopts it.
+        let epoch = c.txn_end("app", pid, epoch, true).unwrap();
         // Then an aborted attempt at 10.
         c.txn_add_partitions("app", pid, epoch, &[offsets_tp]).unwrap();
         c.group_txn_commit_offsets("g", &[(src.clone(), 10)], pid, epoch, None).unwrap();

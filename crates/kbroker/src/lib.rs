@@ -30,6 +30,7 @@ pub mod consumer;
 pub mod error;
 pub mod group;
 pub mod producer;
+pub mod protocol;
 pub mod replica;
 pub mod topic;
 pub mod txn;

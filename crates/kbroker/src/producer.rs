@@ -229,6 +229,7 @@ impl Producer {
     /// client may iterate a `HashMap` into an observable effect).
     pub fn flush(&mut self) -> Result<(), BrokerError> {
         let mut tps: Vec<TopicPartition> =
+            // detlint:allow[unordered-iter] collected then sorted below
             self.buffers.iter().filter(|(_, b)| !b.is_empty()).map(|(tp, _)| tp.clone()).collect();
         tps.sort();
         for tp in tps {
@@ -418,7 +419,15 @@ impl Producer {
                     self.cluster.txn_end(&tid, self.producer_id, self.epoch, commit)?;
                 }
                 FaultDecision::Deliver => {
-                    self.cluster.txn_end(&tid, self.producer_id, self.epoch, commit)?;
+                    // Completion bumped the epoch (KIP-890-style fencing);
+                    // adopt it and restart the sequence space, as the broker
+                    // resets per-epoch sequences.
+                    let new_epoch =
+                        self.cluster.txn_end(&tid, self.producer_id, self.epoch, commit)?;
+                    if new_epoch != self.epoch {
+                        self.epoch = new_epoch;
+                        self.sequences.clear();
+                    }
                     break;
                 }
             }

@@ -12,6 +12,7 @@
 //! its local log, exactly as §4.1 describes.
 
 use crate::error::BrokerError;
+use crate::protocol::replication;
 use crate::topic::TopicPartition;
 use klog::batch::{BatchMeta, ControlType};
 use klog::{invariant, AppendOutcome, FetchResult, IsolationLevel, Offset, PartitionLog, Record};
@@ -142,19 +143,18 @@ impl ReplicaSet {
     /// replication leaves all ISR logs identical, so the watermark reaches
     /// the log end, and the LSO never passes the log end by construction.
     fn advance_watermarks(&mut self) {
-        let min_leo = self
-            .replicas
-            .iter()
-            .filter(|(b, _)| self.isr.contains(b))
-            .map(|(_, l)| l.log_end())
-            .min()
-            .unwrap_or(0);
+        let min_leo = replication::replicated_high_watermark(
+            self.replicas.iter().filter(|(b, _)| self.isr.contains(b)).map(|(_, l)| l.log_end()),
+        );
         for (b, log) in &mut self.replicas {
             if self.isr.contains(b) {
                 log.advance_high_watermark(min_leo);
                 invariant!(
-                    log.last_stable_offset() <= log.high_watermark()
-                        && log.high_watermark() <= log.log_end(),
+                    replication::offsets_legal(
+                        log.last_stable_offset(),
+                        log.high_watermark(),
+                        log.log_end()
+                    ),
                     "offset-ordering",
                     "{} replica on broker {b}: require LSO {} <= HW {} <= LEO {}",
                     self.tp,

@@ -1,0 +1,33 @@
+//! detlint CLI — determinism lint over the replay-critical crates.
+//!
+//! ```text
+//! detlint             # lint the repo containing this crate
+//! detlint <repo-root> # lint an explicit checkout
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found (printed one per line).
+
+use kcheck::detlint::{lint_repo, REPLAY_CRITICAL};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."), PathBuf::from);
+    let findings = lint_repo(&root);
+    if findings.is_empty() {
+        println!(
+            "detlint: clean ({} replay-critical trees: {})",
+            REPLAY_CRITICAL.len(),
+            REPLAY_CRITICAL.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!("detlint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,162 @@
+//! kcheck CLI — exhaustively explore the EOS commit protocol on small
+//! configurations.
+//!
+//! ```text
+//! kcheck --quick                       # CI gate: 1x1 + 2x2, must exhaust clean
+//! kcheck --model 2x2                   # one named model
+//! kcheck --model 1x1 --txns 2 --faults 3 --depth 96
+//! kcheck --model 1x1 --inject-bug skip-prepare   # must find a counterexample
+//! ```
+//!
+//! Exit codes: 0 = explored clean (and, under `--quick`, deep enough);
+//! 1 = invariant violation found (counterexample printed); 2 = usage error.
+
+use kcheck::{explore, Bug, Model, ModelConfig, RunResult};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// `--quick` must cover at least this many distinct states across its
+/// models, proving the gate actually explores rather than vacuously passing.
+const QUICK_MIN_STATES: u64 = 100_000;
+
+struct Args {
+    models: Vec<String>,
+    depth: usize,
+    txns: Option<usize>,
+    faults: Option<u32>,
+    bug: Option<Bug>,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kcheck (--quick | --model <1x1|2x2>) [--depth N] [--txns N] [--faults N] \
+         [--inject-bug <skip-prepare|stale-marker-epoch>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { models: Vec::new(), depth: 160, txns: None, faults: None, bug: None, quick: false };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = &argv[i];
+        i += 1;
+        let value = |args_i: &mut usize| -> String {
+            let Some(v) = argv.get(*args_i) else { usage() };
+            *args_i += 1;
+            v.clone()
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--model" => args.models.push(value(&mut i)),
+            "--depth" => args.depth = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--txns" => args.txns = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--faults" => args.faults = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--inject-bug" => match Bug::parse(&value(&mut i)) {
+                Some(b) => args.bug = Some(b),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if args.quick != args.models.is_empty() {
+        // Neither or both of --quick / --model given.
+        usage();
+    }
+    args
+}
+
+fn run_model(name: &str, args: &Args) -> (RunResult, ModelConfig) {
+    let Some(mut cfg) = ModelConfig::named(name) else {
+        eprintln!("kcheck: unknown model `{name}` (known: 1x1, 2x2)");
+        std::process::exit(2);
+    };
+    if let Some(t) = args.txns {
+        cfg.txns_per_producer = t;
+    }
+    if let Some(f) = args.faults {
+        cfg.fault_budget = f;
+    }
+    cfg.bug = args.bug;
+    let model = Model::new(cfg);
+    // detlint:allow[wall-clock] CLI timing display only, not replayed state
+    let start = Instant::now();
+    let result = explore(&model, args.depth);
+    let elapsed = start.elapsed();
+    println!(
+        "model {name}: {} producers x {} partitions, {} txns/producer, fault budget {}{}",
+        cfg.producers,
+        cfg.partitions,
+        cfg.txns_per_producer,
+        cfg.fault_budget,
+        cfg.bug.map(|b| format!(", injected bug: {}", b.name())).unwrap_or_default(),
+    );
+    println!(
+        "  explored {} distinct states, {} transitions, {} terminal states in {:.2?}",
+        result.distinct_states, result.transitions, result.terminal_states, elapsed
+    );
+    println!(
+        "  max depth {}{}",
+        result.max_depth_reached,
+        if result.exhausted() {
+            " (exhausted: every interleaving covered)".to_string()
+        } else {
+            format!(" ({} paths truncated at --depth {})", result.truncated, args.depth)
+        }
+    );
+    if let Some(cex) = &result.violation {
+        println!("  VIOLATION: {} — {}", cex.invariant, cex.detail);
+        println!("  counterexample ({} steps):", cex.trace.len());
+        for (i, step) in cex.trace.iter().enumerate() {
+            println!("    {:>3}. {step}", i + 1);
+        }
+        println!("  replay: {}", cex.schedule);
+    }
+    (result, cfg)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let models: Vec<String> =
+        if args.quick { vec!["1x1".into(), "2x2".into()] } else { args.models.clone() };
+
+    let mut total_states = 0u64;
+    let mut violated = false;
+    let mut all_exhausted = true;
+    for name in &models {
+        let (result, _) = run_model(name, &args);
+        total_states += result.distinct_states;
+        violated |= result.violation.is_some();
+        all_exhausted &= result.exhausted();
+    }
+
+    if args.quick {
+        println!("quick gate: {total_states} distinct states total (minimum {QUICK_MIN_STATES})");
+        if violated {
+            eprintln!("kcheck: FAILED — invariant violation found");
+            return ExitCode::FAILURE;
+        }
+        if !all_exhausted {
+            eprintln!("kcheck: FAILED — depth bound truncated the quick models");
+            return ExitCode::FAILURE;
+        }
+        if total_states < QUICK_MIN_STATES {
+            eprintln!(
+                "kcheck: FAILED — only {total_states} distinct states explored \
+                 (< {QUICK_MIN_STATES}); the gate has gone vacuous"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("kcheck: OK");
+        return ExitCode::SUCCESS;
+    }
+
+    if violated {
+        return ExitCode::FAILURE;
+    }
+    println!("kcheck: OK");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,362 @@
+//! detlint — source-level determinism lint for replay-critical crates.
+//!
+//! The deterministic simulation harness (and the model checker) rely on the
+//! replay-critical crates being *pure functions of their inputs*: same
+//! seed, same schedule ⇒ same bytes. Two classes of nondeterminism keep
+//! sneaking into codebases like this one:
+//!
+//! * **wall clocks and entropy** — `SystemTime::now`, `Instant::now`,
+//!   `thread_rng`, `rand::random`. Replay-critical code must take time from
+//!   the injected [`simprims` clock] and randomness from a seeded
+//!   [`DetRng`](simprims::DetRng).
+//! * **unordered-map iteration** — iterating a `HashMap`/`HashSet` yields a
+//!   different order per process (SipHash keys are randomized per `HashMap`
+//!   instance creation is deterministic here, but ordering is still
+//!   arbitrary and layout-dependent), so any iteration that feeds output
+//!   order, changelog order, or scheduling decisions must either use a
+//!   `BTreeMap`/`BTreeSet` or sort before consuming.
+//!
+//! This is a *textual* lint, not a type checker: it flags
+//! `SystemTime::now(`/`Instant::now(`/`thread_rng`/`rand::random`
+//! anywhere, and iteration-shaped calls (`.iter()`, `.keys()`, `.values()`,
+//! `.values_mut()`, `.iter_mut()`, `.drain(`, `.into_iter()`, and
+//! `for … in [&[mut ]]name`) on identifiers *declared with a
+//! `HashMap`/`HashSet` type in the same file*. False positives (an
+//! order-insensitive fold, a sort on the next line) are silenced at the
+//! call site with an explanatory escape comment, which doubles as
+//! documentation of why the iteration is safe:
+//!
+//! ```text
+//! // detlint:allow[unordered-iter] summed into a total; order-insensitive
+//! let n: usize = self.buffers.values().map(Vec::len).sum();
+//! ```
+//!
+//! The escape must name the rule (`wall-clock`, `entropy`,
+//! `unordered-iter`) and may sit on the flagged line or the line above.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crate source trees whose determinism the replay harness depends on.
+/// Tests and benches are exempt (their nondeterminism cannot leak into
+/// replayed executions).
+pub const REPLAY_CRITICAL: &[&str] = &[
+    "crates/klog/src",
+    "crates/kbroker/src",
+    "crates/core/src",
+    "crates/simprims/src",
+    "crates/simkit/src",
+    "crates/kcheck/src",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Forbidden wall-clock / entropy sources and the rule each belongs to.
+const BANNED_CALLS: &[(&str, &str, &str)] = &[
+    // detlint:allow[wall-clock] the needle table itself, not a call site
+    ("SystemTime::now", "wall-clock", "wall-clock read; use the injected simprims clock"),
+    // detlint:allow[wall-clock] the needle table itself, not a call site
+    ("Instant::now", "wall-clock", "wall-clock read; use the injected simprims clock"),
+    // detlint:allow[entropy] the needle table itself, not a call site
+    ("thread_rng", "entropy", "ambient RNG; use a seeded simprims::DetRng"),
+    // detlint:allow[entropy] the needle table itself, not a call site
+    ("rand::random", "entropy", "ambient RNG; use a seeded simprims::DetRng"),
+];
+
+/// Iteration-shaped method calls that surface unordered-map order.
+const ITER_METHODS: &[&str] =
+    &[".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".drain(", ".into_iter()"];
+
+/// Lint every `.rs` file under the replay-critical trees of `repo_root`.
+pub fn lint_repo(repo_root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for tree in REPLAY_CRITICAL {
+        let dir = repo_root.join(tree);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files);
+        files.sort(); // deterministic report order, naturally
+        for file in files {
+            match fs::read_to_string(&file) {
+                Ok(source) => {
+                    let rel = file.strip_prefix(repo_root).unwrap_or(&file).to_path_buf();
+                    findings.extend(lint_source(&rel, &source));
+                }
+                Err(e) => findings.push(Finding {
+                    file: file.clone(),
+                    line: 0,
+                    rule: "io",
+                    message: format!("unreadable: {e}"),
+                }),
+            }
+        }
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint a single source file.
+pub fn lint_source(file: &Path, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let unordered = unordered_collection_names(&lines);
+    let mut findings = Vec::new();
+    let mut in_test_mod = false;
+    let mut test_mod_depth = 0usize;
+    let mut depth = 0usize;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+
+        // Track `#[cfg(test)] mod …` regions: tests are exempt.
+        if !in_test_mod
+            && trimmed.starts_with("#[cfg(test)]")
+            && lines.get(idx + 1).map(|l| l.trim()).is_some_and(|l| l.starts_with("mod "))
+        {
+            in_test_mod = true;
+            test_mod_depth = depth;
+        }
+        depth += trimmed.matches('{').count();
+        depth = depth.saturating_sub(trimmed.matches('}').count());
+        if in_test_mod && depth <= test_mod_depth && trimmed.contains('}') {
+            in_test_mod = false;
+        }
+        if in_test_mod || trimmed.is_empty() {
+            continue;
+        }
+
+        let allowed =
+            |rule: &str| has_allow(raw, rule) || idx > 0 && has_allow(lines[idx - 1], rule);
+
+        for (needle, rule, why) in BANNED_CALLS {
+            if code.contains(needle) && !allowed(rule) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: line_no,
+                    rule,
+                    message: format!("`{needle}`: {why}"),
+                });
+            }
+        }
+
+        for name in &unordered {
+            if !mentions_name(code, name) {
+                continue;
+            }
+            let is_iter = ITER_METHODS.iter().any(|m| {
+                code.contains(&format!("{name}{m}")) || code.contains(&format!("self.{name}{m}"))
+            }) || is_for_loop_over(code, name);
+            if is_iter && !allowed("unordered-iter") {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: line_no,
+                    rule: "unordered-iter",
+                    message: format!(
+                        "iteration over unordered `{name}` (declared as HashMap/HashSet in this \
+                         file); use a BTree collection, sort the results, or justify with \
+                         `detlint:allow[unordered-iter]`"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Collect identifiers declared with a `HashMap<`/`HashSet<` type anywhere
+/// in the file (let bindings, struct fields, fn params).
+fn unordered_collection_names(lines: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for raw in lines {
+        let code = strip_line_comment(raw);
+        for ty in ["HashMap<", "HashSet<"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ty) {
+                let abs = from + pos;
+                from = abs + ty.len();
+                if let Some(name) = declared_name_before(&code[..abs]) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Given the text before a `HashMap<` occurrence, extract the declared
+/// identifier from shapes like `let mut name: `, `name: &mut `, `pub name: `.
+fn declared_name_before(prefix: &str) -> Option<String> {
+    // Walk back over `&`, `mut`, `std::collections::`, whitespace to the `:`.
+    let p = prefix
+        .trim_end()
+        .trim_end_matches("std::collections::")
+        .trim_end()
+        .trim_end_matches("mut")
+        .trim_end()
+        .trim_end_matches('&')
+        .trim_end();
+    let p = p.strip_suffix(':')?;
+    let name: String = p
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    // Require an identifier that isn't a lifetime/type position artifact.
+    (!name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_'))
+        .then_some(name)
+}
+
+/// `for x in name` / `for x in &name` / `for x in &mut name` /
+/// `for x in self.name` — iteration via `IntoIterator`.
+fn is_for_loop_over(code: &str, name: &str) -> bool {
+    let Some(pos) = code.find(" in ") else { return false };
+    if !code.trim_start().starts_with("for ") {
+        return false;
+    }
+    let after = code[pos + 4..].trim_start().trim_start_matches('&');
+    let after = after.trim_start_matches("mut ").trim_start();
+    let after = after.strip_prefix("self.").unwrap_or(after);
+    after
+        .strip_prefix(name)
+        .is_some_and(|rest| rest.is_empty() || rest.starts_with(' ') || rest.starts_with('{'))
+}
+
+/// Does the line mention `name` as a standalone identifier at all? (Cheap
+/// pre-filter before the per-method checks.)
+fn mentions_name(code: &str, name: &str) -> bool {
+    code.match_indices(name).any(|(i, _)| {
+        let before_ok = i == 0
+            || !code[..i]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after = &code[i + name.len()..];
+        let after_ok = !after.chars().next().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        before_ok && after_ok
+    })
+}
+
+/// Strip a trailing `// …` comment (string-literal naive, good enough for
+/// this codebase's style).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn has_allow(line: &str, rule: &str) -> bool {
+    line.contains(&format!("detlint:allow[{rule}]"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("x.rs"), src)
+    }
+
+    #[test]
+    fn flags_wall_clock_and_entropy() {
+        let f = lint("fn f() { let t = std::time::SystemTime::now(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(lint("let x = rand::random::<u64>();\n")[0].rule, "entropy");
+    }
+
+    #[test]
+    fn allow_comment_silences_same_or_previous_line() {
+        let same = "let t = Instant::now(); // detlint:allow[wall-clock] bench only\n";
+        assert!(lint(same).is_empty());
+        let prev = "// detlint:allow[wall-clock] bench only\nlet t = Instant::now();\n";
+        assert!(lint(prev).is_empty());
+        let wrong_rule = "// detlint:allow[entropy]\nlet t = Instant::now();\n";
+        assert_eq!(lint(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn flags_iteration_over_declared_hashmap() {
+        let src = "struct S { positions: HashMap<u32, i64> }\n\
+                   fn f(s: &S) { for (k, v) in s.positions.iter() { emit(k, v); } }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-iter");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn flags_for_loop_over_hashset_reference() {
+        let src = "let live: HashSet<u32> = HashSet::new();\n\
+                   for b in &live { kill(b); }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn btreemap_iteration_is_clean() {
+        let src = "let m: BTreeMap<u32, i64> = BTreeMap::new();\n\
+                   for (k, v) in m.iter() { emit(k, v); }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn non_iterating_hashmap_use_is_clean() {
+        let src = "let m: HashMap<u32, i64> = HashMap::new();\n\
+                   let v = m.get(&1);\nm.insert(2, 3);\nlet n = m.len();\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let x = Instant::now(); }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn repo_scan_reports_real_trees() {
+        // Running from anywhere inside the workspace: the repo root is two
+        // levels up from this crate's manifest dir.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_repo(&root);
+        // The replay-critical trees must be lint-clean at all times.
+        assert!(
+            findings.is_empty(),
+            "determinism lint violations:\n{}",
+            findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+        );
+    }
+}

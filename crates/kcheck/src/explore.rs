@@ -1,0 +1,309 @@
+//! Explicit-state exploration of the commit-protocol model.
+//!
+//! Iterative depth-first search over [`Model`] states with:
+//!
+//! * **state-hash dedup** — states are canonically hashed
+//!   ([`Model::state_hash`]); a revisited hash is not re-expanded. The
+//!   hasher is `std`'s `DefaultHasher`, which is deterministic (fixed-key
+//!   SipHash), so runs are reproducible.
+//! * **sleep sets** — a sound partial-order reduction: after action `a`'s
+//!   subtree is explored from state `s`, later siblings carry `a` in their
+//!   sleep sets; a sleeping action is skipped as long as only actions
+//!   [independent](Model::independent) of it have run since — those
+//!   interleavings are permutations of ones already covered. Sleep sets are
+//!   `u64` bitmaps over the model's fixed action alphabet. Dedup and sleep
+//!   sets compose soundly via an *antichain* of arrival masks per state: a
+//!   revisit is pruned only when an earlier visit slept on a subset of what
+//!   this one would (i.e. explored at least as much).
+//! * **bounded depth** — paths longer than `depth` are truncated and
+//!   counted, so "exhausted" is distinguishable from "ran out of depth".
+//!
+//! Violations come from three sources, checked after every transition: the
+//! model's own action-level checks, the `klog` invariant sink (the *runtime*
+//! checks inside `PartitionLog`/`ProducerStateTable` — drained per step so a
+//! violation pins to the action that caused it), and the per-state log scans
+//! ([`Model::check_logs`]). Terminal states additionally run the
+//! exactly-once oracle ([`Model::check_terminal`]).
+
+use crate::model::{Action, Model, ModelViolation, State};
+use crate::trace::schedule_line;
+use std::collections::HashMap;
+
+/// A reproduction of a violated invariant: the exact action sequence from
+/// the initial state, plus a simtest-compatible fault schedule for replay
+/// outside the checker.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    pub invariant: String,
+    pub detail: String,
+    /// Human-readable action trace from the initial state.
+    pub trace: Vec<String>,
+    /// `simtest --script`-compatible schedule line (see [`crate::trace`]).
+    pub schedule: String,
+}
+
+/// Outcome of one exploration run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub distinct_states: u64,
+    pub transitions: u64,
+    pub terminal_states: u64,
+    pub max_depth_reached: usize,
+    /// Paths cut off by the depth bound. Zero means the run *exhausted* the
+    /// model: every reachable interleaving (modulo sound reductions) was
+    /// covered.
+    pub truncated: u64,
+    pub violation: Option<Counterexample>,
+}
+
+impl RunResult {
+    pub fn exhausted(&self) -> bool {
+        self.truncated == 0
+    }
+}
+
+struct Frame {
+    state: State,
+    /// Enabled-but-unexplored action ids (indexes into the alphabet).
+    pending: Vec<usize>,
+    /// Arrival sleep set ∪ already-explored siblings.
+    sleep: u64,
+    /// Action id that produced this frame (unused sentinel at the root).
+    via: usize,
+}
+
+/// Explore the model exhaustively up to `depth` actions deep. Stops at the
+/// first violation and returns its counterexample.
+pub fn explore(model: &Model, depth: usize) -> RunResult {
+    // Exploration reads the process-global klog invariant sink; drain any
+    // leftovers so earlier activity cannot masquerade as a model violation.
+    let _ = klog::checks::take_violations();
+
+    let mut result = RunResult {
+        distinct_states: 0,
+        transitions: 0,
+        terminal_states: 0,
+        max_depth_reached: 0,
+        truncated: 0,
+        violation: None,
+    };
+
+    // hash -> antichain of arrival sleep masks (see module docs).
+    let mut visited: HashMap<u64, Vec<u64>> = HashMap::new();
+
+    let root = model.initial();
+    visited.insert(model.state_hash(&root), vec![0]);
+    result.distinct_states = 1;
+    let pending = model.enabled_actions(&root);
+    if pending.is_empty() {
+        result.terminal_states = 1;
+    }
+    let mut stack: Vec<Frame> = vec![Frame { state: root, pending, sleep: 0, via: usize::MAX }];
+
+    while !stack.is_empty() {
+        let top = stack.len() - 1;
+        result.max_depth_reached = result.max_depth_reached.max(top);
+
+        let Some(aid) = stack[top].pending.pop() else {
+            stack.pop();
+            continue;
+        };
+        // Sleeping action: its interleavings are permutations of covered
+        // ones (only independent actions ran since it was explored).
+        if stack[top].sleep & (1 << aid) != 0 {
+            continue;
+        }
+        if top >= depth {
+            result.truncated += 1;
+            continue;
+        }
+
+        let action = model.alphabet[aid];
+        let (next, mut violations) = model.apply(&stack[top].state, action);
+        result.transitions += 1;
+
+        // Runtime invariant checks fired inside klog during this action.
+        violations.extend(
+            klog::checks::take_violations()
+                .into_iter()
+                .map(|v| ModelViolation { invariant: v.invariant.into(), detail: v.context }),
+        );
+        violations.extend(model.check_logs(&next));
+
+        let enabled = model.enabled_actions(&next);
+        if enabled.is_empty() {
+            result.terminal_states += 1;
+            violations.extend(model.check_terminal(&next));
+        }
+
+        if let Some(v) = violations.into_iter().next() {
+            let mut actions: Vec<Action> =
+                stack[1..].iter().map(|f| model.alphabet[f.via]).collect();
+            actions.push(action);
+            result.violation = Some(Counterexample {
+                invariant: v.invariant,
+                detail: v.detail,
+                trace: actions.iter().map(|a| a.describe()).collect(),
+                schedule: schedule_line(&actions),
+            });
+            return result;
+        }
+
+        // Later siblings sleep on this action until something dependent on
+        // it runs. (DFS pops this subtree before any sibling is picked, so
+        // adding it now is equivalent to adding it on subtree completion.)
+        stack[top].sleep |= 1 << aid;
+
+        // Child arrival mask: parent's sleep (minus the action itself)
+        // restricted to actions that commute with it.
+        let parent_sleep = stack[top].sleep & !(1 << aid);
+        let mut child_sleep = 0u64;
+        for b in 0..model.alphabet.len() {
+            if parent_sleep & (1 << b) != 0 && model.independent(action, model.alphabet[b]) {
+                child_sleep |= 1 << b;
+            }
+        }
+
+        let masks = visited.entry(model.state_hash(&next)).or_default();
+        if masks.is_empty() {
+            result.distinct_states += 1;
+        }
+        // Prune if an earlier visit arrived sleeping on a subset of
+        // `child_sleep`: it explored a superset of our outgoing actions.
+        if masks.iter().any(|&m| m & !child_sleep == 0) {
+            continue;
+        }
+        // Keep the antichain minimal: drop stored masks ⊇ the new one.
+        masks.retain(|&m| child_sleep & !m != 0);
+        masks.push(child_sleep);
+
+        stack.push(Frame { state: next, pending: enabled, sleep: child_sleep, via: aid });
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Bug, Model, ModelConfig};
+    use std::sync::Mutex;
+
+    /// Explorations drain the process-global klog sink; serialize them so
+    /// parallel test threads cannot steal each other's violations.
+    pub(crate) static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn run(cfg: ModelConfig, depth: usize) -> RunResult {
+        let _serial = EXPLORE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        explore(&Model::new(cfg), depth)
+    }
+
+    #[test]
+    fn faultless_1x1_exhausts_clean() {
+        let r = run(
+            ModelConfig {
+                producers: 1,
+                partitions: 1,
+                txns_per_producer: 1,
+                fault_budget: 0,
+                bug: None,
+            },
+            64,
+        );
+        assert!(r.exhausted(), "truncated {} paths", r.truncated);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.terminal_states >= 1);
+        // One producer, one txn, commit-or-abort: a handful of states.
+        assert!(r.distinct_states > 8, "{}", r.distinct_states);
+    }
+
+    #[test]
+    fn faulty_1x1_exhausts_clean() {
+        let r = run(
+            ModelConfig {
+                producers: 1,
+                partitions: 1,
+                txns_per_producer: 1,
+                fault_budget: 2,
+                bug: None,
+            },
+            96,
+        );
+        assert!(r.exhausted(), "truncated {} paths", r.truncated);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.distinct_states > 100, "{}", r.distinct_states);
+    }
+
+    #[test]
+    fn faulty_2x2_exhausts_clean() {
+        let r = run(
+            ModelConfig {
+                producers: 2,
+                partitions: 2,
+                txns_per_producer: 1,
+                fault_budget: 1,
+                bug: None,
+            },
+            128,
+        );
+        assert!(r.exhausted(), "truncated {} paths", r.truncated);
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn skip_prepare_bug_is_caught_with_counterexample() {
+        let r = run(
+            ModelConfig {
+                producers: 1,
+                partitions: 1,
+                txns_per_producer: 1,
+                fault_budget: 2,
+                bug: Some(Bug::SkipPrepare),
+            },
+            96,
+        );
+        let cex = r.violation.expect("skip-prepare must be caught");
+        assert!(!cex.trace.is_empty());
+        assert!(cex.schedule.contains("--script"), "{}", cex.schedule);
+    }
+
+    #[test]
+    fn stale_marker_epoch_bug_is_caught() {
+        let r = run(
+            ModelConfig {
+                producers: 1,
+                partitions: 1,
+                txns_per_producer: 2,
+                fault_budget: 2,
+                bug: Some(Bug::StaleMarkerEpoch),
+            },
+            128,
+        );
+        let cex = r.violation.expect("stale-marker-epoch must be caught");
+        assert!(!cex.trace.is_empty(), "{cex:?}");
+    }
+
+    #[test]
+    fn dedup_reduces_revisits() {
+        // With two independent producers the sleep sets + dedup must keep
+        // transitions within a sane multiple of distinct states.
+        let r = run(
+            ModelConfig {
+                producers: 2,
+                partitions: 2,
+                txns_per_producer: 1,
+                fault_budget: 0,
+                bug: None,
+            },
+            128,
+        );
+        assert!(r.exhausted());
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(
+            r.transitions < r.distinct_states * 8,
+            "transitions {} vs distinct {}",
+            r.transitions,
+            r.distinct_states
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # kcheck — exhaustive model checking for the EOS commit protocol
+//!
+//! The paper's correctness story (§4) rests on a two-phase commit between
+//! transactional producers, the transaction coordinator, and partition
+//! logs. Its unit tests exercise chosen interleavings; the simulation
+//! harness samples random ones. This crate closes the remaining gap for
+//! small configurations by *enumerating every interleaving* — including
+//! bounded fault injections — and checking the protocol invariants in each
+//! reached state.
+//!
+//! The checked transition logic is not a re-implementation: the model
+//! ([`model`]) drives the same pure functions the runtime broker uses —
+//! [`kbroker::protocol`] for coordinator decisions and the real
+//! [`klog::PartitionLog`] (with its embedded producer-state table) for
+//! appends, markers, and read-committed visibility. What the model adds is
+//! only the *scheduling freedom*: where crashes, lost acks, and fencing may
+//! land between those calls.
+//!
+//! Checked invariants:
+//!
+//! * sequence monotonicity and epoch fencing (klog's runtime `invariant!`
+//!   sink, drained per transition),
+//! * `LSO ≤ HW ≤ LEO` offset ordering on every partition after every step,
+//! * coordinator state-machine legality (every transition funnels through
+//!   [`kbroker::protocol::apply_transition`]),
+//! * no conflicting transaction markers per `(producer, epoch)`,
+//! * at quiescence: exactly-once delivery of exactly the committed
+//!   transactions' records, and no transaction left open.
+//!
+//! The explorer ([`explore`]) is an iterative DFS with deterministic
+//! state-hash dedup and sleep-set partial-order reduction; a violation is
+//! returned as a [`Counterexample`](explore::Counterexample) holding the
+//! exact action trace plus a `simtest --script` replay line ([`trace`]).
+//!
+//! The crate ships two binaries: `kcheck` (the checker CLI; `--quick` is
+//! the CI gate) and `detlint` (a source-level determinism lint for the
+//! replay-critical crates, see [`detlint`]).
+
+pub mod detlint;
+pub mod explore;
+pub mod model;
+pub mod trace;
+
+pub use explore::{explore, Counterexample, RunResult};
+pub use model::{Bug, Model, ModelConfig};

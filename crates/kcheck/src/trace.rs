@@ -1,0 +1,122 @@
+//! Counterexample → `simtest` repro bridge.
+//!
+//! A kcheck counterexample is an exact action interleaving of the *model*.
+//! The simulation harness cannot replay model actions verbatim, but it can
+//! replay the same *fault schedule*: which fault classes fired, in which
+//! order, at which occurrence of each protocol point. This module renders a
+//! counterexample's fault content as a `simtest --script` line — tokens the
+//! harness feeds into [`simprims::FaultPlan::script`] (ack/request losses)
+//! and its cluster-event schedule (crash/restore/fence events):
+//!
+//! ```text
+//! cargo run -p simkit --bin simtest -- --seed 0 --steps 300 \
+//!     --script "ProduceAckLost@1;KillBroker@6;RestoreBroker@7"
+//! ```
+//!
+//! * `<FaultPoint>@<n>` — the `n`-th operation observed at that
+//!   [`FaultPoint`](simprims::FaultPoint) loses its ack (its request, for
+//!   `ProduceRequestLost`).
+//! * `KillBroker@<s>` / `RestoreBroker@<s>` / `RestartInstance@<s>` — fire
+//!   the cluster event before scheduled step `s` (1-based).
+//!
+//! The mapping is class-faithful, not bit-faithful: model step indexes
+//! become harness step indexes, and each model fault becomes the same fault
+//! class at the same per-point occurrence count. That reproduces the
+//! *shape* of the failing schedule against the full runtime stack.
+
+use crate::model::Action;
+use std::collections::HashMap;
+
+/// The fault-point token a model fault action maps to, with the decision
+/// implied by the token name (`ProduceRequestLost` drops the request, every
+/// other point drops the ack).
+fn fault_point_token(a: Action) -> Option<&'static str> {
+    match a {
+        // InitProducerId and EndTxn acks both travel the coordinator RPC
+        // path the harness guards with TxnRpcAckLost.
+        Action::InitAckLost { .. } | Action::EndAckLost { .. } => Some("TxnRpcAckLost"),
+        Action::AddPartsAckLost { .. } => Some("TxnAddPartitionsAckLost"),
+        Action::ProduceAckLost { .. } => Some("ProduceAckLost"),
+        Action::ProduceReqLost { .. } => Some("ProduceRequestLost"),
+        _ => None,
+    }
+}
+
+/// The cluster-event token a model action maps to.
+fn event_token(a: Action) -> Option<&'static str> {
+    match a {
+        Action::Crash => Some("KillBroker"),
+        Action::Recover => Some("RestoreBroker"),
+        // A new producer incarnation fencing the old one is what an
+        // instance restart does to every transactional id it owned.
+        Action::Fence { .. } => Some("RestartInstance"),
+        _ => None,
+    }
+}
+
+/// Render the `--script` token string for an action trace: fault-point
+/// tokens numbered by per-point occurrence, event tokens numbered by
+/// 1-based trace position.
+pub fn schedule_tokens(actions: &[Action]) -> String {
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    let mut tokens: Vec<String> = Vec::new();
+    for (i, &a) in actions.iter().enumerate() {
+        if let Some(point) = fault_point_token(a) {
+            let n = counts.entry(point).or_insert(0);
+            *n += 1;
+            tokens.push(format!("{point}@{n}"));
+        } else if let Some(event) = event_token(a) {
+            tokens.push(format!("{event}@{}", i + 1));
+        }
+    }
+    tokens.join(";")
+}
+
+/// The full replay command line printed with every counterexample.
+pub fn schedule_line(actions: &[Action]) -> String {
+    let tokens = schedule_tokens(actions);
+    if tokens.is_empty() {
+        // A faultless counterexample (pure interleaving bug): any scripted
+        // run reproduces the class; point at the default chaos run.
+        "cargo run -p simkit --bin simtest -- --seed 0 --steps 300 --script \"\"".into()
+    } else {
+        format!("cargo run -p simkit --bin simtest -- --seed 0 --steps 300 --script \"{tokens}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_number_per_point_and_per_step() {
+        let actions = [
+            Action::Init { p: 0 },
+            Action::ProduceAckLost { p: 0, k: 0 },
+            Action::Produce { p: 0, k: 0 },
+            Action::ProduceAckLost { p: 0, k: 1 },
+            Action::Crash,
+            Action::Recover,
+            Action::EndAckLost { p: 0 },
+            Action::Fence { p: 1 },
+        ];
+        assert_eq!(
+            schedule_tokens(&actions),
+            "ProduceAckLost@1;ProduceAckLost@2;KillBroker@5;RestoreBroker@6;\
+             TxnRpcAckLost@1;RestartInstance@8"
+        );
+    }
+
+    #[test]
+    fn line_is_a_replay_command() {
+        let line = schedule_line(&[Action::Crash, Action::Recover]);
+        assert!(line.starts_with("cargo run -p simkit --bin simtest --"), "{line}");
+        assert!(line.contains("--script \"KillBroker@1;RestoreBroker@2\""), "{line}");
+    }
+
+    #[test]
+    fn faultless_trace_still_prints_a_command() {
+        let line = schedule_line(&[Action::Init { p: 0 }, Action::EndCommit { p: 0 }]);
+        assert!(line.contains("--script"), "{line}");
+    }
+}

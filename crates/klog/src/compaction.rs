@@ -66,8 +66,8 @@ pub fn compact(log: &mut PartitionLog, opts: CompactionOptions) -> CompactionSta
 
     let before: Vec<StoredBatch> = log.batches().cloned().collect();
     let records_before: usize =
-        before.iter().filter(|b| !b.meta.is_control()).map(|b| b.len()).sum();
-    let bytes_before: usize = before.iter().map(|b| b.approximate_size()).sum();
+        before.iter().filter(|b| !b.meta.is_control()).map(StoredBatch::len).sum();
+    let bytes_before: usize = before.iter().map(StoredBatch::approximate_size).sum();
 
     // Pass 1: latest retained offset per key in the clean region.
     let mut latest: HashMap<Bytes, Offset> = HashMap::new();
@@ -123,8 +123,9 @@ pub fn compact(log: &mut PartitionLog, opts: CompactionOptions) -> CompactionSta
         }
     }
 
-    let records_after: usize = out.iter().filter(|b| !b.meta.is_control()).map(|b| b.len()).sum();
-    let bytes_after: usize = out.iter().map(|b| b.approximate_size()).sum();
+    let records_after: usize =
+        out.iter().filter(|b| !b.meta.is_control()).map(StoredBatch::len).sum();
+    let bytes_after: usize = out.iter().map(StoredBatch::approximate_size).sum();
     log.replace_batches(out);
     let stats = CompactionStats { records_before, records_after, bytes_before, bytes_after };
     kobs::count("klog.compaction.passes", 1);

@@ -76,7 +76,7 @@ impl FetchResult {
 
     /// Total record count across batches.
     pub fn count(&self) -> usize {
-        self.batches.iter().map(|b| b.len()).sum()
+        self.batches.iter().map(StoredBatch::len).sum()
     }
 }
 
@@ -418,13 +418,13 @@ impl PartitionLog {
         self.segments
             .iter_from(self.log_start())
             .filter(|b| !b.meta.is_control())
-            .map(|b| b.len())
+            .map(StoredBatch::len)
             .sum()
     }
 
     /// Total approximate bytes retained.
     pub fn size_bytes(&self) -> usize {
-        self.segments.iter_from(self.log_start()).map(|b| b.approximate_size()).sum()
+        self.segments.iter_from(self.log_start()).map(StoredBatch::approximate_size).sum()
     }
 
     /// Per-producer state (tests; leader-failover simulation).
@@ -500,7 +500,7 @@ impl PartitionLog {
         }
         if let Some(budget) = retention_bytes {
             let total: usize =
-                self.segments.iter_from(self.log_start).map(|b| b.approximate_size()).sum();
+                self.segments.iter_from(self.log_start).map(StoredBatch::approximate_size).sum();
             let mut excess = total.saturating_sub(budget);
             if excess > 0 {
                 for batch in self.segments.iter_from(self.log_start) {

@@ -66,8 +66,8 @@ impl Record {
     /// Approximate in-memory size in bytes, used by retention policies and
     /// the benchmark harness's I/O accounting.
     pub fn approximate_size(&self) -> usize {
-        let key_len = self.key.as_ref().map_or(0, |k| k.len());
-        let val_len = self.value.as_ref().map_or(0, |v| v.len());
+        let key_len = self.key.as_ref().map_or(0, Bytes::len);
+        let val_len = self.value.as_ref().map_or(0, Bytes::len);
         let hdr_len: usize = self.headers.iter().map(|(n, v)| n.len() + v.len()).sum();
         // 8 bytes timestamp + 2 length prefixes.
         key_len + val_len + hdr_len + 16
@@ -99,7 +99,7 @@ mod tests {
         let r = Record::of_str("k", "v", 0)
             .with_header("change", Bytes::from_static(b"new"))
             .with_header("other", Bytes::from_static(b"x"));
-        assert_eq!(r.header("change").map(|b| b.as_ref()), Some(b"new".as_slice()));
+        assert_eq!(r.header("change").map(AsRef::as_ref), Some(b"new".as_slice()));
         assert!(r.header("missing").is_none());
     }
 

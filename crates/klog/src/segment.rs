@@ -23,11 +23,11 @@ pub struct Segment {
 
 impl Segment {
     fn base_offset(&self) -> Option<Offset> {
-        self.batches.first().map(|b| b.base_offset())
+        self.batches.first().map(StoredBatch::base_offset)
     }
 
     fn last_offset(&self) -> Option<Offset> {
-        self.batches.last().map(|b| b.last_offset())
+        self.batches.last().map(StoredBatch::last_offset)
     }
 
     fn is_full(&self) -> bool {
@@ -84,12 +84,12 @@ impl SegmentList {
 
     /// Earliest retained offset, if any batch is retained.
     pub fn log_start(&self) -> Option<Offset> {
-        self.segments.iter().find_map(|s| s.base_offset())
+        self.segments.iter().find_map(Segment::base_offset)
     }
 
     /// Last retained offset.
     pub fn last_offset(&self) -> Option<Offset> {
-        self.segments.iter().rev().find_map(|s| s.last_offset())
+        self.segments.iter().rev().find_map(Segment::last_offset)
     }
 
     /// Number of segments (for tests and metrics).
@@ -120,9 +120,9 @@ impl SegmentList {
             return;
         }
         let head = &mut self.segments[0];
-        let before: usize = head.batches.iter().map(|b| b.len()).sum();
+        let before: usize = head.batches.iter().map(StoredBatch::len).sum();
         head.batches.retain(|b| b.last_offset() >= new_start);
-        let after: usize = head.batches.iter().map(|b| b.len()).sum();
+        let after: usize = head.batches.iter().map(StoredBatch::len).sum();
         head.record_count -= before - after;
     }
 
@@ -131,9 +131,9 @@ impl SegmentList {
     /// batch boundaries).
     pub fn truncate_suffix(&mut self, to: Offset) {
         for s in &mut self.segments {
-            let before: usize = s.batches.iter().map(|b| b.len()).sum();
+            let before: usize = s.batches.iter().map(StoredBatch::len).sum();
             s.batches.retain(|b| b.last_offset() < to);
-            let after: usize = s.batches.iter().map(|b| b.len()).sum();
+            let after: usize = s.batches.iter().map(StoredBatch::len).sum();
             s.record_count -= before - after;
         }
         self.segments.retain(|s| !s.batches.is_empty());
@@ -188,7 +188,7 @@ mod tests {
         }
         assert!(l.segment_count() >= 3);
         // Iteration still spans all segments.
-        let total: usize = l.iter_from(0).map(|b| b.len()).sum();
+        let total: usize = l.iter_from(0).map(StoredBatch::len).sum();
         assert_eq!(total, off as usize);
     }
 

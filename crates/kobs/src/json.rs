@@ -149,7 +149,7 @@ pub fn parse(input: &str) -> Result<Value, String> {
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
             self.pos += 1;
         }
     }

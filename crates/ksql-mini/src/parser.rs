@@ -93,11 +93,11 @@ impl Tokens {
                 _ => spaced.push(c),
             }
         }
-        Self { items: spaced.split_whitespace().map(|s| s.to_string()).collect(), pos: 0 }
+        Self { items: spaced.split_whitespace().map(ToString::to_string).collect(), pos: 0 }
     }
 
     fn peek(&self) -> Option<&str> {
-        self.items.get(self.pos).map(|s| s.as_str())
+        self.items.get(self.pos).map(String::as_str)
     }
 
     fn next(&mut self) -> Result<String, String> {

@@ -6,6 +6,7 @@
 //! cargo run -p simkit --bin simtest -- --seed 42 --profile           # obs snapshot
 //! cargo run -p simkit --bin simtest -- --seed 42 --profile --json
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
+//! cargo run -p simkit --bin simtest -- --seed 0 --script "TxnRpcAckLost@2;KillBroker@5"
 //! ```
 //!
 //! `--profile` with a topology argument forces that topology (historic
@@ -15,7 +16,7 @@
 //!
 //! Exit code 0 iff every requested run passed all oracles.
 
-use simkit::simtest::{run, Profile, SimConfig};
+use simkit::simtest::{run, Profile, Script, SimConfig};
 use std::process::ExitCode;
 
 struct Args {
@@ -23,13 +24,14 @@ struct Args {
     steps: Option<u64>,
     profile: Option<Profile>,
     cache: Option<usize>,
+    script: Option<Script>,
     obs: bool,
     json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--profile [count|windowed|suppressed]] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--profile [count|windowed|suppressed]] [--script TOKENS] [--json]"
     );
     std::process::exit(2);
 }
@@ -40,6 +42,7 @@ fn parse_args() -> Args {
         steps: None,
         profile: None,
         cache: None,
+        script: None,
         obs: false,
         json: false,
     };
@@ -63,6 +66,17 @@ fn parse_args() -> Args {
                 },
                 _ => args.obs = true,
             },
+            "--script" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                match Script::parse(value) {
+                    Ok(script) => args.script = Some(script),
+                    Err(e) => {
+                        eprintln!("simtest: {e}");
+                        usage();
+                    }
+                }
+            }
             "--cache" => {
                 let Some(value) = argv.get(i) else { usage() };
                 i += 1;
@@ -115,6 +129,9 @@ fn main() -> ExitCode {
         }
         if let Some(cache) = args.cache {
             cfg = cfg.with_cache(cache);
+        }
+        if let Some(script) = &args.script {
+            cfg = cfg.with_script(script.clone());
         }
         if args.obs {
             cfg = cfg.with_obs_profile();

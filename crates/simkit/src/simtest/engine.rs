@@ -2,6 +2,7 @@
 //! step schedule → drain → oracles.
 
 use crate::simtest::report::{EventCounts, SimReport};
+use crate::simtest::script::{Script, ScriptEvent};
 use crate::simtest::workload::{Profile, Workload, GRACE_MS, MAX_JITTER_MS, WINDOW_MS};
 use crate::{DetRng, FaultPlan, FaultPoint, ManualClock};
 use kbroker::group::SESSION_TIMEOUT_MS;
@@ -35,7 +36,7 @@ const TRACE_TAIL: usize = 32;
 static RUN_LOCK: Mutex<()> = Mutex::new(());
 
 /// Configuration of one simulated run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     pub seed: u64,
     /// Scheduled actions in the chaos phase (before the healing drain).
@@ -47,11 +48,21 @@ pub struct SimConfig {
     /// Record-cache capacity handed to every app instance
     /// (`StreamsConfig::cache_max_entries`); 0 disables caching.
     pub cache_max_entries: usize,
+    /// Scripted fault schedule (the kcheck counterexample bridge). When
+    /// set, it replaces the seed-derived probabilistic fault plan.
+    pub script: Option<Script>,
 }
 
 impl SimConfig {
     pub fn new(seed: u64) -> Self {
-        Self { seed, steps: 300, profile: None, obs_profile: false, cache_max_entries: 0 }
+        Self {
+            seed,
+            steps: 300,
+            profile: None,
+            obs_profile: false,
+            cache_max_entries: 0,
+            script: None,
+        }
     }
 
     pub fn with_steps(mut self, steps: u64) -> Self {
@@ -71,6 +82,11 @@ impl SimConfig {
 
     pub fn with_cache(mut self, cache_max_entries: usize) -> Self {
         self.cache_max_entries = cache_max_entries;
+        self
+    }
+
+    pub fn with_script(mut self, script: Script) -> Self {
+        self.script = Some(script);
         self
     }
 }
@@ -110,7 +126,12 @@ pub fn run(cfg: &SimConfig) -> SimReport {
 
     let root = DetRng::new(cfg.seed);
     let workload = Workload::generate(&mut root.derive(1), cfg.profile);
-    let plan = build_fault_plan(&mut root.derive(2), cfg.seed);
+    // A script pins the fault schedule to exactly the counterexample's
+    // injections; the seed still drives the workload and step schedule.
+    let plan = match &cfg.script {
+        Some(script) => script.fault_plan(),
+        None => build_fault_plan(&mut root.derive(2), cfg.seed),
+    };
     let mut schedule = root.derive(3);
 
     let clock = ManualClock::new();
@@ -130,7 +151,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
 
     let feeder = Producer::new(cluster.clone(), ProducerConfig::default().with_batch_size(1));
     let mut engine = Engine {
-        cfg: *cfg,
+        cfg: cfg.clone(),
         workload,
         clock,
         cluster,
@@ -149,7 +170,8 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         let slot = engine.spawn_instance(idx);
         engine.slots.push(slot);
     }
-    for _ in 0..cfg.steps {
+    for step in 1..=cfg.steps {
+        engine.scripted_events(step);
         engine.scheduled_action(&mut schedule);
     }
     engine.drain_and_check()
@@ -196,6 +218,46 @@ impl Engine {
             Err(e) => {
                 self.step_errors.push(format!("start i{idx}: {e}"));
                 None
+            }
+        }
+    }
+
+    /// Fire the scripted cluster events scheduled before step `step`.
+    fn scripted_events(&mut self, step: u64) {
+        let Some(script) = &self.cfg.script else { return };
+        let events: Vec<ScriptEvent> = script.events_at(step).collect();
+        for event in events {
+            match event {
+                ScriptEvent::KillBroker => {
+                    let alive: Vec<usize> = (0..self.workload.brokers)
+                        .filter(|&b| self.cluster.broker_alive(b))
+                        .collect();
+                    if alive.len() >= 2 {
+                        self.cluster.kill_broker(alive[0]);
+                        self.events.broker_kills += 1;
+                    }
+                }
+                ScriptEvent::RestoreBroker => {
+                    if let Some(dead) =
+                        (0..self.workload.brokers).find(|&b| !self.cluster.broker_alive(b))
+                    {
+                        self.cluster.restore_broker(dead);
+                        self.events.broker_restores += 1;
+                    }
+                }
+                ScriptEvent::RestartInstance => {
+                    // Crash-restart under the same instance id: the restart
+                    // fences the stale transactional producer (epoch bump),
+                    // which is what the model's `Fence` action stands for.
+                    if let Some(idx) = (0..self.slots.len()).find(|&i| self.slots[i].is_some()) {
+                        self.slots[idx].take().expect("picked live").crash();
+                        self.events.instance_crashes += 1;
+                        self.slots[idx] = self.spawn_instance(idx);
+                        if self.slots[idx].is_some() {
+                            self.events.instance_restarts += 1;
+                        }
+                    }
+                }
             }
         }
     }
@@ -496,19 +558,13 @@ impl Engine {
                 self.check_sequences(&per_key, seqs, "key");
             }
             Profile::Windowed => {
-                let seqs = match self.windowed_sequences(output) {
-                    Some(s) => s,
-                    None => return,
-                };
+                let Some(seqs) = self.windowed_sequences(output) else { return };
                 let reference: BTreeMap<String, i64> =
                     per_window.iter().map(|((k, w), n)| (format!("{k}@{w}"), *n)).collect();
                 self.check_sequences(&reference, seqs, "window");
             }
             Profile::Suppressed => {
-                let seqs = match self.windowed_sequences(output) {
-                    Some(s) => s,
-                    None => return,
-                };
+                let Some(seqs) = self.windowed_sequences(output) else { return };
                 // Exactly one final result per closed window (§5): the
                 // sentinel closed every data window, so every reference
                 // window must emit once, with the complete count.

@@ -32,8 +32,10 @@
 
 pub mod engine;
 pub mod report;
+pub mod script;
 pub mod workload;
 
 pub use engine::{run, SimConfig};
 pub use report::SimReport;
+pub use script::{Script, ScriptEvent};
 pub use workload::{Profile, Workload, GRACE_MS, MAX_JITTER_MS, WINDOW_MS};

@@ -1,0 +1,132 @@
+//! Scripted fault schedules: the counterexample→repro bridge.
+//!
+//! `kcheck` prints every counterexample as a `simtest --script` line. A
+//! script is a `;`-separated token list with two token kinds:
+//!
+//! * `<FaultPoint>@<n>` — the `n`-th operation (1-based) at that fault
+//!   point is hit: the ack is dropped (or, for `ProduceRequestLost`, the
+//!   request itself). Fault points are the [`FaultPoint`] names, e.g.
+//!   `TxnRpcAckLost@2;ProduceAckLost@1`.
+//! * `KillBroker@<s>` / `RestoreBroker@<s>` / `RestartInstance@<s>` — a
+//!   cluster-level event fired before scheduled step `s` (1-based).
+//!
+//! A scripted run replaces the seed-derived probabilistic fault plan with
+//! exactly the scripted decisions, so the injected faults are the ones the
+//! model checker chose — nothing more. The step schedule (feeding,
+//! stepping, clock advances) still comes from the seed.
+
+use simprims::{FaultDecision, FaultPlan, FaultPoint};
+
+/// Cluster-level scripted event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptEvent {
+    /// Kill the lowest-numbered alive broker (never the last one).
+    KillBroker,
+    /// Restore the lowest-numbered dead broker.
+    RestoreBroker,
+    /// Crash-restart the lowest-numbered live app instance.
+    RestartInstance,
+}
+
+/// A parsed `--script` value.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// Scripted point faults: `(point, nth operation at that point)`.
+    pub faults: Vec<(FaultPoint, u64)>,
+    /// Cluster events, as `(1-based step, event)`.
+    pub events: Vec<(u64, ScriptEvent)>,
+}
+
+impl Script {
+    /// Parse a `;`-separated token list. Empty input is a valid empty
+    /// script (a faultless replay).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut script = Script::default();
+        for token in s.split(';').map(str::trim).filter(|t| !t.is_empty()) {
+            let (name, at) = token
+                .split_once('@')
+                .ok_or_else(|| format!("script token `{token}`: expected `<name>@<n>`"))?;
+            let n: u64 = at
+                .parse()
+                .map_err(|_| format!("script token `{token}`: `{at}` is not a number"))?;
+            if n == 0 {
+                return Err(format!("script token `{token}`: positions are 1-based"));
+            }
+            match name {
+                "KillBroker" => script.events.push((n, ScriptEvent::KillBroker)),
+                "RestoreBroker" => script.events.push((n, ScriptEvent::RestoreBroker)),
+                "RestartInstance" => script.events.push((n, ScriptEvent::RestartInstance)),
+                _ => {
+                    let point = FaultPoint::ALL
+                        .into_iter()
+                        .find(|p| p.name() == name)
+                        .ok_or_else(|| format!("script token `{token}`: unknown point `{name}`"))?;
+                    script.faults.push((point, n));
+                }
+            }
+        }
+        script.events.sort_by_key(|(step, _)| *step);
+        Ok(script)
+    }
+
+    /// Build the fault plan realizing exactly this script's point faults
+    /// (request loss for `ProduceRequestLost`, ack loss everywhere else).
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(0);
+        for &(point, nth) in &self.faults {
+            let decision = match point {
+                FaultPoint::ProduceRequestLost => FaultDecision::DropRequest,
+                _ => FaultDecision::DropAck,
+            };
+            plan = plan.script(point, nth, decision);
+        }
+        plan
+    }
+
+    /// The events scheduled to fire before step `step` (1-based).
+    pub fn events_at(&self, step: u64) -> impl Iterator<Item = ScriptEvent> + '_ {
+        self.events.iter().filter(move |(s, _)| *s == step).map(|(_, e)| *e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fault_and_event_tokens() {
+        let s = Script::parse("TxnRpcAckLost@2;KillBroker@5;ProduceRequestLost@1;RestoreBroker@9")
+            .expect("valid script");
+        assert_eq!(
+            s.faults,
+            vec![(FaultPoint::TxnRpcAckLost, 2), (FaultPoint::ProduceRequestLost, 1)]
+        );
+        assert_eq!(s.events, vec![(5, ScriptEvent::KillBroker), (9, ScriptEvent::RestoreBroker)]);
+        assert_eq!(s.events_at(5).collect::<Vec<_>>(), vec![ScriptEvent::KillBroker]);
+        assert_eq!(s.events_at(6).count(), 0);
+    }
+
+    #[test]
+    fn empty_script_is_valid() {
+        let s = Script::parse("").expect("empty is fine");
+        assert!(s.faults.is_empty() && s.events.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(Script::parse("TxnRpcAckLost").is_err());
+        assert!(Script::parse("TxnRpcAckLost@x").is_err());
+        assert!(Script::parse("TxnRpcAckLost@0").is_err());
+        assert!(Script::parse("NoSuchPoint@1").is_err());
+    }
+
+    #[test]
+    fn fault_plan_realizes_scripted_decisions() {
+        let s = Script::parse("ProduceAckLost@1;ProduceRequestLost@2").expect("valid");
+        let plan = s.fault_plan();
+        assert_eq!(plan.decide(FaultPoint::ProduceAckLost), FaultDecision::DropAck);
+        assert_eq!(plan.decide(FaultPoint::ProduceAckLost), FaultDecision::Deliver);
+        assert_eq!(plan.decide(FaultPoint::ProduceRequestLost), FaultDecision::Deliver);
+        assert_eq!(plan.decide(FaultPoint::ProduceRequestLost), FaultDecision::DropRequest);
+    }
+}

@@ -47,7 +47,7 @@ fn repro_line_carries_the_cache_knob() {
 #[test]
 fn cache_absorbs_repeated_key_traffic() {
     let base = SimConfig::new(7).with_steps(200).with_profile(Profile::Count);
-    let uncached = run(&base.with_obs_profile());
+    let uncached = run(&base.clone().with_obs_profile());
     uncached.assert_passed();
     let cached = run(&base.with_cache(1024).with_obs_profile());
     cached.assert_passed();

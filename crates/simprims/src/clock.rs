@@ -34,6 +34,9 @@ pub struct WallClock {
 
 impl WallClock {
     pub fn new() -> Self {
+        // WallClock is the explicitly non-replayable clock; simulations must
+        // inject SimClock instead.
+        // detlint:allow[wall-clock] the one sanctioned wall-clock source
         Self { start: Instant::now() }
     }
 

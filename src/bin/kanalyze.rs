@@ -12,7 +12,8 @@
 use kstream_repro::kstreams::analyze::render;
 use kstream_repro::kstreams::processor::{Processor, ProcessorContext};
 use kstream_repro::kstreams::record::FlowRecord;
-use kstream_repro::kstreams::topology::Topology;
+use kstream_repro::kstreams::state::{StoreKind, StoreSpec};
+use kstream_repro::kstreams::topology::{InternalBuilder, TopicRef, Topology, ValueMode};
 use kstream_repro::kstreams::{JoinWindows, KStream, StreamsBuilder, StreamsConfig, TimeWindows};
 
 fn section(title: &str, topology: &Topology) {
@@ -21,6 +22,11 @@ fn section(title: &str, topology: &Topology) {
     println!("verify:");
     print!("{}", render(&topology.verify()));
     println!();
+}
+
+struct Nop;
+impl Processor for Nop {
+    fn process(&mut self, _ctx: &mut ProcessorContext<'_>, _record: FlowRecord) {}
 }
 
 fn main() {
@@ -64,18 +70,12 @@ fn main() {
     section("suppress-zero-grace (expected: suppress-zero-grace)", &t);
 
     // --- 4. Changelog-disabled store under exactly-once. ----------------
-    use kstream_repro::kstreams::state::{StoreKind, StoreSpec};
-    use kstream_repro::kstreams::topology::{InternalBuilder, TopicRef, ValueMode};
     let mut ib = InternalBuilder::new();
     let src = ib
         .add_source("src".into(), TopicRef::external("events"), ValueMode::Plain)
         .expect("unique");
     ib.add_store(StoreSpec::new("session-cache", StoreKind::KeyValue).without_changelog())
         .expect("unique");
-    struct Nop;
-    impl Processor for Nop {
-        fn process(&mut self, _ctx: &mut ProcessorContext<'_>, _record: FlowRecord) {}
-    }
     ib.add_processor(
         "cache".into(),
         std::sync::Arc::new(|| Box::new(Nop)),

@@ -32,4 +32,12 @@ fi
 step "cargo run --bin kanalyze (topology static verifier demo)"
 cargo run -q --bin kanalyze
 
+step "detlint (determinism lint over replay-critical crates)"
+cargo run -q --release -p kcheck --bin detlint
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "kcheck --quick (exhaustive model check of the EOS commit protocol)"
+  cargo run -q --release -p kcheck --bin kcheck -- --quick
+fi
+
 step "all gates passed"
