@@ -1,0 +1,166 @@
+//! Worker-scaling sweep — the §6.1 claim that "throughput increases with
+//! the total number of Kafka Streams threads", measured over the
+//! work-stealing task scheduler.
+//!
+//! Setup: one app instance owning 9 tasks (9 input partitions — a
+//! non-multiple of every swept worker count, so home queues are uneven and
+//! every parallel row exercises the steal path) runs a CPU-heavy hot-key
+//! stateful reduce (`cpu_work` xorshift rounds per record, standing in for
+//! deserialization/join/UDF cost). The scheduler worker count is swept
+//! 1 → N; every configuration processes the exact same workload on a
+//! virtual clock.
+//!
+//! Two throughput numbers per row:
+//!
+//! * **msg/s(wall)** — records per wall-clock second measured on this host.
+//!   Only meaningful as a scaling signal when the host has at least one
+//!   core per worker.
+//! * **msg/s(scaled)** — the same run with each parallel section charged at
+//!   its *critical path* (the busiest worker's measured busy time) instead
+//!   of its serialized cost. This is what the run costs with one core per
+//!   worker, derived from real measured per-task busy times and the real
+//!   steal schedule — so the scaling curve is host-core-count independent.
+//!   The serial produce/commit phase stays serial in this accounting
+//!   (Amdahl is not assumed away). The sweep pins the schedule with a fixed
+//!   scheduler seed, so the reported curve is reproducible.
+//!
+//! `--quick` shrinks the sweep to {1, 2, 4} workers and asserts the ≥1.5×
+//! scaled-speedup floor at 4 workers (the CI gate). `--json` emits one
+//! machine-readable object (the committed `results/BENCH_throughput.json`),
+//! including each run's kobs per-phase latency breakdown.
+
+use bench::{phase_breakdown, run_median, RunReport, RunSpec};
+use kobs::json::{num, obj, str as jstr, Value};
+
+/// Fixed schedule seed: the sweep reports one reproducible steal schedule.
+const SCHED_SEED: u64 = 0x7157_0BEC;
+
+/// Xorshift rounds per record. Sized so per-record CPU dominates the
+/// per-record broker-protocol cost, the way a real deserialize+join+UDF
+/// pipeline would.
+const CPU_WORK: u32 = 4_000;
+
+/// Speedup floor the CI gate asserts at 4 workers.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn spec(workers: usize, quick: bool) -> RunSpec {
+    RunSpec {
+        input_partitions: 9,
+        output_partitions: 9,
+        commit_interval_ms: 100,
+        exactly_once: true,
+        // 64 hot keys over 9 partitions: ~100 updates/key/commit at this
+        // rate, with every task kept busy so scaling is load-balance bound,
+        // not starvation bound.
+        rate_per_ms: 8,
+        duration_ms: if quick { 800 } else { 2_000 },
+        key_space: 64,
+        instances: 1,
+        cache_max_entries: 0,
+        worker_threads: workers,
+        // Virtual mode: deterministic steal schedule; the busy-time
+        // instrumentation measures the same task executions every run.
+        scheduler_seed: Some(SCHED_SEED),
+        cpu_work: CPU_WORK,
+    }
+}
+
+fn row(label: &str, r: &RunReport, base_scaled: f64) -> String {
+    format!(
+        "{label:<14} {:>12.0} {:>14.0} {:>8.2}x {:>10} {:>8} {:>14.1}",
+        r.throughput_msg_per_sec,
+        r.scaled_throughput_msg_per_sec(),
+        r.scaled_throughput_msg_per_sec() / base_scaled.max(1e-9),
+        r.records_processed,
+        r.scheduler_steals,
+        r.sched_critical_ns as f64 / 1e6,
+    )
+}
+
+fn json_row(workers: usize, r: &RunReport, base_scaled: f64) -> Value {
+    obj(vec![
+        ("workers", num(workers as f64)),
+        ("throughput_msg_per_sec_wall", num(r.throughput_msg_per_sec)),
+        ("throughput_msg_per_sec_scaled", num(r.scaled_throughput_msg_per_sec())),
+        ("speedup_vs_1_worker", num(r.scaled_throughput_msg_per_sec() / base_scaled.max(1e-9))),
+        ("records_processed", num(r.records_processed as f64)),
+        ("scheduler_steals", num(r.scheduler_steals as f64)),
+        ("sched_busy_ms", num(r.sched_busy_ns as f64 / 1e6)),
+        ("sched_critical_path_ms", num(r.sched_critical_ns as f64 / 1e6)),
+        ("latency_mean_ms", num(r.latency.mean_ms())),
+        ("latency_p99_ms", num(r.latency.percentile_ms(0.99) as f64)),
+        ("metrics", r.obs.to_json()),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let repeats = if quick { 1 } else { 3 };
+    let sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    // Warm-up run: page in the broker paths so the 1-worker baseline isn't
+    // penalized by first-touch costs.
+    let _ = run_median(RunSpec { duration_ms: 200, ..spec(1, true) }, 1);
+    if !json {
+        println!("# Worker-scaling sweep — hot-key CPU-bound reduce, 9 tasks, 1 instance");
+        println!("# (cpu_work={CPU_WORK} xorshift rounds/record; schedule seed {SCHED_SEED:#x})");
+        println!(
+            "{:<14} {:>12} {:>14} {:>9} {:>10} {:>8} {:>14}",
+            "configuration",
+            "msg/s(wall)",
+            "msg/s(scaled)",
+            "speedup",
+            "records",
+            "steals",
+            "critical-ms"
+        );
+    }
+    let mut rows: Vec<Value> = Vec::new();
+    let mut base_scaled = 0.0f64;
+    let mut speedup_at_4 = 0.0f64;
+    for &workers in sweep {
+        let report = run_median(spec(workers, quick), repeats);
+        if workers == 1 {
+            base_scaled = report.scaled_throughput_msg_per_sec();
+        }
+        let speedup = report.scaled_throughput_msg_per_sec() / base_scaled.max(1e-9);
+        if workers == 4 {
+            speedup_at_4 = speedup;
+        }
+        if json {
+            rows.push(json_row(workers, &report, base_scaled));
+        } else {
+            println!("{}", row(&format!("workers={workers}"), &report, base_scaled));
+            let phases = phase_breakdown(&report);
+            if !phases.is_empty() {
+                print!("{phases}");
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            obj(vec![
+                ("figure", jstr("throughput".to_string())),
+                ("cpu_work", num(CPU_WORK as f64)),
+                ("schedule_seed", num(SCHED_SEED as f64)),
+                ("speedup_at_4_workers", num(speedup_at_4)),
+                ("speedup_floor", num(SPEEDUP_FLOOR)),
+                ("rows", Value::Arr(rows)),
+            ])
+        );
+    } else {
+        println!();
+        println!("# Paper check (§6.1): throughput scales with worker threads; the serial");
+        println!("# produce/commit phase bounds the curve (Amdahl), steals rebalance skew.");
+    }
+    if quick {
+        assert!(
+            speedup_at_4 >= SPEEDUP_FLOOR,
+            "scaled speedup at 4 workers {speedup_at_4:.2}x below the {SPEEDUP_FLOOR}x floor"
+        );
+        if !json {
+            println!("# quick-mode gate: {speedup_at_4:.2}x scaled speedup at 4 workers (floor {SPEEDUP_FLOOR}x)");
+        }
+    }
+}

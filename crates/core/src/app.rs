@@ -24,6 +24,7 @@ use crate::assignment::assign_tasks;
 use crate::config::{ProcessingGuarantee, StreamsConfig};
 use crate::error::StreamsError;
 use crate::metrics::StreamsMetrics;
+use crate::processor::{scheduler, SchedulerMode};
 use crate::standby::{assign_standbys, StandbyTask};
 use crate::task::StreamTask;
 use crate::topology::{TaskId, Topology};
@@ -63,6 +64,14 @@ pub struct KafkaStreamsApp {
     retired_metrics: StreamsMetrics,
     commits: u64,
     transactions: u64,
+    /// Process cycles run so far — the stream id for the deterministic
+    /// scheduler's per-cycle steal decisions.
+    scheduler_cycles: u64,
+    /// Summed per-worker busy time across all parallel cycles (ns).
+    sched_busy_ns: u64,
+    /// Summed critical-path time across all parallel cycles (ns) — what the
+    /// parallel sections would cost on one core per worker.
+    sched_critical_ns: u64,
 }
 
 impl KafkaStreamsApp {
@@ -103,6 +112,9 @@ impl KafkaStreamsApp {
             retired_metrics: StreamsMetrics::default(),
             commits: 0,
             transactions: 0,
+            scheduler_cycles: 0,
+            sched_busy_ns: 0,
+            sched_critical_ns: 0,
         }
     }
 
@@ -347,17 +359,56 @@ impl KafkaStreamsApp {
         }
         self.check_rebalance()?;
         let isolation = self.consume_isolation();
-        let mut processed = 0;
-        // Deterministic task order (BTreeMap iterates keys in sorted order):
-        // the simulation harness replays runs byte-identically from a seed.
         let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        for id in &task_ids {
-            let task = self.tasks.get_mut(id).expect("owned");
-            processed +=
-                task.poll_and_process(&self.cluster, self.config.max_poll_records, isolation)?;
-            task.punctuate(self.cluster.now_ms())?;
-            self.send_task_writes(*id)?;
-        }
+        let processed = match self.config.scheduler_mode() {
+            // Serial: the historical inline loop, byte-identical to the
+            // pre-scheduler behavior — each task's writes drain into the
+            // producer immediately after its cycle. Deterministic task
+            // order (BTreeMap iterates keys in sorted order): the
+            // simulation harness replays runs byte-identically from a seed.
+            SchedulerMode::Serial => {
+                let mut processed = 0;
+                for id in &task_ids {
+                    let task = self.tasks.get_mut(id).expect("owned");
+                    processed += task.poll_and_process(
+                        &self.cluster,
+                        self.config.max_poll_records,
+                        isolation,
+                    )?;
+                    task.punctuate(self.cluster.now_ms())?;
+                    self.send_task_writes(*id)?;
+                }
+                processed
+            }
+            // Parallel modes: fetch/process/punctuate run on workers (pure
+            // task-local mutation), then the instance thread drains every
+            // task's writes into its single EOS-v2 transactional producer
+            // in task-id order — producer access stays single-threaded and
+            // the commit scope per task is unchanged.
+            mode => {
+                let wall_ms = self.cluster.now_ms();
+                let outcome = scheduler::run_cycle(
+                    mode,
+                    &mut self.tasks,
+                    &self.cluster,
+                    self.config.max_poll_records,
+                    isolation,
+                    wall_ms,
+                    self.scheduler_cycles,
+                )?;
+                self.scheduler_cycles = self.scheduler_cycles.wrapping_add(1);
+                self.sched_busy_ns += outcome.busy_total_ns;
+                self.sched_critical_ns += outcome.critical_path_ns;
+                if outcome.steals > 0 {
+                    self.retired_metrics.scheduler_steals += outcome.steals;
+                    kobs::count("kstreams.scheduler.steals", outcome.steals);
+                }
+                for id in &task_ids {
+                    self.send_task_writes(*id)?;
+                }
+                outcome.processed
+            }
+        };
         // Standby replicas tail their changelogs (pure replay; no output,
         // no commit, no effect on semantics).
         for standby in self.standbys.values_mut() {
@@ -591,6 +642,28 @@ impl KafkaStreamsApp {
     /// Producer-side stats (dedup counters etc. for benches).
     pub fn producer_stats(&self) -> kbroker::producer::ProducerStats {
         self.producer.stats()
+    }
+
+    /// `(busy_total_ns, critical_path_ns)` summed over all parallel cycles:
+    /// the serialized cost of the parallel sections and what they cost on
+    /// the schedule's critical path (one core per worker). Both 0 in serial
+    /// mode. `throughputbench` uses the pair to report scaling that is
+    /// independent of how many physical cores the measuring host has.
+    pub fn scheduler_timings(&self) -> (u64, u64) {
+        (self.sched_busy_ns, self.sched_critical_ns)
+    }
+
+    /// Deterministic dump of every owned task's stores, keyed by
+    /// `(task, store)` with entries in changelog-key order — the oracle for
+    /// serial-vs-parallel equivalence tests.
+    pub fn dump_stores(&self) -> BTreeMap<(TaskId, String), Vec<(Bytes, Bytes)>> {
+        let mut out = BTreeMap::new();
+        for (id, task) in &self.tasks {
+            for (store, entries) in task.dump_stores() {
+                out.insert((*id, store), entries);
+            }
+        }
+        out
     }
 }
 

@@ -47,6 +47,17 @@ pub struct StreamsConfig {
     /// (`Topology::verify_with`); an app refuses to start while a denied
     /// rule fires (see `crate::analyze`).
     pub deny_rules: Vec<crate::analyze::Rule>,
+    /// Worker threads executing task process cycles (§6.1's scaling knob).
+    /// `1` (the default) is the historical serial path; `> 1` runs the
+    /// work-stealing scheduler (`processor::scheduler`), with commits still
+    /// scoped per task so exactly-once is unaffected.
+    pub num_worker_threads: usize,
+    /// When set, a `num_worker_threads > 1` schedule is *virtualized*:
+    /// worker steps are serialized deterministically on the instance thread
+    /// and steal decisions derive from this seed. Used by the simulation
+    /// harness so parallel runs replay byte-identically; `None` (default)
+    /// uses real OS threads.
+    pub scheduler_seed: Option<u64>,
 }
 
 impl StreamsConfig {
@@ -60,6 +71,18 @@ impl StreamsConfig {
             num_standby_replicas: 0,
             cache_max_entries: 0,
             deny_rules: Vec::new(),
+            num_worker_threads: 1,
+            scheduler_seed: None,
+        }
+    }
+
+    /// The scheduler mode this configuration resolves to.
+    pub fn scheduler_mode(&self) -> crate::processor::SchedulerMode {
+        use crate::processor::SchedulerMode;
+        match (self.num_worker_threads, self.scheduler_seed) {
+            (0 | 1, _) => SchedulerMode::Serial,
+            (workers, Some(seed)) => SchedulerMode::Virtual { workers, seed },
+            (workers, None) => SchedulerMode::Threaded { workers },
         }
     }
 
@@ -114,6 +137,23 @@ impl StreamsConfig {
         self.cache_max_entries = n;
         self
     }
+
+    /// Execute task cycles on `n` worker threads with work stealing
+    /// (`1` = serial, the default).
+    pub fn with_num_worker_threads(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.num_worker_threads = n;
+        self
+    }
+
+    /// Virtualize the parallel schedule: worker steps are serialized
+    /// deterministically on the instance thread, with steal decisions
+    /// derived from `seed`. A fixed `(seed, num_worker_threads)` pair
+    /// replays byte-identically — the simulation harness's mode.
+    pub fn with_deterministic_scheduler(mut self, seed: u64) -> Self {
+        self.scheduler_seed = Some(seed);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +178,20 @@ mod tests {
     fn single_switch_to_eos() {
         let c = StreamsConfig::new("app").exactly_once();
         assert_eq!(c.guarantee, ProcessingGuarantee::ExactlyOnce);
+    }
+
+    #[test]
+    fn scheduler_mode_resolution() {
+        use crate::processor::SchedulerMode;
+        let serial = StreamsConfig::new("app");
+        assert_eq!(serial.scheduler_mode(), SchedulerMode::Serial);
+        // One worker stays serial even with a scheduler seed set.
+        let one = StreamsConfig::new("app").with_deterministic_scheduler(7);
+        assert_eq!(one.scheduler_mode(), SchedulerMode::Serial);
+        let threaded = StreamsConfig::new("app").with_num_worker_threads(4);
+        assert_eq!(threaded.scheduler_mode(), SchedulerMode::Threaded { workers: 4 });
+        let virt =
+            StreamsConfig::new("app").with_num_worker_threads(4).with_deterministic_scheduler(7);
+        assert_eq!(virt.scheduler_mode(), SchedulerMode::Virtual { workers: 4, seed: 7 });
     }
 }

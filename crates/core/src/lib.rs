@@ -46,4 +46,5 @@ pub use dsl::{KGroupedStream, KStream, KTable, StreamsBuilder};
 pub use error::StreamsError;
 pub use kserde::KSerde;
 pub use metrics::StreamsMetrics;
+pub use processor::{CycleOutcome, SchedulerMode};
 pub use record::{Change, FlowRecord};

@@ -8,8 +8,10 @@
 //! into "log append" and lets transactions cover it.
 
 pub mod driver;
+pub mod scheduler;
 
 pub use driver::{SinkOutput, SubTopologyDriver, TaskEnv};
+pub use scheduler::{CycleOutcome, SchedulerMode};
 
 use crate::record::FlowRecord;
 use crate::state::{RecordCache, Store, StoreSpec};
@@ -17,7 +19,11 @@ use bytes::Bytes;
 
 /// A stream processor: receives one record at a time, may read/write stores
 /// and forward records downstream.
-pub trait Processor {
+///
+/// `Send` is a supertrait: a task (and the operator instances it owns) may
+/// be executed by any worker thread of the scheduler, though never by two at
+/// once — tasks are the unit of scheduling, so no operator needs `Sync`.
+pub trait Processor: Send {
     /// Process one input record.
     fn process(&mut self, ctx: &mut ProcessorContext<'_>, record: FlowRecord);
 

@@ -1,0 +1,368 @@
+//! Work-stealing task scheduler: the multi-core execution engine behind the
+//! paper's scaling claim (§6.1: "throughput increases with the total number
+//! of Kafka Streams threads").
+//!
+//! A [`StreamTask`] is the unit of scheduling. Each process cycle every
+//! owned task is enqueued exactly once on a per-worker run queue
+//! (round-robin by task index); a worker drains its own queue from the
+//! front and, when empty, *steals* from the back of another worker's queue.
+//! Because a task appears on exactly one queue per cycle and a worker takes
+//! exclusive ownership of a task slot before running it, per-partition
+//! ordering is preserved with no locking inside the hot processing path.
+//!
+//! Why this is safe under exactly-once: the parallel portion of a cycle —
+//! fetch, process, punctuate — only reads broker logs and mutates
+//! *task-local* state (stores, output buffers, offsets). Everything that
+//! touches the instance's single EOS-v2 transactional producer (draining
+//! outputs, changelog appends, offset commits) stays on the instance thread,
+//! in task-id order, after the workers have quiesced. Commit transactions
+//! therefore remain scoped exactly as in serial execution and no cross-task
+//! locking is introduced.
+//!
+//! Three modes:
+//! * [`SchedulerMode::Serial`] — the default (`num_worker_threads = 1`):
+//!   tasks run inline on the instance thread in task-id order, byte-
+//!   identical to the historical serial loop.
+//! * [`SchedulerMode::Virtual`] — N *virtual* workers serialized
+//!   deterministically on the calling thread; steal decisions derive from a
+//!   seed, so a `simtest` run with `--workers k` replays byte-identically
+//!   for a fixed seed while still exercising the steal paths.
+//! * [`SchedulerMode::Threaded`] — N OS threads with real work stealing
+//!   (used outside the simulation harness).
+
+use crate::error::StreamsError;
+use crate::task::StreamTask;
+use crate::topology::TaskId;
+use kbroker::{Cluster, IsolationLevel};
+use parking_lot::Mutex;
+use simkit::DetRng;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How one process cycle's task executions are laid across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// One worker, inline on the instance thread (default).
+    Serial,
+    /// `workers` virtual workers stepped deterministically on the calling
+    /// thread; steal victim choice derives from `seed` (simulation mode).
+    Virtual { workers: usize, seed: u64 },
+    /// `workers` OS threads with real work stealing.
+    Threaded { workers: usize },
+}
+
+/// What one scheduled process cycle did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleOutcome {
+    /// Input records processed across all tasks.
+    pub processed: usize,
+    /// Tasks executed by a worker other than their home worker.
+    pub steals: u64,
+    /// Summed wall time all workers spent running tasks this cycle
+    /// (nanoseconds) — the serialized cost of the parallel section.
+    pub busy_total_ns: u64,
+    /// Wall time of the busiest worker this cycle (nanoseconds) — the
+    /// schedule's critical path, i.e. the cycle's parallel-section duration
+    /// given one core per worker. 0 in serial mode (no parallel section).
+    pub critical_path_ns: u64,
+}
+
+/// One schedulable task slot. The slot mutex hands a worker exclusive
+/// ownership of the task for the duration of its cycle; since each slot is
+/// enqueued exactly once per cycle, the mutex is never contended — it exists
+/// to move the task across the thread boundary soundly.
+struct Slot {
+    task: Mutex<Option<StreamTask>>,
+    outcome: Mutex<Option<Result<usize, StreamsError>>>,
+}
+
+/// Per-worker FIFO run queues with back-of-queue stealing.
+struct RunQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+}
+
+impl RunQueues {
+    fn new(n_slots: usize, workers: usize) -> Self {
+        // Round-robin home assignment: slot i belongs to worker i % W. Each
+        // slot is enqueued exactly once per cycle, so per-partition ordering
+        // needs no further coordination.
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for slot in 0..n_slots {
+            queues[slot % workers].push_back(slot);
+        }
+        Self { queues: queues.into_iter().map(Mutex::new).collect(), steals: AtomicU64::new(0) }
+    }
+
+    /// Pop the front of worker `w`'s own queue.
+    fn pop_own(&self, w: usize) -> Option<usize> {
+        self.queues[w].lock().pop_front()
+    }
+
+    /// Steal from the *back* of another worker's queue, scanning victims
+    /// starting at `start` (wrapping, skipping `w` itself).
+    fn steal(&self, w: usize, start: usize) -> Option<usize> {
+        let n = self.queues.len();
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if victim == w {
+                continue;
+            }
+            if let Some(idx) = self.queues[victim].lock().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+/// Run one task cycle (poll-process + punctuate) against a slot, recording
+/// the outcome. Task-local mutation only — nothing here touches the
+/// instance's producer or any other task.
+fn run_slot(
+    slot: &Slot,
+    cluster: &Cluster,
+    max_poll_records: usize,
+    isolation: IsolationLevel,
+    wall_ms: i64,
+) {
+    let mut guard = slot.task.lock();
+    let Some(task) = guard.as_mut() else { return };
+    let result = task
+        .poll_and_process(cluster, max_poll_records, isolation)
+        .and_then(|n| task.punctuate(wall_ms).map(|()| n));
+    *slot.outcome.lock() = Some(result);
+}
+
+/// Move tasks out of the map into slots, in task-id order.
+fn take_slots(tasks: &mut BTreeMap<TaskId, StreamTask>) -> (Vec<TaskId>, Vec<Slot>) {
+    let ids: Vec<TaskId> = tasks.keys().copied().collect();
+    let slots = ids
+        .iter()
+        .map(|id| Slot { task: Mutex::new(tasks.remove(id)), outcome: Mutex::new(None) })
+        .collect();
+    (ids, slots)
+}
+
+/// Return tasks to the map and fold slot outcomes: total records processed,
+/// or the first error in task-id order (deterministic error selection —
+/// independent of which worker hit it first).
+fn restore_slots(
+    tasks: &mut BTreeMap<TaskId, StreamTask>,
+    ids: Vec<TaskId>,
+    slots: Vec<Slot>,
+) -> Result<usize, StreamsError> {
+    let mut processed = 0;
+    let mut first_err = None;
+    for (id, slot) in ids.into_iter().zip(slots) {
+        if let Some(task) = slot.task.lock().take() {
+            tasks.insert(id, task);
+        }
+        match slot.outcome.lock().take() {
+            Some(Ok(n)) => processed += n,
+            Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+            Some(Err(_)) | None => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(processed),
+    }
+}
+
+/// Execute one process cycle over `tasks` under the given mode. Parallel
+/// modes run every task to completion before returning (even when one
+/// errors), then surface the first error in task-id order; the serial mode
+/// short-circuits exactly like the historical loop.
+pub fn run_cycle(
+    mode: SchedulerMode,
+    tasks: &mut BTreeMap<TaskId, StreamTask>,
+    cluster: &Cluster,
+    max_poll_records: usize,
+    isolation: IsolationLevel,
+    wall_ms: i64,
+    cycle: u64,
+) -> Result<CycleOutcome, StreamsError> {
+    match mode {
+        SchedulerMode::Serial => {
+            let mut processed = 0;
+            for task in tasks.values_mut() {
+                processed += task.poll_and_process(cluster, max_poll_records, isolation)?;
+                task.punctuate(wall_ms)?;
+            }
+            Ok(CycleOutcome { processed, steals: 0, ..CycleOutcome::default() })
+        }
+        SchedulerMode::Virtual { workers, seed } => run_virtual(
+            workers.max(1),
+            seed,
+            tasks,
+            cluster,
+            max_poll_records,
+            isolation,
+            wall_ms,
+            cycle,
+        ),
+        SchedulerMode::Threaded { workers } => {
+            run_threaded(workers.max(1), tasks, cluster, max_poll_records, isolation, wall_ms)
+        }
+    }
+}
+
+/// Virtual workers, stepped on the calling thread: one task cycle per
+/// worker per round, with the round's worker *visit order* shuffled from
+/// the seed stream. The shuffle is what makes steals reachable here —
+/// round-robin home assignment keeps queue lengths within one of each
+/// other, so under a fixed visit order every owner would drain its own
+/// queue before any idle worker got a turn to steal from it. A shuffled
+/// order models real pace divergence: a worker visited ahead of a slower
+/// peer finds that peer's queue still populated and steals from its back.
+/// The interleaving — visit order and victim choice alike — is a pure
+/// function of (task set, worker count, seed, cycle number), which is what
+/// keeps `simtest` replays byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_virtual(
+    workers: usize,
+    seed: u64,
+    tasks: &mut BTreeMap<TaskId, StreamTask>,
+    cluster: &Cluster,
+    max_poll_records: usize,
+    isolation: IsolationLevel,
+    wall_ms: i64,
+    cycle: u64,
+) -> Result<CycleOutcome, StreamsError> {
+    let (ids, slots) = take_slots(tasks);
+    let queues = RunQueues::new(slots.len(), workers);
+    // Per-cycle child stream: steal decisions replay deterministically yet
+    // vary between cycles the way a real pool's would.
+    let mut rng = DetRng::new(seed).derive(cycle);
+    let mut busy = vec![0u64; workers];
+    let mut order: Vec<usize> = (0..workers).collect();
+    loop {
+        // Fisher–Yates from the cycle stream: a fresh visit order per round.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.index(i + 1));
+        }
+        let mut ran = false;
+        for &w in &order {
+            let next = queues.pop_own(w).or_else(|| queues.steal(w, rng.index(workers)));
+            if let Some(idx) = next {
+                // detlint:allow[wall-clock] busy-time measurement only; never feeds control flow
+                let t = std::time::Instant::now();
+                run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms);
+                busy[w] += t.elapsed().as_nanos() as u64;
+                ran = true;
+            }
+        }
+        if !ran {
+            break;
+        }
+    }
+    let steals = queues.steals.load(Ordering::Relaxed);
+    let (busy_total_ns, critical_path_ns) = fold_busy(&busy);
+    restore_slots(tasks, ids, slots).map(|processed| CycleOutcome {
+        processed,
+        steals,
+        busy_total_ns,
+        critical_path_ns,
+    })
+}
+
+/// `(sum, max)` of per-worker busy nanoseconds: the serialized cost of the
+/// parallel section and its critical path.
+fn fold_busy(busy: &[u64]) -> (u64, u64) {
+    (busy.iter().sum(), busy.iter().copied().max().unwrap_or(0))
+}
+
+/// Real OS-thread workers over a scoped pool. Worker `w` drains its own
+/// queue and then steals, scanning victims from `w + 1` upward; it exits
+/// when every queue is empty (each slot is queued once per cycle, so there
+/// is no re-arm race).
+fn run_threaded(
+    workers: usize,
+    tasks: &mut BTreeMap<TaskId, StreamTask>,
+    cluster: &Cluster,
+    max_poll_records: usize,
+    isolation: IsolationLevel,
+    wall_ms: i64,
+) -> Result<CycleOutcome, StreamsError> {
+    let (ids, slots) = take_slots(tasks);
+    if slots.is_empty() {
+        return Ok(CycleOutcome::default());
+    }
+    let queues = RunQueues::new(slots.len(), workers);
+    let n_threads = workers.min(slots.len());
+    let busy: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(0)).collect();
+    {
+        let slots = &slots;
+        let queues = &queues;
+        let busy = &busy;
+        std::thread::scope(|scope| {
+            for (w, busy_w) in busy.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut mine = 0u64;
+                    while let Some(idx) = queues.pop_own(w).or_else(|| queues.steal(w, w + 1)) {
+                        // detlint:allow[wall-clock] busy-time measurement only; never feeds control flow
+                        let t = std::time::Instant::now();
+                        run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms);
+                        mine += t.elapsed().as_nanos() as u64;
+                    }
+                    busy_w.store(mine, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+    let steals = queues.steals.load(Ordering::Relaxed);
+    let per_worker: Vec<u64> = busy.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    let (busy_total_ns, critical_path_ns) = fold_busy(&per_worker);
+    restore_slots(tasks, ids, slots).map(|processed| CycleOutcome {
+        processed,
+        steals,
+        busy_total_ns,
+        critical_path_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_task_is_send() {
+        // The threaded scheduler moves tasks across worker threads;
+        // `Processor: Send` is the supertrait that carries this. A compile
+        // failure here means an operator lost its `Send`-ability.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamTask>();
+    }
+
+    #[test]
+    fn round_robin_home_queues() {
+        let q = RunQueues::new(5, 2);
+        assert_eq!(q.pop_own(0), Some(0));
+        assert_eq!(q.pop_own(0), Some(2));
+        assert_eq!(q.pop_own(1), Some(1));
+        assert_eq!(q.pop_own(1), Some(3));
+        assert_eq!(q.pop_own(0), Some(4));
+        assert_eq!(q.pop_own(0), None);
+    }
+
+    #[test]
+    fn steal_takes_from_the_back() {
+        let q = RunQueues::new(4, 2);
+        // Worker 1's queue holds [1, 3]; worker 0 steals the back (3).
+        assert_eq!(q.steal(0, 1), Some(3));
+        assert_eq!(q.steals.load(Ordering::Relaxed), 1);
+        assert_eq!(q.pop_own(1), Some(1));
+    }
+
+    #[test]
+    fn steal_skips_self_and_wraps() {
+        let q = RunQueues::new(2, 4);
+        // Workers 2 and 3 have empty queues; stealing from start=2 must wrap
+        // past itself (and past empty victims) to reach worker 0 or 1.
+        assert_eq!(q.steal(2, 2), Some(0));
+        assert_eq!(q.steal(3, 3), Some(1));
+        assert_eq!(q.steal(0, 1), None, "everything drained");
+    }
+}

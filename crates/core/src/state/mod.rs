@@ -112,6 +112,25 @@ impl Store {
         encode_windowed_key(key, window_start)
     }
 
+    /// Dump every entry as `(changelog key, value)` in key order — a
+    /// store-shape-independent fingerprint of the contents (equivalence
+    /// tests, interactive debugging).
+    pub fn dump(&self) -> Vec<(Bytes, Bytes)> {
+        let mut out: Vec<(Bytes, Bytes)> = match self {
+            Store::Kv(s) => s.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Store::Window(s) => s
+                .iter()
+                .map(|(start, k, v)| (Self::windowed_changelog_key(k, start), v.clone()))
+                .collect(),
+            Store::Session(s) => s
+                .iter()
+                .map(|(k, e)| (session::encode_session_key(k, e.start, e.end), e.value.clone()))
+                .collect(),
+        };
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Total entries (tests, metrics).
     pub fn len(&self) -> usize {
         match self {

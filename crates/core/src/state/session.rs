@@ -109,6 +109,11 @@ impl SessionStore {
         evicted
     }
 
+    /// All `(key, session)` pairs in key order (dumps, queries).
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &SessionEntry)> {
+        self.map.iter().flat_map(|(k, sessions)| sessions.iter().map(move |s| (k, s)))
+    }
+
     pub fn len(&self) -> usize {
         self.map.values().map(Vec::len).sum()
     }

@@ -388,4 +388,11 @@ impl StreamTask {
     pub fn store_len(&self, store: &str) -> Option<usize> {
         self.env.stores.get(store).map(|e| e.store.len())
     }
+
+    /// Deterministic dump of every store's contents as
+    /// `store → (changelog key, value)` pairs in key order (the
+    /// serial-vs-parallel equivalence oracle).
+    pub fn dump_stores(&self) -> BTreeMap<String, Vec<(Bytes, Bytes)>> {
+        self.env.stores.iter().map(|(name, e)| (name.clone(), e.store.dump())).collect()
+    }
 }

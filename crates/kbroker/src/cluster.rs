@@ -10,7 +10,7 @@
 use crate::error::BrokerError;
 use crate::group::GroupsRegistry;
 use crate::replica::ReplicaSet;
-use crate::topic::{TopicConfig, TopicPartition};
+use crate::topic::{partition_for_key, TopicConfig, TopicPartition};
 use crate::txn::TxnRegistry;
 use crate::{OFFSETS_TOPIC, TXN_TOPIC};
 use klog::batch::{BatchMeta, ControlType};
@@ -19,7 +19,7 @@ use klog::{AppendOutcome, FetchResult, IsolationLevel, Offset, Record};
 use parking_lot::{Mutex, RwLock};
 use simkit::{FaultPlan, SharedClock, WallClock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 pub(crate) struct TopicMeta {
@@ -27,13 +27,70 @@ pub(crate) struct TopicMeta {
     pub partitions: Vec<Arc<Mutex<ReplicaSet>>>,
 }
 
+/// Stripe count of the topic registry. A topic-name hash picks the stripe,
+/// so the registry lock a produce/fetch takes (briefly, to clone the
+/// partition's `Arc<Mutex<ReplicaSet>>` out) is almost never the one a
+/// concurrent create/lookup of an unrelated topic holds.
+const TOPIC_STRIPES: u32 = 16;
+
+/// The cluster's topic table, striped by topic-name hash. Values are
+/// `Arc`ed: a lookup clones the handle out and drops the stripe lock, so
+/// the data path never holds registry and partition locks together.
+pub(crate) struct TopicRegistry {
+    stripes: Vec<RwLock<HashMap<String, Arc<TopicMeta>>>>,
+}
+
+impl TopicRegistry {
+    fn new() -> Self {
+        Self { stripes: (0..TOPIC_STRIPES).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<TopicMeta>>> {
+        &self.stripes[partition_for_key(name.as_bytes(), TOPIC_STRIPES) as usize]
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<Arc<TopicMeta>> {
+        self.stripe(name).read().get(name).cloned()
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.stripe(name).read().contains_key(name)
+    }
+
+    /// Insert unless present (idempotent topic creation); returns whether
+    /// the topic was inserted. The stripe write lock spans the existence
+    /// check and the insert, so two racing creators cannot both build.
+    fn insert_if_absent(&self, name: &str, build: impl FnOnce() -> TopicMeta) -> bool {
+        let mut stripe = self.stripe(name).write();
+        if stripe.contains_key(name) {
+            return false;
+        }
+        stripe.insert(name.to_string(), Arc::new(build()));
+        true
+    }
+
+    /// Every `(name, meta)` pair in name order — whole-cluster sweeps
+    /// (failure propagation, retention) stay deterministic for seed replay.
+    fn metas_sorted(&self) -> Vec<(String, Arc<TopicMeta>)> {
+        let mut out: Vec<(String, Arc<TopicMeta>)> = Vec::new();
+        for stripe in &self.stripes {
+            // detlint:allow[unordered-iter] collected then sorted below
+            out.extend(stripe.read().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 pub(crate) struct ClusterInner {
     pub clock: SharedClock,
     pub faults: FaultPlan,
     pub num_brokers: usize,
     pub default_replication: usize,
-    pub broker_alive: RwLock<Vec<bool>>,
-    pub topics: RwLock<HashMap<String, TopicMeta>>,
+    /// Liveness flag per broker; atomic so the data path's reads never
+    /// serialize against failure injection.
+    pub broker_alive: Vec<AtomicBool>,
+    pub topics: TopicRegistry,
     pub pid_counter: AtomicI64,
     pub txn: TxnRegistry,
     pub groups: GroupsRegistry,
@@ -142,8 +199,8 @@ impl ClusterBuilder {
                 faults: self.faults,
                 num_brokers: self.brokers,
                 default_replication: replication,
-                broker_alive: RwLock::new(vec![true; self.brokers]),
-                topics: RwLock::new(HashMap::new()),
+                broker_alive: (0..self.brokers).map(|_| AtomicBool::new(true)).collect(),
+                topics: TopicRegistry::new(),
                 pid_counter: AtomicI64::new(0),
                 txn: TxnRegistry::new(self.txn_partitions),
                 groups: GroupsRegistry::new(self.offsets_partitions),
@@ -208,19 +265,19 @@ impl Cluster {
             config.replication = self.inner.default_replication;
         }
         config.replication = config.replication.min(self.inner.num_brokers);
-        let mut topics = self.inner.topics.write();
-        if topics.contains_key(name) {
-            return Ok(()); // idempotent creation
-        }
-        let partitions = (0..config.partitions)
-            .map(|p| {
-                let brokers: Vec<usize> = (0..config.replication)
-                    .map(|i| (p as usize + i) % self.inner.num_brokers)
-                    .collect();
-                Arc::new(Mutex::new(ReplicaSet::new(TopicPartition::new(name, p), brokers)))
-            })
-            .collect();
-        topics.insert(name.to_string(), TopicMeta { config, partitions });
+        // Idempotent creation: insert_if_absent holds the stripe lock across
+        // check and insert, so racing creators agree on one TopicMeta.
+        self.inner.topics.insert_if_absent(name, || {
+            let partitions = (0..config.partitions)
+                .map(|p| {
+                    let brokers: Vec<usize> = (0..config.replication)
+                        .map(|i| (p as usize + i) % self.inner.num_brokers)
+                        .collect();
+                    Arc::new(Mutex::new(ReplicaSet::new(TopicPartition::new(name, p), brokers)))
+                })
+                .collect();
+            TopicMeta { config, partitions }
+        });
         Ok(())
     }
 
@@ -228,7 +285,6 @@ impl Cluster {
     pub fn partition_count(&self, topic: &str) -> Result<u32, BrokerError> {
         self.inner
             .topics
-            .read()
             .get(topic)
             .map(|m| m.config.partitions)
             .ok_or_else(|| BrokerError::UnknownTopic(topic.to_string()))
@@ -236,7 +292,7 @@ impl Cluster {
 
     /// Whether a topic exists.
     pub fn topic_exists(&self, topic: &str) -> bool {
-        self.inner.topics.read().contains_key(topic)
+        self.inner.topics.contains(topic)
     }
 
     /// All partitions of a topic.
@@ -249,9 +305,11 @@ impl Cluster {
         &self,
         tp: &TopicPartition,
     ) -> Result<Arc<Mutex<ReplicaSet>>, BrokerError> {
-        let topics = self.inner.topics.read();
-        let meta =
-            topics.get(&tp.topic).ok_or_else(|| BrokerError::UnknownTopic(tp.topic.clone()))?;
+        let meta = self
+            .inner
+            .topics
+            .get(&tp.topic)
+            .ok_or_else(|| BrokerError::UnknownTopic(tp.topic.clone()))?;
         meta.partitions.get(tp.partition as usize).cloned().ok_or_else(|| {
             BrokerError::UnknownPartition { topic: tp.topic.clone(), partition: tp.partition }
         })
@@ -332,26 +390,19 @@ impl Cluster {
     /// their producer state from their logs), and transaction coordinators
     /// it hosted fail over by replaying the transaction log (§4.2.1).
     pub fn kill_broker(&self, broker: usize) {
-        {
-            let mut alive = self.inner.broker_alive.write();
-            if !alive[broker] {
-                return;
-            }
-            alive[broker] = false;
+        // swap returns the previous liveness: false means already dead.
+        if !self.inner.broker_alive[broker].swap(false, Ordering::AcqRel) {
+            return;
         }
         kobs::count("kbroker.broker_kills", 1);
         let now = self.now_ms();
-        let topics = self.inner.topics.read();
-        // Name order, not HashMap order: the per-partition ISR/leader events
+        // Name order, not hash order: the per-partition ISR/leader events
         // this emits must replay byte-identically for a fixed seed.
-        let mut names: Vec<&String> = topics.keys().collect();
-        names.sort();
-        for name in names {
-            for part in &topics[name].partitions {
+        for (_, meta) in self.inner.topics.metas_sorted() {
+            for part in &meta.partitions {
                 part.lock().on_broker_down(broker, now);
             }
         }
-        drop(topics);
         // Transaction coordinators on the failed broker fail over: rebuild
         // from the (replicated) transaction log and finish any transaction
         // already past its PrepareCommit/PrepareAbort barrier.
@@ -361,31 +412,24 @@ impl Cluster {
     /// Restore a previously killed broker: its replicas catch up from the
     /// current leaders and rejoin the ISR.
     pub fn restore_broker(&self, broker: usize) {
-        {
-            let mut alive = self.inner.broker_alive.write();
-            if alive[broker] {
-                return;
-            }
-            alive[broker] = true;
+        // swap returns the previous liveness: true means already alive.
+        if self.inner.broker_alive[broker].swap(true, Ordering::AcqRel) {
+            return;
         }
         kobs::count("kbroker.broker_restores", 1);
         let now = self.now_ms();
-        let topics = self.inner.topics.read();
         // Name order, matching kill_broker: deterministic event replay.
-        let mut names: Vec<&String> = topics.keys().collect();
-        names.sort();
-        for name in names {
-            for part in &topics[name].partitions {
+        for (_, meta) in self.inner.topics.metas_sorted() {
+            for part in &meta.partitions {
                 part.lock().on_broker_up(broker, now);
             }
         }
-        drop(topics);
         self.txn_recover_all();
     }
 
     /// Whether a broker is alive.
     pub fn broker_alive(&self, broker: usize) -> bool {
-        self.inner.broker_alive.read()[broker]
+        self.inner.broker_alive[broker].load(Ordering::Acquire)
     }
 
     /// Current leader broker of a partition (None if leaderless).
@@ -437,18 +481,14 @@ impl Cluster {
     pub fn enforce_retention(&self) -> usize {
         let now = self.now_ms();
         let mut trimmed = 0;
+        // Name order (not hash order): trim events replay deterministically.
         let topics: Vec<(String, Option<i64>, Option<usize>, bool)> = self
             .inner
             .topics
-            .read()
-            .iter()
+            .metas_sorted()
+            .into_iter()
             .map(|(name, meta)| {
-                (
-                    name.clone(),
-                    meta.config.retention_ms,
-                    meta.config.retention_bytes,
-                    meta.config.compacted,
-                )
+                (name, meta.config.retention_ms, meta.config.retention_bytes, meta.config.compacted)
             })
             .collect();
         for (topic, ret_ms, ret_bytes, compacted) in topics {

@@ -68,31 +68,49 @@ pub struct GroupView {
 
 /// Broker-side group coordinator state plus the offsets materialization
 /// cache.
+///
+/// Striped by the group's offsets-topic partition (the same shard key the
+/// real coordinator uses): operations on groups living on different
+/// `__consumer_offsets` partitions never contend, so parallel worker
+/// threads committing for distinct groups don't serialize here. Mirrors
+/// the [`crate::txn`] registry's per-shard locking.
 pub struct GroupsRegistry {
-    groups: Mutex<HashMap<String, GroupState>>,
+    /// Group state, sharded by `offsets_partition_for(group)`.
+    stripes: Vec<Mutex<HashMap<String, GroupState>>>,
     offsets_partitions: u32,
-    cache: Mutex<OffsetsCache>,
+    /// Offsets materialization cache, one shard per offsets-topic
+    /// partition (each shard tracks its own log position).
+    cache: Vec<Mutex<OffsetsCacheShard>>,
 }
 
 #[derive(Default)]
-struct OffsetsCache {
-    /// How far each offsets-topic partition has been materialized.
-    positions: HashMap<u32, Offset>,
-    /// Latest committed offset per (group, partition).
+struct OffsetsCacheShard {
+    /// How far this offsets-topic partition has been materialized.
+    position: Offset,
+    /// Latest committed offset per (group, partition), for groups whose
+    /// commits land on this shard's offsets partition.
     offsets: HashMap<(String, TopicPartition), Offset>,
 }
 
 impl GroupsRegistry {
     pub fn new(offsets_partitions: u32) -> Self {
+        assert!(offsets_partitions > 0, "offsets topic needs at least one partition");
         Self {
-            groups: Mutex::new(HashMap::new()),
+            stripes: (0..offsets_partitions).map(|_| Mutex::new(HashMap::new())).collect(),
             offsets_partitions,
-            cache: Mutex::new(OffsetsCache::default()),
+            cache: (0..offsets_partitions)
+                .map(|_| Mutex::new(OffsetsCacheShard::default()))
+                .collect(),
         }
     }
 
     fn offsets_partition_for(&self, group: &str) -> u32 {
         partition_for_key(group.as_bytes(), self.offsets_partitions)
+    }
+
+    /// The stripe holding `group`'s coordinator state.
+    fn stripe(&self, group: &str) -> &Mutex<HashMap<String, GroupState>> {
+        &self.stripes[self.offsets_partition_for(group) as usize]
     }
 }
 
@@ -239,7 +257,7 @@ impl Cluster {
     /// Set a group's assignment strategy (takes effect on the next
     /// rebalance). Creates the group if it does not exist yet.
     pub fn group_set_strategy(&self, group: &str, strategy: AssignmentStrategy) {
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         groups.entry(group.to_string()).or_default().strategy = strategy;
     }
 
@@ -249,7 +267,7 @@ impl Cluster {
     /// uses this as a cluster-level fault event). No-op on an unknown or
     /// empty group.
     pub fn group_force_rebalance(&self, group: &str) {
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         let Some(state) = groups.get_mut(group) else { return };
         if state.members.is_empty() {
             return;
@@ -266,7 +284,7 @@ impl Cluster {
         topics: &[String],
     ) -> Result<GroupView, BrokerError> {
         let now = self.now_ms();
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         let state = groups.entry(group.to_string()).or_default();
         state.members.insert(
             member.to_string(),
@@ -282,7 +300,7 @@ impl Cluster {
 
     /// Leave a group, triggering a rebalance.
     pub fn group_leave(&self, group: &str, member: &str) -> Result<(), BrokerError> {
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         let state = groups.get_mut(group).ok_or_else(|| BrokerError::UnknownMember {
             group: group.to_string(),
             member: member.to_string(),
@@ -302,7 +320,7 @@ impl Cluster {
     /// rebalance). Errors if the member was evicted.
     pub fn group_view(&self, group: &str, member: &str) -> Result<GroupView, BrokerError> {
         let now = self.now_ms();
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         let state = groups.get_mut(group).ok_or_else(|| BrokerError::UnknownMember {
             group: group.to_string(),
             member: member.to_string(),
@@ -324,7 +342,7 @@ impl Cluster {
     /// (§2.1). Returns the evicted member ids.
     pub fn group_expire_members(&self, group: &str) -> Vec<String> {
         let now = self.now_ms();
-        let mut groups = self.inner.groups.groups.lock();
+        let mut groups = self.inner.groups.stripe(group).lock();
         let Some(state) = groups.get_mut(group) else { return Vec::new() };
         let expired: Vec<String> = state
             .members
@@ -343,7 +361,7 @@ impl Cluster {
 
     /// Current generation of a group (0 if the group does not exist yet).
     pub fn group_generation(&self, group: &str) -> i32 {
-        self.inner.groups.groups.lock().get(group).map_or(0, |s| s.generation)
+        self.inner.groups.stripe(group).lock().get(group).map_or(0, |s| s.generation)
     }
 
     fn check_generation(
@@ -352,7 +370,7 @@ impl Cluster {
         member: &str,
         generation: i32,
     ) -> Result<(), BrokerError> {
-        let groups = self.inner.groups.groups.lock();
+        let groups = self.inner.groups.stripe(group).lock();
         let state = groups.get(group).ok_or_else(|| BrokerError::UnknownMember {
             group: group.to_string(),
             member: member.to_string(),
@@ -452,8 +470,10 @@ impl Cluster {
     ) -> Result<Option<Offset>, BrokerError> {
         let part = self.inner.groups.offsets_partition_for(group);
         let log_tp = TopicPartition::new(OFFSETS_TOPIC, part);
-        let mut cache = self.inner.groups.cache.lock();
-        let mut pos = *cache.positions.get(&part).unwrap_or(&0);
+        // Per-partition cache shard: readers of groups on different offsets
+        // partitions materialize concurrently without sharing a lock.
+        let mut cache = self.inner.groups.cache[part as usize].lock();
+        let mut pos = cache.position;
         loop {
             let fetch = self.fetch(&log_tp, pos, 1024, IsolationLevel::ReadCommitted)?;
             if fetch.count() == 0 && fetch.next_offset == pos {
@@ -469,7 +489,7 @@ impl Cluster {
             }
             pos = fetch.next_offset;
         }
-        cache.positions.insert(part, pos);
+        cache.position = pos;
         Ok(cache.offsets.get(&(group.to_string(), tp.clone())).copied())
     }
 }

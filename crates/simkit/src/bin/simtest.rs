@@ -6,6 +6,7 @@
 //! cargo run -p simkit --bin simtest -- --seed 42 --profile           # obs snapshot
 //! cargo run -p simkit --bin simtest -- --seed 42 --profile --json
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
+//! cargo run -p simkit --bin simtest -- --seed 42 --workers 4        # virtual scheduler
 //! cargo run -p simkit --bin simtest -- --seed 0 --script "TxnRpcAckLost@2;KillBroker@5"
 //! ```
 //!
@@ -24,6 +25,7 @@ struct Args {
     steps: Option<u64>,
     profile: Option<Profile>,
     cache: Option<usize>,
+    workers: Option<usize>,
     script: Option<Script>,
     obs: bool,
     json: bool,
@@ -31,7 +33,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--profile [count|windowed|suppressed]] [--script TOKENS] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--profile [count|windowed|suppressed]] [--script TOKENS] [--json]"
     );
     std::process::exit(2);
 }
@@ -42,6 +44,7 @@ fn parse_args() -> Args {
         steps: None,
         profile: None,
         cache: None,
+        workers: None,
         script: None,
         obs: false,
         json: false,
@@ -83,6 +86,14 @@ fn parse_args() -> Args {
                 match value.parse() {
                     Ok(n) => args.cache = Some(n),
                     Err(_) => usage(),
+                }
+            }
+            "--workers" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                match value.parse() {
+                    Ok(n) if n > 0 => args.workers = Some(n),
+                    _ => usage(),
                 }
             }
             "--seed" | "--sweep" | "--steps" => {
@@ -129,6 +140,9 @@ fn main() -> ExitCode {
         }
         if let Some(cache) = args.cache {
             cfg = cfg.with_cache(cache);
+        }
+        if let Some(workers) = args.workers {
+            cfg = cfg.with_workers(workers);
         }
         if let Some(script) = &args.script {
             cfg = cfg.with_script(script.clone());

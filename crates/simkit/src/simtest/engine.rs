@@ -48,6 +48,12 @@ pub struct SimConfig {
     /// Record-cache capacity handed to every app instance
     /// (`StreamsConfig::cache_max_entries`); 0 disables caching.
     pub cache_max_entries: usize,
+    /// Scheduler worker count per app instance. 1 keeps the serial task
+    /// loop; >1 runs the work-stealing scheduler in *virtual* mode — the
+    /// worker interleaving is derived from the run seed and serialized on
+    /// the calling thread, so the run stays byte-identical per
+    /// `(seed, workers)` pair.
+    pub workers: usize,
     /// Scripted fault schedule (the kcheck counterexample bridge). When
     /// set, it replaces the seed-derived probabilistic fault plan.
     pub script: Option<Script>,
@@ -61,6 +67,7 @@ impl SimConfig {
             profile: None,
             obs_profile: false,
             cache_max_entries: 0,
+            workers: 1,
             script: None,
         }
     }
@@ -87,6 +94,14 @@ impl SimConfig {
 
     pub fn with_script(mut self, script: Script) -> Self {
         self.script = Some(script);
+        self
+    }
+
+    /// Run every app instance with `workers` virtual scheduler workers
+    /// (deterministically interleaved from the run seed).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be at least 1");
+        self.workers = workers;
         self
     }
 }
@@ -196,11 +211,19 @@ fn build_fault_plan(rng: &mut DetRng, seed: u64) -> FaultPlan {
 
 impl Engine {
     fn app_config(&self) -> StreamsConfig {
-        StreamsConfig::new(APP_ID)
+        let cfg = StreamsConfig::new(APP_ID)
             .exactly_once()
             .with_commit_interval_ms(10)
             .with_max_poll_records(64)
-            .with_cache_max_entries(self.cfg.cache_max_entries)
+            .with_cache_max_entries(self.cfg.cache_max_entries);
+        if self.cfg.workers > 1 {
+            // Virtual mode: the scheduler's steal decisions come from the
+            // run seed, so a multi-worker run replays byte-identically.
+            cfg.with_num_worker_threads(self.cfg.workers)
+                .with_deterministic_scheduler(self.cfg.seed)
+        } else {
+            cfg
+        }
     }
 
     /// Create and start the app for instance `idx`. On a start error (e.g.
@@ -489,6 +512,7 @@ impl Engine {
                 p
             },
             cache_max_entries: self.cfg.cache_max_entries,
+            workers: self.cfg.workers,
             brokers: self.workload.brokers,
             partitions: self.workload.partitions,
             n_keys: self.workload.keys.len(),

@@ -24,6 +24,9 @@ pub struct SimReport {
     pub profile: String,
     /// Record-cache capacity per store (`--cache`); 0 means caching off.
     pub cache_max_entries: usize,
+    /// Scheduler workers per instance (`--workers`); 1 means the serial
+    /// task loop, >1 the seed-derived virtual work-stealing scheduler.
+    pub workers: usize,
     pub brokers: usize,
     pub partitions: u32,
     pub n_keys: usize,
@@ -73,6 +76,9 @@ impl SimReport {
         if self.cache_max_entries > 0 {
             cmd.push_str(&format!(" --cache {}", self.cache_max_entries));
         }
+        if self.workers > 1 {
+            cmd.push_str(&format!(" --workers {}", self.workers));
+        }
         cmd
     }
 
@@ -95,6 +101,7 @@ impl SimReport {
             ("steps", num(self.steps as f64)),
             ("profile", jstr(self.profile.clone())),
             ("cache_max_entries", num(self.cache_max_entries as f64)),
+            ("workers", num(self.workers as f64)),
             ("brokers", num(self.brokers as f64)),
             ("partitions", num(self.partitions as f64)),
             ("instances", num(self.instances as f64)),
@@ -121,11 +128,12 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "simtest seed={} steps={} profile={} cache={} brokers={} partitions={} keys={} instances={}",
+            "simtest seed={} steps={} profile={} cache={} workers={} brokers={} partitions={} keys={} instances={}",
             self.seed,
             self.steps,
             self.profile,
             self.cache_max_entries,
+            self.workers,
             self.brokers,
             self.partitions,
             self.n_keys,

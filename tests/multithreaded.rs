@@ -17,7 +17,8 @@ fn counting_topology() -> Arc<kstreams::topology::Topology> {
 }
 
 #[test]
-fn two_threads_share_the_work_exactly_once() {
+fn four_threads_share_the_work_exactly_once() {
+    const THREADS: usize = 4;
     const RECORDS: usize = 2_000;
     const KEYS: usize = 20;
     // Wall clock: this test runs in real time.
@@ -28,7 +29,7 @@ fn two_threads_share_the_work_exactly_once() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
-    for i in 0..2 {
+    for i in 0..THREADS {
         let cluster = cluster.clone();
         let topology = topology.clone();
         let stop = stop.clone();
@@ -43,17 +44,13 @@ fn two_threads_share_the_work_exactly_once() {
             while !stop.load(Ordering::Relaxed) {
                 app.step().unwrap();
             }
-            // Drain whatever remains, then leave cleanly.
-            for _ in 0..200 {
-                app.step().unwrap();
-            }
             let processed = app.metrics().records_processed;
             app.close().unwrap();
             processed
         }));
     }
 
-    // A concurrent producer feeds records while both instances run.
+    // A concurrent producer feeds records while the instances run.
     let mut producer = Producer::new(cluster.clone(), ProducerConfig::default());
     for i in 0..RECORDS {
         producer
@@ -69,8 +66,33 @@ fn two_threads_share_the_work_exactly_once() {
         }
     }
     producer.flush().unwrap();
-    // Give the threads a moment to chew through everything, then stop.
-    std::thread::sleep(std::time::Duration::from_millis(400));
+    // Poll until quiesced: stop only once the group's committed input
+    // offsets reach the log end on every partition (no fixed sleep — the
+    // old 400 ms nap was a race on slow machines), with a hard deadline so
+    // a livelocked run fails loudly instead of hanging.
+    let targets: Vec<_> = cluster
+        .partitions_of("events")
+        .unwrap()
+        .into_iter()
+        .map(|tp| {
+            let end = cluster.latest_offset(&tp).unwrap();
+            (tp, end)
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let done = targets.iter().all(|(tp, end)| {
+            cluster.group_committed_offset("mt-app", tp).ok().flatten().unwrap_or(0) >= *end
+        });
+        if done {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "instances did not commit the whole input within the deadline"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     stop.store(true, Ordering::Relaxed);
     let mut total_processed = 0;
     for h in handles {

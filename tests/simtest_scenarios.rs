@@ -54,6 +54,46 @@ fn smoke_sweep_seeds_0_to_19() {
     }
 }
 
+/// The parallel scheduler must not cost simtest its headline property:
+/// for a fixed seed, `--workers 4` replays byte-identically — the virtual
+/// scheduler's steal schedule is itself seed-derived, so the whole report
+/// (outputs, store hashes, fault log, metrics) is a pure function of the
+/// seed. 25 seeds, two runs each, compared as rendered bytes.
+#[test]
+fn twenty_five_seed_sweep_replays_byte_identically_with_four_workers() {
+    for seed in 0..25 {
+        let cfg = SimConfig::new(seed).with_workers(4);
+        let first = run(&cfg);
+        first.assert_passed();
+        let second = run(&cfg);
+        let (a, b) = (format!("{first}"), format!("{second}"));
+        assert_eq!(a, b, "seed {seed}: --workers 4 replay diverged");
+        assert!(a.contains("workers=4"), "report must record the worker count:\n{a}");
+        assert!(
+            first.repro().contains("--workers 4"),
+            "repro command must carry the worker count: {}",
+            first.repro()
+        );
+    }
+}
+
+/// The scheduler sits on simtest's replay-critical path, so it must stay
+/// clean under detlint's determinism rules (no wall clock, no entropy, no
+/// unordered iteration) — its busy-time instrumentation is allowed only
+/// through explicit `detlint:allow` escapes that never feed control flow.
+#[test]
+fn detlint_is_clean_over_the_scheduler_module() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("crates/core/src/processor/scheduler.rs");
+    let source = std::fs::read_to_string(&path).expect("scheduler module readable");
+    let findings = kcheck::detlint::lint_source(std::path::Path::new("scheduler.rs"), &source);
+    assert!(findings.is_empty(), "scheduler module must stay detlint-clean: {findings:?}");
+    // And the lint actually covers the scheduler's tree (guards against the
+    // module moving out from under the repo-wide gate).
+    let repo_findings = kcheck::detlint::lint_repo(root);
+    assert!(repo_findings.is_empty(), "replay-critical trees must stay clean: {repo_findings:?}");
+}
+
 #[test]
 fn fifty_seed_sweep_exercises_all_fault_points_and_cluster_events() {
     let mut injected = [0u64; 4];
