@@ -78,7 +78,7 @@ fn row(label: &str, r: &RunReport, base_scaled: f64) -> String {
 }
 
 fn json_row(workers: usize, r: &RunReport, base_scaled: f64) -> Value {
-    obj(vec![
+    let mut fields = vec![
         ("workers", num(workers as f64)),
         ("throughput_msg_per_sec_wall", num(r.throughput_msg_per_sec)),
         ("throughput_msg_per_sec_scaled", num(r.scaled_throughput_msg_per_sec())),
@@ -89,8 +89,32 @@ fn json_row(workers: usize, r: &RunReport, base_scaled: f64) -> Value {
         ("sched_critical_path_ms", num(r.sched_critical_ns as f64 / 1e6)),
         ("latency_mean_ms", num(r.latency.mean_ms())),
         ("latency_p99_ms", num(r.latency.percentile_ms(0.99) as f64)),
+        ("span_tracks", Value::Arr(r.span_tracks.iter().map(|t| jstr(t.clone())).collect())),
         ("metrics", r.obs.to_json()),
-    ])
+    ];
+    if let Some(cp) = &r.critical_path {
+        fields.push((
+            "critical_path_breakdown",
+            obj(vec![
+                ("commit_cycles", num(cp.cycles as f64)),
+                ("total_us", num(cp.total_us as f64)),
+                (
+                    "phase_self_us",
+                    obj(cp
+                        .phases
+                        .iter()
+                        .map(|(name, us)| (*name, num(*us as f64)))
+                        .collect::<Vec<_>>()),
+                ),
+                (
+                    "longest_chain",
+                    Value::Arr(cp.longest_chain.iter().map(|n| jstr(n.to_string())).collect()),
+                ),
+                ("longest_cycle_us", num(cp.longest_cycle_us as f64)),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 fn main() {
@@ -134,6 +158,19 @@ fn main() {
             let phases = phase_breakdown(&report);
             if !phases.is_empty() {
                 print!("{phases}");
+            }
+            if let Some(cp) = &report.critical_path {
+                println!(
+                    "#   critical path: commit_cycles={} total_ms={:.1} longest chain: {}",
+                    cp.cycles,
+                    cp.total_us as f64 / 1000.0,
+                    cp.longest_chain.join(" > ")
+                );
+                let mut top: Vec<_> = cp.phases.clone();
+                top.sort_by_key(|(_, us)| std::cmp::Reverse(*us));
+                for (name, us) in top.iter().take(4) {
+                    println!("#     {:<16} self_ms={:.1}", name, *us as f64 / 1000.0);
+                }
             }
         }
     }

@@ -250,6 +250,12 @@ pub struct RunReport {
     /// reset at run start), carrying the txn per-phase latency histograms
     /// behind Figure 5's end-to-end numbers.
     pub obs: kobs::Snapshot,
+    /// Commit-cycle critical-path breakdown from the ktrace span store
+    /// (`None` when no commit cycle completed or tracing is compiled out).
+    pub critical_path: Option<kobs::CriticalPathSummary>,
+    /// Distinct timeline rows (`track` / `track wN`) the run's spans landed
+    /// on — one entry per worker lane for parallel runs.
+    pub span_tracks: Vec<String>,
 }
 
 impl RunReport {
@@ -384,7 +390,22 @@ pub fn run(spec: RunSpec) -> RunReport {
         transactions: streams.transactions,
         streams,
         obs: kobs::snapshot(),
+        critical_path: kobs::ktrace::critical_path_summary(),
+        span_tracks: observed_span_tracks(),
     }
+}
+
+/// Distinct timeline rows in the span store, sorted: the per-worker track
+/// layout the chrome export would render for this run.
+fn observed_span_tracks() -> Vec<String> {
+    let mut rows: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for s in kobs::ktrace::finished_spans() {
+        rows.insert(match s.worker {
+            Some(w) => format!("{} w{w}", s.track),
+            None => s.track.to_string(),
+        });
+    }
+    rows.into_iter().collect()
 }
 
 /// Run `spec` several times and return the run with median throughput —
@@ -458,6 +479,8 @@ pub fn run_checkpoint_baseline(spec: RunSpec) -> RunReport {
         transactions: stats.checkpoints_completed,
         streams: kstreams::StreamsMetrics::default(),
         obs: kobs::snapshot(),
+        critical_path: kobs::ktrace::critical_path_summary(),
+        span_tracks: observed_span_tracks(),
     }
 }
 

@@ -358,6 +358,25 @@ impl KafkaStreamsApp {
             return Err(StreamsError::InvalidOperation("call start() first".into()));
         }
         self.check_rebalance()?;
+        // Root ktrace span: one causal tree per process cycle. Everything
+        // this step triggers — worker slots, the commit phases, the broker
+        // txn coordinator, klog appends — parents under it, which is what
+        // the critical-path analyzer and the flight recorder consume.
+        let cycle_span = kobs::span!(
+            self.cluster.now_ms(),
+            "kstreams",
+            "cycle",
+            instance = self.instance_id.clone(),
+            n = self.scheduler_cycles,
+        );
+        let entered = kobs::ktrace::enter(cycle_span);
+        let result = self.step_inner(cycle_span);
+        drop(entered);
+        kobs::ktrace::finish_span(cycle_span, self.cluster.now_ms() * 1000);
+        result
+    }
+
+    fn step_inner(&mut self, cycle_span: kobs::SpanHandle) -> Result<StepSummary, StreamsError> {
         let isolation = self.consume_isolation();
         let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
         let processed = match self.config.scheduler_mode() {
@@ -367,15 +386,19 @@ impl KafkaStreamsApp {
             // order (BTreeMap iterates keys in sorted order): the
             // simulation harness replays runs byte-identically from a seed.
             SchedulerMode::Serial => {
+                let wall_ms = self.cluster.now_ms();
                 let mut processed = 0;
-                for id in &task_ids {
+                for (seqno, id) in task_ids.iter().enumerate() {
                     let task = self.tasks.get_mut(id).expect("owned");
-                    processed += task.poll_and_process(
-                        &self.cluster,
-                        self.config.max_poll_records,
-                        isolation,
-                    )?;
-                    task.punctuate(self.cluster.now_ms())?;
+                    let span =
+                        scheduler::slot_span(cycle_span, wall_ms, seqno as i64, 0, seqno, false);
+                    let entered = kobs::ktrace::enter(span);
+                    let result = task
+                        .poll_and_process(&self.cluster, self.config.max_poll_records, isolation)
+                        .and_then(|n| task.punctuate(self.cluster.now_ms()).map(|()| n));
+                    drop(entered);
+                    kobs::ktrace::finish_span(span, wall_ms * 1000 + seqno as i64 + 1);
+                    processed += result?;
                     self.send_task_writes(*id)?;
                 }
                 processed
@@ -389,6 +412,7 @@ impl KafkaStreamsApp {
                 let wall_ms = self.cluster.now_ms();
                 let outcome = scheduler::run_cycle(
                     mode,
+                    cycle_span,
                     &mut self.tasks,
                     &self.cluster,
                     self.config.max_poll_records,
@@ -481,6 +505,19 @@ impl KafkaStreamsApp {
     /// (§4.2).
     pub fn commit(&mut self) -> Result<(), StreamsError> {
         let commit_start = self.cluster.now_ms();
+        // Child of the cycle span when called from `step` (the causal link
+        // from commit cycle to the broker txn spans below); its own root
+        // on the close/rebalance paths.
+        let commit_span = kobs::child_span!(commit_start, "kstreams", "commit");
+        let entered = kobs::ktrace::enter(commit_span);
+        let result = self.commit_inner();
+        drop(entered);
+        kobs::ktrace::finish_span(commit_span, self.cluster.now_ms() * 1000);
+        result
+    }
+
+    fn commit_inner(&mut self) -> Result<(), StreamsError> {
+        let commit_start = self.cluster.now_ms();
         // Write back record caches first: the flushed changelog appends,
         // coalesced revisions, and any sink outputs they produce must enter
         // the transaction *before* its offsets are sent, so they commit
@@ -501,11 +538,23 @@ impl KafkaStreamsApp {
                     let group = self.config.application_id.clone();
                     let member = self.instance_id.clone();
                     let generation = self.generation;
-                    self.producer.send_offsets_to_transaction(
+                    let off_span = kobs::child_span!(
+                        self.cluster.now_ms(),
+                        "kstreams",
+                        "offset_commit",
+                        partitions = offsets.len(),
+                    );
+                    let entered = kobs::ktrace::enter(off_span);
+                    let sent = self.producer.send_offsets_to_transaction(
                         &group,
                         &offsets,
                         Some((&member, generation)),
-                    )?;
+                    );
+                    drop(entered);
+                    kobs::ktrace::finish_span(off_span, self.cluster.now_ms() * 1000);
+                    sent?;
+                    // The two-phase commit itself: prepare/markers/complete
+                    // spans emitted broker-side parent under the commit span.
                     self.producer.commit_transaction()?;
                     self.txn_open = false;
                     self.transactions += 1;

@@ -119,20 +119,54 @@ impl RunQueues {
 
 /// Run one task cycle (poll-process + punctuate) against a slot, recording
 /// the outcome. Task-local mutation only — nothing here touches the
-/// instance's producer or any other task.
+/// instance's producer or any other task. The slot's ktrace span is
+/// entered for the duration, so the task's fetch/process/punctuate spans
+/// parent under it on whichever thread runs the slot.
 fn run_slot(
     slot: &Slot,
     cluster: &Cluster,
     max_poll_records: usize,
     isolation: IsolationLevel,
     wall_ms: i64,
+    span: kobs::SpanHandle,
 ) {
+    let _enter = kobs::ktrace::enter(span);
     let mut guard = slot.task.lock();
     let Some(task) = guard.as_mut() else { return };
     let result = task
         .poll_and_process(cluster, max_poll_records, isolation)
         .and_then(|n| task.punctuate(wall_ms).map(|()| n));
     *slot.outcome.lock() = Some(result);
+}
+
+/// Open one worker-slot span under the cycle root. Span times never come
+/// from the wall clock (that would break byte-identical replay): the start
+/// is the cycle's virtual time plus the slot's *execution sequence number*
+/// as a sub-millisecond µs offset, which both orders the slots on the
+/// timeline and keeps sibling intervals disjoint so critical-path self
+/// times tile the cycle. Real per-slot wall cost stays in
+/// [`CycleOutcome::busy_total_ns`].
+pub(crate) fn slot_span(
+    parent: kobs::SpanHandle,
+    wall_ms: i64,
+    seqno: i64,
+    worker: usize,
+    slot_idx: usize,
+    stolen: bool,
+) -> kobs::SpanHandle {
+    kobs::ktrace::start_span(
+        wall_ms * 1000 + seqno,
+        "worker",
+        Some(worker as u32),
+        kobs::ktrace::Parent::Of(parent),
+        "task",
+        || {
+            vec![
+                ("slot", kobs::FieldValue::from(slot_idx)),
+                ("stolen", kobs::FieldValue::from(u64::from(stolen))),
+            ]
+        },
+    )
 }
 
 /// Move tasks out of the map into slots, in task-id order.
@@ -175,8 +209,10 @@ fn restore_slots(
 /// modes run every task to completion before returning (even when one
 /// errors), then surface the first error in task-id order; the serial mode
 /// short-circuits exactly like the historical loop.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cycle(
     mode: SchedulerMode,
+    parent: kobs::SpanHandle,
     tasks: &mut BTreeMap<TaskId, StreamTask>,
     cluster: &Cluster,
     max_poll_records: usize,
@@ -187,15 +223,21 @@ pub fn run_cycle(
     match mode {
         SchedulerMode::Serial => {
             let mut processed = 0;
-            for task in tasks.values_mut() {
-                processed += task.poll_and_process(cluster, max_poll_records, isolation)?;
-                task.punctuate(wall_ms)?;
+            for (seqno, task) in tasks.values_mut().enumerate() {
+                let span = slot_span(parent, wall_ms, seqno as i64, 0, seqno, false);
+                let _enter = kobs::ktrace::enter(span);
+                let result = task
+                    .poll_and_process(cluster, max_poll_records, isolation)
+                    .and_then(|n| task.punctuate(wall_ms).map(|()| n));
+                kobs::ktrace::finish_span(span, wall_ms * 1000 + seqno as i64 + 1);
+                processed += result?;
             }
             Ok(CycleOutcome { processed, steals: 0, ..CycleOutcome::default() })
         }
         SchedulerMode::Virtual { workers, seed } => run_virtual(
             workers.max(1),
             seed,
+            parent,
             tasks,
             cluster,
             max_poll_records,
@@ -203,9 +245,15 @@ pub fn run_cycle(
             wall_ms,
             cycle,
         ),
-        SchedulerMode::Threaded { workers } => {
-            run_threaded(workers.max(1), tasks, cluster, max_poll_records, isolation, wall_ms)
-        }
+        SchedulerMode::Threaded { workers } => run_threaded(
+            workers.max(1),
+            parent,
+            tasks,
+            cluster,
+            max_poll_records,
+            isolation,
+            wall_ms,
+        ),
     }
 }
 
@@ -224,6 +272,7 @@ pub fn run_cycle(
 fn run_virtual(
     workers: usize,
     seed: u64,
+    parent: kobs::SpanHandle,
     tasks: &mut BTreeMap<TaskId, StreamTask>,
     cluster: &Cluster,
     max_poll_records: usize,
@@ -238,6 +287,9 @@ fn run_virtual(
     let mut rng = DetRng::new(seed).derive(cycle);
     let mut busy = vec![0u64; workers];
     let mut order: Vec<usize> = (0..workers).collect();
+    // Execution sequence number: the slot spans' deterministic sub-ms
+    // ordering on the exported timeline.
+    let mut seqno = 0i64;
     loop {
         // Fisher–Yates from the cycle stream: a fresh visit order per round.
         for i in (1..order.len()).rev() {
@@ -245,12 +297,18 @@ fn run_virtual(
         }
         let mut ran = false;
         for &w in &order {
-            let next = queues.pop_own(w).or_else(|| queues.steal(w, rng.index(workers)));
-            if let Some(idx) = next {
+            let next = match queues.pop_own(w) {
+                Some(idx) => Some((idx, false)),
+                None => queues.steal(w, rng.index(workers)).map(|idx| (idx, true)),
+            };
+            if let Some((idx, stolen)) = next {
+                let span = slot_span(parent, wall_ms, seqno, w, idx, stolen);
+                seqno += 1;
                 // detlint:allow[wall-clock] busy-time measurement only; never feeds control flow
                 let t = std::time::Instant::now();
-                run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms);
+                run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms, span);
                 busy[w] += t.elapsed().as_nanos() as u64;
+                kobs::ktrace::finish_span(span, wall_ms * 1000 + seqno);
                 ran = true;
             }
         }
@@ -278,8 +336,10 @@ fn fold_busy(busy: &[u64]) -> (u64, u64) {
 /// queue and then steals, scanning victims from `w + 1` upward; it exits
 /// when every queue is empty (each slot is queued once per cycle, so there
 /// is no re-arm race).
+#[allow(clippy::too_many_arguments)]
 fn run_threaded(
     workers: usize,
+    parent: kobs::SpanHandle,
     tasks: &mut BTreeMap<TaskId, StreamTask>,
     cluster: &Cluster,
     max_poll_records: usize,
@@ -293,19 +353,32 @@ fn run_threaded(
     let queues = RunQueues::new(slots.len(), workers);
     let n_threads = workers.min(slots.len());
     let busy: Vec<AtomicU64> = (0..n_threads).map(|_| AtomicU64::new(0)).collect();
+    // Shared execution sequence across workers: slot spans stay disjoint
+    // on the timeline (the order reflects this run's real interleaving —
+    // threaded mode makes no replay promise).
+    let seq = AtomicU64::new(0);
     {
         let slots = &slots;
         let queues = &queues;
         let busy = &busy;
+        let seq = &seq;
         std::thread::scope(|scope| {
             for (w, busy_w) in busy.iter().enumerate() {
                 scope.spawn(move || {
                     let mut mine = 0u64;
-                    while let Some(idx) = queues.pop_own(w).or_else(|| queues.steal(w, w + 1)) {
+                    loop {
+                        let next = match queues.pop_own(w) {
+                            Some(idx) => Some((idx, false)),
+                            None => queues.steal(w, w + 1).map(|idx| (idx, true)),
+                        };
+                        let Some((idx, stolen)) = next else { break };
+                        let seqno = seq.fetch_add(1, Ordering::Relaxed) as i64;
+                        let span = slot_span(parent, wall_ms, seqno, w, idx, stolen);
                         // detlint:allow[wall-clock] busy-time measurement only; never feeds control flow
                         let t = std::time::Instant::now();
-                        run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms);
+                        run_slot(&slots[idx], cluster, max_poll_records, isolation, wall_ms, span);
                         mine += t.elapsed().as_nanos() as u64;
+                        kobs::ktrace::finish_span(span, wall_ms * 1000 + seqno + 1);
                     }
                     busy_w.store(mine, Ordering::Relaxed);
                 });

@@ -246,7 +246,9 @@ impl StreamTask {
         max_records: usize,
         isolation: IsolationLevel,
     ) -> Result<usize, StreamsError> {
+        let now_ms = cluster.now_ms();
         // Fetch phase.
+        let fetch_span = kobs::child_span!(now_ms, "worker", "fetch", task = self.id.to_string());
         for (_, tp) in self.inputs.clone() {
             let pos = *self.fetch_positions.get(&tp).unwrap_or(&0);
             let fetch = match cluster.fetch(&tp, pos, max_records, isolation) {
@@ -281,8 +283,11 @@ impl StreamTask {
                 }
             }
         }
+        kobs::ktrace::finish_span(fetch_span, cluster.now_ms() * 1000);
         // Process phase: repeatedly pick the buffered head with the smallest
         // timestamp (§7's deterministic choice).
+        let process_span =
+            kobs::child_span!(cluster.now_ms(), "worker", "process", task = self.id.to_string());
         let mut processed = 0;
         while processed < max_records {
             let mut best: Option<(usize, i64)> = None;
@@ -301,12 +306,16 @@ impl StreamTask {
             self.processed_positions.insert(tp.clone(), rec.offset + 1);
             processed += 1;
         }
+        kobs::ktrace::finish_span(process_span, cluster.now_ms() * 1000);
         Ok(processed)
     }
 
     /// Run time-driven operators (suppress flushes, join padding, GC).
     pub fn punctuate(&mut self, wall_time: i64) -> Result<(), StreamsError> {
-        self.driver.punctuate(&mut self.env, wall_time)
+        let span = kobs::child_span!(wall_time, "worker", "punctuate", task = self.id.to_string());
+        let result = self.driver.punctuate(&mut self.env, wall_time);
+        kobs::ktrace::finish_span(span, wall_time * 1000);
+        result
     }
 
     /// Write back every store's record cache (the commit-time flush): dirty
@@ -325,11 +334,22 @@ impl StreamTask {
         if dirty == 0 {
             return Ok(());
         }
+        let span = kobs::child_span!(
+            wall_time,
+            "kstreams",
+            "cache_flush",
+            task = self.id.to_string(),
+            dirty = dirty,
+        );
         kobs::gauge_set("kstreams.cache.dirty_entries", dirty as i64);
         kobs::gauge_max("kstreams.cache.dirty_entries_peak", dirty as i64);
-        self.driver.flush_caches(&mut self.env)?;
-        self.driver.punctuate(&mut self.env, wall_time)?;
-        self.driver.flush_caches(&mut self.env)
+        let result = self
+            .driver
+            .flush_caches(&mut self.env)
+            .and_then(|()| self.driver.punctuate(&mut self.env, wall_time))
+            .and_then(|()| self.driver.flush_caches(&mut self.env));
+        kobs::ktrace::finish_span(span, wall_time * 1000);
+        result
     }
 
     /// Drain this cycle's sink outputs.

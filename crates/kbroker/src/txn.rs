@@ -147,11 +147,25 @@ impl Cluster {
         };
         let n_partitions = meta.partitions.len();
         let t0 = self.now_ms();
-        self.txn_write_markers(tid, &meta, ctl)?;
+        // Phase spans parent under the caller's thread-local current span —
+        // the app's commit span when the producer drove this — which is the
+        // causal edge from a commit cycle to the broker work it triggered.
+        let markers_span =
+            kobs::child_span!(t0, "kbroker.txn", "markers", partitions = n_partitions);
+        let entered = kobs::ktrace::enter(markers_span);
+        let wrote = self.txn_write_markers(tid, &meta, ctl);
+        drop(entered);
         let t1 = self.now_ms();
+        kobs::ktrace::finish_span(markers_span, t1 * 1000);
+        wrote?;
         kobs::observe("kbroker.txn.phase.markers_ms", t1 - t0);
         protocol::complete(tid, &mut meta);
-        self.txn_persist(tid, &meta)?;
+        let complete_span = kobs::child_span!(t1, "kbroker.txn", "complete");
+        let entered = kobs::ktrace::enter(complete_span);
+        let persisted = self.txn_persist(tid, &meta);
+        drop(entered);
+        kobs::ktrace::finish_span(complete_span, self.now_ms() * 1000);
+        persisted?;
         kobs::observe("kbroker.txn.phase.complete_ms", self.now_ms() - t1);
         match meta.state {
             TxnState::CompleteCommit => kobs::count("kbroker.txn.commits", 1),
@@ -176,6 +190,15 @@ impl Cluster {
     /// — then bumps the epoch, fencing all older incarnations. Returns the
     /// `(producer_id, epoch)` the new incarnation must use.
     pub fn txn_init_producer(&self, tid: &str, timeout_ms: i64) -> Result<(i64, i32), BrokerError> {
+        let span = kobs::child_span!(self.now_ms(), "kbroker.txn", "init");
+        let entered = kobs::ktrace::enter(span);
+        let result = self.txn_init_inner(tid, timeout_ms);
+        drop(entered);
+        kobs::ktrace::finish_span(span, self.now_ms() * 1000);
+        result
+    }
+
+    fn txn_init_inner(&self, tid: &str, timeout_ms: i64) -> Result<(i64, i32), BrokerError> {
         let init_start = self.now_ms();
         let shard = self.inner.txn.shard(tid);
         let mut map = shard.lock();
@@ -228,6 +251,26 @@ impl Cluster {
         epoch: i32,
         partitions: &[TopicPartition],
     ) -> Result<(), BrokerError> {
+        let span = kobs::child_span!(
+            self.now_ms(),
+            "kbroker.txn",
+            "add_partitions",
+            partitions = partitions.len(),
+        );
+        let entered = kobs::ktrace::enter(span);
+        let result = self.txn_add_partitions_inner(tid, pid, epoch, partitions);
+        drop(entered);
+        kobs::ktrace::finish_span(span, self.now_ms() * 1000);
+        result
+    }
+
+    fn txn_add_partitions_inner(
+        &self,
+        tid: &str,
+        pid: i64,
+        epoch: i32,
+        partitions: &[TopicPartition],
+    ) -> Result<(), BrokerError> {
         let shard = self.inner.txn.shard(tid);
         let mut map = shard.lock();
         let now = self.now_ms();
@@ -268,11 +311,16 @@ impl Cluster {
         match protocol::end_request(meta, pid, epoch, commit).map_err(|e| check_error(tid, e))? {
             EndDecision::Prepare => {
                 let prepare_start = self.now_ms();
+                let prepare_span = kobs::child_span!(prepare_start, "kbroker.txn", "prepare");
+                let entered = kobs::ktrace::enter(prepare_span);
                 protocol::prepare(tid, meta, commit);
                 // Phase 1: the barrier — once this lands in the txn log the
                 // outcome is decided (and the epoch bump fences stragglers).
                 let snapshot = meta.clone();
-                self.txn_persist(tid, &snapshot)?;
+                let persisted = self.txn_persist(tid, &snapshot);
+                drop(entered);
+                kobs::ktrace::finish_span(prepare_span, self.now_ms() * 1000);
+                persisted?;
                 kobs::observe("kbroker.txn.phase.prepare_ms", self.now_ms() - prepare_start);
                 // Phase 2: markers + completion.
                 let finished = self.txn_finish(tid, snapshot)?;

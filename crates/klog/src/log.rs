@@ -214,6 +214,19 @@ impl PartitionLog {
         if self.auto_advance_hw {
             self.high_watermark = self.next_offset;
         }
+        // Span only inside a traced lifecycle (a commit cycle's produce or
+        // marker path); harness-side feeder appends stay span-free.
+        if kobs::ktrace::in_span() {
+            let ts = max_ts.max(0);
+            let h = kobs::child_span!(
+                ts,
+                "klog",
+                "append",
+                records = last_offset - base_offset + 1,
+                base_offset = base_offset,
+            );
+            kobs::ktrace::finish_span(h, ts * 1000);
+        }
         Ok(AppendOutcome { base_offset, last_offset, duplicate: false })
     }
 
@@ -264,6 +277,10 @@ impl PartitionLog {
         }
         if self.auto_advance_hw {
             self.high_watermark = self.next_offset;
+        }
+        if kobs::ktrace::in_span() {
+            let h = kobs::child_span!(timestamp, "klog", "append_control", offset = marker_offset);
+            kobs::ktrace::finish_span(h, timestamp * 1000);
         }
         Ok(marker_offset)
     }

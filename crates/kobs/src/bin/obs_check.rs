@@ -9,7 +9,18 @@
 //! simtest --seed 7 --profile --json | obs-check kstreams.commit_cycle_ms kbroker.lso_lag
 //! ```
 //!
-//! Exit code 0 iff the document parses and every required name was found.
+//! With `--chrome`, stdin is instead validated as a Chrome/Perfetto trace
+//! (the `simtest --trace-out` artifact): it must parse, every complete
+//! event needs a name, non-negative `dur`, and a positive `tid`, and every
+//! `parent` edge must point at an exported span whose interval contains
+//! the child:
+//!
+//! ```text
+//! simtest --seed 7 --trace-out trace.json && obs-check --chrome < trace.json
+//! ```
+//!
+//! Exit code 0 iff the document parses and every required name was found
+//! (or, under `--chrome`, the trace validates).
 
 use kobs::json::{parse, Value};
 use std::collections::BTreeSet;
@@ -44,11 +55,26 @@ fn collect_names(value: &Value, names: &mut BTreeSet<String>) {
 }
 
 fn main() -> ExitCode {
-    let required: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let chrome = args.iter().any(|a| a == "--chrome");
+    args.retain(|a| a != "--chrome");
+    let required = args;
     let mut input = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut input) {
         eprintln!("obs-check: cannot read stdin: {e}");
         return ExitCode::FAILURE;
+    }
+    if chrome {
+        return match kobs::trace_export::validate_chrome_json(&input) {
+            Ok(events) => {
+                println!("obs-check: OK — chrome trace valid, {events} complete events");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs-check: invalid chrome trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let doc = match parse(&input) {
         Ok(doc) => doc,

@@ -10,7 +10,13 @@
 //! - [`trace`]: a bounded ring of structured [`Event`]s with per-component
 //!   [`Level`]s, emitted via the [`event!`] / [`debug_event!`] macros.
 //!   `simtest` dumps the ring tail next to the repro command when an
-//!   oracle fails.
+//!   oracle fails. Ring overflow is surfaced as the `kobs.trace.dropped`
+//!   counter.
+//! - [`ktrace`] / [`trace_export`]: deterministic hierarchical spans
+//!   ([`span!`] / [`child_span!`]) over the virtual clock, with a
+//!   critical-path analyzer (`kobs.critical_path.*`), a flight recorder of
+//!   the last completed span trees, and a `chrome://tracing` / Perfetto
+//!   JSON exporter.
 //! - [`hist`] / [`json`]: the shared [`LatencyHistogram`] (promoted from
 //!   `simprims::hist`) and a minimal JSON writer/parser used by the
 //!   exporters and the CI schema gate.
@@ -26,17 +32,22 @@
 
 pub mod hist;
 pub mod json;
+pub mod ktrace;
 pub mod registry;
 pub mod trace;
+pub mod trace_export;
 
 pub use hist::{LatencyHistogram, ThroughputMeter};
+pub use ktrace::{CriticalPathSummary, Span, SpanHandle, SpanTree};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, ENABLED};
 pub use trace::{Event, FieldValue, Level};
 
-/// Reset the global registry and trace ring (run isolation in harnesses).
+/// Reset the global registry, trace ring, and span store (run isolation
+/// in harnesses; span ids restart so replays are byte-identical).
 pub fn reset() {
     global().reset();
     trace::clear();
+    ktrace::clear();
 }
 
 /// Convenience: add `n` to a global counter.

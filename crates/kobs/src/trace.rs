@@ -196,6 +196,11 @@ where
         ring.next_seq += 1;
         if ring.events.len() == RING_CAPACITY {
             ring.events.pop_front();
+            // The registry mutex is independent of the ring's, so counting
+            // the eviction here cannot deadlock. Drops used to be silent;
+            // snapshots now carry `kobs.trace.dropped` so a trace tail
+            // with missing history says how much is missing.
+            crate::count("kobs.trace.dropped", 1);
         }
         ring.events.push_back(Event { seq, ts, component, kind, fields: fields() });
     }
@@ -345,6 +350,22 @@ mod tests {
         assert_eq!(t.len(), RING_CAPACITY);
         assert_eq!(t.last().unwrap().seq, (RING_CAPACITY + 4) as u64);
         assert_eq!(emitted(), (RING_CAPACITY + 5) as u64);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_in_the_registry() {
+        let _g = isolated();
+        if !crate::ENABLED {
+            return;
+        }
+        // The registry is process-global and other tests write to it, so
+        // assert on the delta rather than the absolute count.
+        let before = crate::snapshot().counter("kobs.trace.dropped").unwrap_or(0);
+        for i in 0..(RING_CAPACITY + 7) {
+            crate::event!(i as i64, "kstreams", "tick");
+        }
+        let after = crate::snapshot().counter("kobs.trace.dropped").unwrap_or(0);
+        assert_eq!(after - before, 7, "each eviction must count one drop");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
 //! cargo run -p simkit --bin simtest -- --seed 42 --workers 4        # virtual scheduler
 //! cargo run -p simkit --bin simtest -- --seed 0 --script "TxnRpcAckLost@2;KillBroker@5"
+//! cargo run -p simkit --bin simtest -- --seed 42 --trace-out trace.json  # Perfetto
+//! cargo run -p simkit --bin simtest -- --seed 42 --inject-failure       # flight dump
 //! ```
 //!
 //! `--profile` with a topology argument forces that topology (historic
@@ -29,11 +31,13 @@ struct Args {
     script: Option<Script>,
     obs: bool,
     json: bool,
+    trace_out: Option<String>,
+    inject_failure: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--profile [count|windowed|suppressed]] [--script TOKENS] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--profile [count|windowed|suppressed]] [--script TOKENS] [--trace-out PATH] [--inject-failure] [--json]"
     );
     std::process::exit(2);
 }
@@ -48,6 +52,8 @@ fn parse_args() -> Args {
         script: None,
         obs: false,
         json: false,
+        trace_out: None,
+        inject_failure: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -56,6 +62,12 @@ fn parse_args() -> Args {
         i += 1;
         match flag.as_str() {
             "--json" => args.json = true,
+            "--inject-failure" => args.inject_failure = true,
+            "--trace-out" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                args.trace_out = Some(value.clone());
+            }
             "--profile" => match argv.get(i) {
                 // `--profile <topology>` keeps its historic meaning (force
                 // the topology); a bare `--profile` (end of args, or next
@@ -150,11 +162,26 @@ fn main() -> ExitCode {
         if args.obs {
             cfg = cfg.with_obs_profile();
         }
+        if args.inject_failure {
+            cfg = cfg.with_injected_failure();
+        }
         let report = run(&cfg);
         if args.json {
             println!("{}", report.to_json());
         } else {
             println!("{report}");
+        }
+        if let Some(path) = &args.trace_out {
+            // The ktrace span store persists after the run (it is reset at
+            // the *start* of the next one), so this exports exactly the
+            // finished spans of the run above. Load the file in Perfetto
+            // (https://ui.perfetto.dev) or chrome://tracing. With
+            // `--sweep`, the last seed's trace wins.
+            let json = kobs::trace_export::chrome_json_all();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("simtest: cannot write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         if !report.passed() {
             failed += 1;

@@ -31,6 +31,11 @@ const MAX_FAILURES: usize = 20;
 /// Trailing trace-event window attached to profiled or failing reports.
 const TRACE_TAIL: usize = 32;
 
+/// Flight-recorder span trees rendered into a failing report (the ring
+/// retains [`kobs::ktrace::FLIGHT_RECORDER_TREES`]; dumping them all would
+/// drown the repro line).
+const FLIGHT_DUMP_TREES: usize = 2;
+
 /// The `klog::checks` violation sink is process-global, so concurrent runs
 /// (e.g. `cargo test` threads) would steal each other's violations.
 static RUN_LOCK: Mutex<()> = Mutex::new(());
@@ -57,6 +62,9 @@ pub struct SimConfig {
     /// Scripted fault schedule (the kcheck counterexample bridge). When
     /// set, it replaces the seed-derived probabilistic fault plan.
     pub script: Option<Script>,
+    /// Record a synthetic oracle failure after the drain so the
+    /// flight-recorder dump path can be exercised on a healthy run.
+    pub inject_failure: bool,
 }
 
 impl SimConfig {
@@ -69,6 +77,7 @@ impl SimConfig {
             cache_max_entries: 0,
             workers: 1,
             script: None,
+            inject_failure: false,
         }
     }
 
@@ -102,6 +111,14 @@ impl SimConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "worker count must be at least 1");
         self.workers = workers;
+        self
+    }
+
+    /// Inject a synthetic oracle failure after the drain. The run itself is
+    /// untouched — this only exercises the failure reporting path, i.e. the
+    /// flight-recorder span-tree dump next to the repro line.
+    pub fn with_injected_failure(mut self) -> Self {
+        self.inject_failure = true;
         self
     }
 }
@@ -490,6 +507,9 @@ impl Engine {
         for v in &violations {
             self.fail(format!("protocol {v}"));
         }
+        if self.cfg.inject_failure {
+            self.fail("injected failure (--inject-failure)".to_string());
+        }
 
         // Metrics ride along when profiling was requested; the trace tail
         // additionally rides along on any oracle failure so the repro line
@@ -499,6 +519,27 @@ impl Engine {
             kobs::trace::tail(TRACE_TAIL)
         } else {
             Vec::new()
+        };
+        // The commit-cycle critical-path breakdown rides with `--profile`;
+        // on any oracle failure the flight recorder's most recent span
+        // trees are rendered into the report next to the repro line.
+        let critical_path =
+            if self.cfg.obs_profile { kobs::ktrace::critical_path_summary() } else { None };
+        let flight = if self.failures.is_empty() {
+            Vec::new()
+        } else {
+            // Prefer the newest *multi-span* trees: the close path leaves
+            // trivial single-span commit roots at the very end of every
+            // run, which carry no timeline worth dumping.
+            let all = kobs::ktrace::recent_trees(kobs::ktrace::FLIGHT_RECORDER_TREES);
+            let rich: Vec<&kobs::SpanTree> = all.iter().filter(|t| t.spans.len() > 1).collect();
+            let pick = if rich.is_empty() { all.iter().collect() } else { rich };
+            pick.into_iter()
+                .rev()
+                .take(FLIGHT_DUMP_TREES)
+                .rev()
+                .map(kobs::ktrace::render_tree)
+                .collect()
         };
 
         SimReport {
@@ -527,6 +568,9 @@ impl Engine {
             failures: self.failures,
             obs,
             trace,
+            critical_path,
+            flight,
+            inject_failure: self.cfg.inject_failure,
         }
     }
 

@@ -56,6 +56,16 @@ pub struct SimReport {
     /// Trailing trace-event window; populated when profiled or when an
     /// oracle failed (so the repro line comes with its context).
     pub trace: Vec<kobs::Event>,
+    /// Commit-cycle critical-path breakdown (ktrace); present when the run
+    /// was observability profiled and at least one commit cycle completed.
+    pub critical_path: Option<kobs::CriticalPathSummary>,
+    /// Flight-recorder dump: the last completed span trees, rendered as
+    /// indented text. Populated only when an oracle failed, so the repro
+    /// line comes with the causal timeline leading up to it.
+    pub flight: Vec<String>,
+    /// Whether this run carried an injected synthetic oracle failure
+    /// (`--inject-failure`), used to exercise the flight-recorder dump.
+    pub inject_failure: bool,
 }
 
 impl SimReport {
@@ -78,6 +88,9 @@ impl SimReport {
         }
         if self.workers > 1 {
             cmd.push_str(&format!(" --workers {}", self.workers));
+        }
+        if self.inject_failure {
+            cmd.push_str(" --inject-failure");
         }
         cmd
     }
@@ -119,6 +132,34 @@ impl SimReport {
         if !self.trace.is_empty() {
             fields
                 .push(("trace", Value::Arr(self.trace.iter().map(kobs::Event::to_json).collect())));
+        }
+        if let Some(cp) = &self.critical_path {
+            fields.push((
+                "critical_path",
+                obj(vec![
+                    ("cycles", num(cp.cycles as f64)),
+                    ("total_us", num(cp.total_us as f64)),
+                    (
+                        "phases",
+                        obj(cp
+                            .phases
+                            .iter()
+                            .map(|(name, us)| (*name, num(*us as f64)))
+                            .collect::<Vec<_>>()),
+                    ),
+                    (
+                        "longest_chain",
+                        Value::Arr(cp.longest_chain.iter().map(|n| jstr(n.to_string())).collect()),
+                    ),
+                    ("longest_cycle_us", num(cp.longest_cycle_us as f64)),
+                ]),
+            ));
+        }
+        if !self.flight.is_empty() {
+            fields.push((
+                "flight_recorder",
+                Value::Arr(self.flight.iter().map(|t| jstr(t.clone())).collect()),
+            ));
         }
         obj(fields)
     }
@@ -173,6 +214,18 @@ impl fmt::Display for SimReport {
                 }
             }
         }
+        if let Some(cp) = &self.critical_path {
+            writeln!(
+                f,
+                "  critical path: commit_cycles={} total_us={} longest_cycle_us={}",
+                cp.cycles, cp.total_us, cp.longest_cycle_us
+            )?;
+            writeln!(f, "    longest chain: {}", cp.longest_chain.join(" > "))?;
+            writeln!(f, "    per-phase self time (sums to total):")?;
+            for (name, us) in &cp.phases {
+                writeln!(f, "      {name:<16} self_us={us}")?;
+            }
+        }
         if self.failures.is_empty() {
             writeln!(f, "  oracle: PASS")?;
         } else {
@@ -185,6 +238,14 @@ impl fmt::Display for SimReport {
             writeln!(f, "  trace (last {} events):", self.trace.len())?;
             for e in &self.trace {
                 writeln!(f, "    {e}")?;
+            }
+        }
+        if !self.flight.is_empty() {
+            writeln!(f, "  flight recorder (last {} span trees):", self.flight.len())?;
+            for tree in &self.flight {
+                for line in tree.lines() {
+                    writeln!(f, "    {line}")?;
+                }
             }
         }
         write!(f, "  repro: {}", self.repro())

@@ -2,6 +2,11 @@
 //! show up as `restore_records` (matching the committed changelog length)
 //! and must NOT be double-counted as processing work, in both the
 //! per-instance `StreamsMetrics` and the global kobs registry.
+//!
+//! Also home to the ktrace determinism contract: identical seeds produce
+//! byte-identical span trees and chrome JSON (serial and multi-worker),
+//! and the `kobs-off` feature compiles the span macros to true no-ops
+//! (run with `--features kobs-off` to exercise the disabled branches).
 
 use kbroker::{Cluster, Consumer, ConsumerConfig, Producer, ProducerConfig, TopicConfig};
 use kstreams::{KSerde, KafkaStreamsApp, StreamsBuilder, StreamsConfig};
@@ -171,5 +176,69 @@ fn commit_cycles_reach_the_registry_histogram() {
             markers.max_ms >= 1,
             "marker fan-out must charge the virtual clock (cost 1 ms/partition)"
         );
+        assert!(
+            snap.hist("kobs.critical_path.markers_ms").is_some(),
+            "span-derived critical-path family observed alongside the phase timers"
+        );
+    }
+}
+
+/// One simtest run's complete trace identity: every flight-recorder tree
+/// rendered as text, plus the chrome JSON export of all finished spans.
+/// The span store persists after `run` returns (it is reset at the start
+/// of the *next* run), so this reads exactly that run's spans.
+fn trace_fingerprint(cfg: &simkit::simtest::SimConfig) -> (String, String) {
+    let report = simkit::simtest::run(cfg);
+    assert!(report.passed(), "fingerprint runs must pass: {report}");
+    let trees: String = kobs::ktrace::recent_trees(kobs::ktrace::FLIGHT_RECORDER_TREES)
+        .iter()
+        .map(kobs::ktrace::render_tree)
+        .collect();
+    (trees, kobs::trace_export::chrome_json_all())
+}
+
+#[test]
+fn span_trees_replay_byte_identically() {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for workers in [1usize, 4] {
+        let cfg = simkit::simtest::SimConfig::new(7).with_steps(150).with_workers(workers);
+        let (trees_a, chrome_a) = trace_fingerprint(&cfg);
+        let (trees_b, chrome_b) = trace_fingerprint(&cfg);
+        assert_eq!(trees_a, trees_b, "span trees diverged on replay (workers={workers})");
+        assert_eq!(chrome_a, chrome_b, "chrome JSON diverged on replay (workers={workers})");
+        if kobs::ENABLED {
+            assert!(!trees_a.is_empty(), "a passing EOS run records commit-cycle trees");
+            let events = kobs::trace_export::validate_chrome_json(&chrome_a)
+                .expect("replayed export validates");
+            assert!(events > 0, "chrome export carries span events");
+        }
+    }
+}
+
+#[test]
+fn span_macros_are_noops_when_disabled() {
+    let _serial = OBS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    kobs::reset();
+    let root = kobs::span!(5, "kstreams", "cycle", n = 1u64);
+    let child = {
+        let _in = kobs::ktrace::enter(root);
+        let child = kobs::child_span!(5, "worker", "task");
+        kobs::ktrace::finish_span(child, 6_000);
+        child
+    };
+    kobs::ktrace::finish_span(root, 6_000);
+    if kobs::ENABLED {
+        assert_eq!(kobs::ktrace::finished_spans().len(), 2);
+        assert_eq!(kobs::ktrace::recent_trees(8).len(), 1);
+    } else {
+        assert!(root.is_none(), "disabled span! must hand out the NONE handle");
+        assert!(child.is_none(), "disabled child_span! must hand out the NONE handle");
+        assert!(kobs::ktrace::finished_spans().is_empty(), "no span ever recorded");
+        assert!(kobs::ktrace::recent_trees(8).is_empty(), "no tree ever assembled");
+        assert!(kobs::ktrace::critical_path_summary().is_none());
+        let export = kobs::trace_export::chrome_json_all();
+        let events = kobs::trace_export::validate_chrome_json(&export)
+            .expect("disabled export is still a well-formed empty trace");
+        assert_eq!(events, 0, "disabled export carries no span events");
     }
 }
