@@ -310,6 +310,12 @@ impl KafkaStreamsApp {
                 };
                 starts.insert(tp, start);
             }
+            // Durable warm start: load post-commit spills (if configured)
+            // so restore replays only the changelog suffix above each
+            // spill's watermark.
+            if let Some(dir) = self.config.state_dir.clone() {
+                task.load_spills(&dir);
+            }
             task.restore(&self.cluster, isolation, &starts)?;
             for (tp, start) in &starts {
                 task.set_position(tp, *start);
@@ -573,6 +579,15 @@ impl KafkaStreamsApp {
                         &offsets,
                     )?;
                 }
+            }
+        }
+        // Spill store contents now that the commit is durable: the spill
+        // and its changelog watermark describe exactly the committed state,
+        // so a crash between here and the next commit warm-starts from this
+        // point instead of replaying the changelog from the beginning.
+        if let Some(dir) = self.config.state_dir.clone() {
+            for id in &task_ids {
+                self.tasks.get(id).expect("owned").spill_stores(&dir, &self.cluster)?;
             }
         }
         self.commits += 1;

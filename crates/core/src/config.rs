@@ -52,6 +52,13 @@ pub struct StreamsConfig {
     /// work-stealing scheduler (`processor::scheduler`), with commits still
     /// scoped per task so exactly-once is unaffected.
     pub num_worker_threads: usize,
+    /// When set, every successful commit also spills each task's store
+    /// contents under `<state_dir>/<app_id>/<task_id>/` together with a
+    /// changelog watermark, and task (re)creation loads the spill and
+    /// replays only the changelog suffix above it — a durable warm start
+    /// that survives full instance crashes. `None` (the default) keeps the
+    /// seed behaviour: recovery replays changelogs from the beginning.
+    pub state_dir: Option<std::path::PathBuf>,
     /// When set, a `num_worker_threads > 1` schedule is *virtualized*:
     /// worker steps are serialized deterministically on the instance thread
     /// and steal decisions derive from this seed. Used by the simulation
@@ -72,6 +79,7 @@ impl StreamsConfig {
             cache_max_entries: 0,
             deny_rules: Vec::new(),
             num_worker_threads: 1,
+            state_dir: None,
             scheduler_seed: None,
         }
     }
@@ -143,6 +151,13 @@ impl StreamsConfig {
     pub fn with_num_worker_threads(mut self, n: usize) -> Self {
         assert!(n > 0);
         self.num_worker_threads = n;
+        self
+    }
+
+    /// Spill store contents to `dir` after every successful commit and
+    /// warm-start recovery from those spills (bounded changelog replay).
+    pub fn with_state_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
         self
     }
 

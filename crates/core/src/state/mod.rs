@@ -15,6 +15,7 @@
 pub mod cache;
 pub mod kv;
 pub mod session;
+pub mod spill;
 pub mod window;
 
 pub use cache::{DirtyEntry, PutOutcome, RecordCache};

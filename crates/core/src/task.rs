@@ -15,12 +15,13 @@ use crate::error::StreamsError;
 use crate::metrics::StreamsMetrics;
 use crate::processor::driver::{SinkOutput, SubTopologyDriver, TaskEnv};
 use crate::processor::StoreEntry;
-use crate::state::Store;
+use crate::state::{spill, Store};
 use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
 use kbroker::{Cluster, IsolationLevel, TopicPartition};
 use simkit::{FaultDecision, FaultPoint};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::Path;
 
 /// One buffered input record.
 #[derive(Debug, Clone)]
@@ -172,7 +173,10 @@ impl StreamTask {
             if !cluster.topic_exists(&tp.topic) {
                 continue;
             }
-            let mut pos = cluster.earliest_offset(&tp)?;
+            // A loaded spill (or warm standby) already reflects the prefix
+            // below its watermark; replay only the rest.
+            let warm = self.restore_from.get(&store_name).copied().unwrap_or(0);
+            let mut pos = warm.max(cluster.earliest_offset(&tp)?);
             while pos < bound {
                 let fetch = cluster.fetch(&tp, pos, 4096, isolation)?;
                 if fetch.count() == 0 && fetch.next_offset == pos {
@@ -414,5 +418,71 @@ impl StreamTask {
     /// serial-vs-parallel equivalence oracle).
     pub fn dump_stores(&self) -> BTreeMap<String, Vec<(Bytes, Bytes)>> {
         self.env.stores.iter().map(|(name, e)| (name.clone(), e.store.dump())).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // State-store spills (durable warm starts)
+    // ------------------------------------------------------------------
+
+    /// Spill every recoverable store's contents to the state directory
+    /// (called right after a successful commit). Each spill carries the
+    /// changelog watermark replay should resume from: the changelog
+    /// partition's post-commit log end, or — for source-as-changelog
+    /// stores — the committed input offset.
+    pub fn spill_stores(&self, state_dir: &Path, cluster: &Cluster) -> Result<(), StreamsError> {
+        let task_id = self.id.to_string();
+        for (store_name, entry) in &self.env.stores {
+            let watermark = if let Some(tp) = self.changelog_tps.get(store_name) {
+                if !cluster.topic_exists(&tp.topic) {
+                    continue;
+                }
+                cluster.latest_offset(tp)?
+            } else if let Some(tp) = self.source_restore_tps.get(store_name) {
+                self.processed_positions.get(tp).copied().unwrap_or(0)
+            } else {
+                continue; // no changelog: the store is ephemeral by design
+            };
+            let path = spill::spill_path(state_dir, &self.app_id, &task_id, store_name);
+            let data = spill::StoreSpill { watermark, pairs: entry.store.dump() };
+            spill::write_spill(&path, &data).map_err(|e| {
+                StreamsError::InvalidOperation(format!("spill write {path:?}: {e}"))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Load spilled stores from the state directory (called before
+    /// [`Self::restore`]). A valid spill that is at least as fresh as any
+    /// adopted standby state *replaces* the store's contents and moves its
+    /// restore position to the spill watermark; missing or corrupt files
+    /// are ignored (full changelog replay remains the fallback).
+    pub fn load_spills(&mut self, state_dir: &Path) {
+        let task_id = self.id.to_string();
+        let mut loaded = 0u64;
+        for (store_name, entry) in &mut self.env.stores {
+            if !self.changelog_tps.contains_key(store_name)
+                && !self.source_restore_tps.contains_key(store_name)
+            {
+                continue;
+            }
+            let path = spill::spill_path(state_dir, &self.app_id, &task_id, store_name);
+            let Some(data) = spill::read_spill(&path) else { continue };
+            let warm = self.restore_from.get(store_name).copied().unwrap_or(0);
+            if data.watermark < warm {
+                continue; // the adopted standby state is fresher
+            }
+            // Replace, not merge: the spill is a complete dump at its
+            // watermark, and merging over warm state would resurrect keys
+            // deleted between the two positions.
+            entry.store = Store::new(entry.spec.kind);
+            for (k, v) in &data.pairs {
+                entry.store.apply_changelog(k, Some(v.clone()));
+            }
+            self.restore_from.insert(store_name.clone(), data.watermark);
+            loaded += 1;
+        }
+        if loaded > 0 {
+            kobs::count("kstreams.spill.stores_loaded", loaded);
+        }
     }
 }

@@ -15,7 +15,7 @@ use crate::txn::TxnRegistry;
 use crate::{OFFSETS_TOPIC, TXN_TOPIC};
 use klog::batch::{BatchMeta, ControlType};
 use klog::compaction::{compact, CompactionOptions, CompactionStats};
-use klog::{AppendOutcome, FetchResult, IsolationLevel, Offset, Record};
+use klog::{AppendOutcome, FetchResult, IsolationLevel, Offset, Record, StorageMode};
 use parking_lot::{Mutex, RwLock};
 use simkit::{FaultPlan, SharedClock, WallClock};
 use std::collections::HashMap;
@@ -100,6 +100,8 @@ pub(crate) struct ClusterInner {
     /// marker written (models the coordinator→broker marker fan-out that
     /// makes Figure 5.a's latency grow with partition count).
     pub marker_rpc_cost_ms: f64,
+    /// Storage backend new topics are created with.
+    pub storage: StorageMode,
 }
 
 /// Handle to the simulated cluster. Cheap to clone; all clones address the
@@ -119,6 +121,7 @@ pub struct ClusterBuilder {
     marker_rpc_cost_ms: f64,
     clock: Option<SharedClock>,
     faults: FaultPlan,
+    storage: StorageMode,
 }
 
 impl Default for ClusterBuilder {
@@ -132,6 +135,7 @@ impl Default for ClusterBuilder {
             marker_rpc_cost_ms: 0.0,
             clock: None,
             faults: FaultPlan::none(),
+            storage: StorageMode::Memory,
         }
     }
 }
@@ -191,6 +195,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Storage backend for every topic's partition logs. The default is
+    /// [`StorageMode::Memory`] (the seed behaviour); [`StorageMode::Disk`]
+    /// writes real segment files and makes broker kill/restore an honest
+    /// crash-and-recover cycle.
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.storage = storage;
+        self
+    }
+
     pub fn build(self) -> Cluster {
         let replication = self.replication.min(self.brokers);
         let cluster = Cluster {
@@ -206,6 +219,7 @@ impl ClusterBuilder {
                 groups: GroupsRegistry::new(self.offsets_partitions),
                 txn_timeout_ms: self.txn_timeout_ms,
                 marker_rpc_cost_ms: self.marker_rpc_cost_ms,
+                storage: self.storage,
             }),
         };
         cluster
@@ -273,7 +287,11 @@ impl Cluster {
                     let brokers: Vec<usize> = (0..config.replication)
                         .map(|i| (p as usize + i) % self.inner.num_brokers)
                         .collect();
-                    Arc::new(Mutex::new(ReplicaSet::new(TopicPartition::new(name, p), brokers)))
+                    Arc::new(Mutex::new(ReplicaSet::new_with_storage(
+                        TopicPartition::new(name, p),
+                        brokers,
+                        self.inner.storage.clone(),
+                    )))
                 })
                 .collect();
             TopicMeta { config, partitions }

@@ -15,7 +15,10 @@ use crate::error::BrokerError;
 use crate::protocol::replication;
 use crate::topic::TopicPartition;
 use klog::batch::{BatchMeta, ControlType};
-use klog::{invariant, AppendOutcome, FetchResult, IsolationLevel, Offset, PartitionLog, Record};
+use klog::{
+    invariant, AppendOutcome, DiskConfig, DiskLog, FetchResult, IsolationLevel, Offset,
+    PartitionLog, Record, StorageMode, StoredBatch,
+};
 
 /// All replicas of one partition. Lives behind a per-partition mutex in the
 /// cluster, so methods take `&mut self`.
@@ -31,16 +34,65 @@ pub struct ReplicaSet {
     isr: Vec<usize>,
     /// Leader epoch, bumped on every election (observable by tests).
     leader_epoch: u32,
+    /// Storage backend shared by all replicas of this partition. In disk
+    /// mode each replica writes `<root>/broker-<id>/<topic>-<partition>/`.
+    storage: StorageMode,
 }
 
 impl ReplicaSet {
-    /// Create a replica set on `brokers` (first entry is the initial
-    /// leader). All brokers are assumed alive at creation.
+    /// Create an in-memory replica set on `brokers` (first entry is the
+    /// initial leader). All brokers are assumed alive at creation.
     pub fn new(tp: TopicPartition, brokers: Vec<usize>) -> Self {
+        Self::new_with_storage(tp, brokers, StorageMode::Memory)
+    }
+
+    /// Create a replica set with an explicit storage backend. In
+    /// [`StorageMode::Disk`] every replica log writes through to its own
+    /// segment directory, and broker kill/restore become honest crashes:
+    /// the in-memory state is discarded and rebuilt from the files.
+    pub fn new_with_storage(tp: TopicPartition, brokers: Vec<usize>, storage: StorageMode) -> Self {
         assert!(!brokers.is_empty(), "a partition needs at least one replica");
-        let replicas =
-            brokers.iter().map(|&b| (b, PartitionLog::new().with_managed_watermark())).collect();
-        Self { tp, leader: Some(brokers[0]), isr: brokers.clone(), replicas, leader_epoch: 0 }
+        let replicas = brokers
+            .iter()
+            .map(|&b| {
+                let mut log = PartitionLog::new().with_managed_watermark();
+                if let StorageMode::Disk(cfg) = &storage {
+                    let rcfg = cfg.for_replica(b, &tp.topic, tp.partition);
+                    log.attach_disk(DiskLog::open_clean(rcfg).expect("open replica log dir"));
+                }
+                (b, log)
+            })
+            .collect();
+        Self {
+            tp,
+            leader: Some(brokers[0]),
+            isr: brokers.clone(),
+            replicas,
+            leader_epoch: 0,
+            storage,
+        }
+    }
+
+    /// True when `candidate`'s retained batches are exactly the leader's
+    /// batches below the candidate's log end, from the same log start: the
+    /// candidate can then catch up by installing the leader's suffix
+    /// verbatim.
+    fn is_prefix_of(candidate: &PartitionLog, leader: &PartitionLog) -> bool {
+        if candidate.log_start() != leader.log_start() || candidate.log_end() > leader.log_end() {
+            return false;
+        }
+        let end = candidate.log_end();
+        candidate.batches().eq(leader.batches().filter(|b| b.last_offset() < end))
+    }
+
+    /// This replica's per-broker disk config, when in disk mode.
+    fn replica_disk_config(&self, broker: usize) -> Option<DiskConfig> {
+        match &self.storage {
+            StorageMode::Disk(cfg) => {
+                Some(cfg.for_replica(broker, &self.tp.topic, self.tp.partition))
+            }
+            StorageMode::Memory => None,
+        }
     }
 
     pub fn topic_partition(&self) -> &TopicPartition {
@@ -205,6 +257,15 @@ impl ReplicaSet {
     /// from its local log, §4.1). `now_ms` timestamps the emitted
     /// shrink/election trace events.
     pub fn on_broker_down(&mut self, broker: usize, now_ms: i64) {
+        // Honest crash in disk mode: the dead broker loses ALL in-memory
+        // state right now. Its segment files survive on disk (deliberately
+        // not re-attached — a dead broker must not write), and
+        // [`Self::on_broker_up`] rebuilds from them through real recovery.
+        if self.replica_disk_config(broker).is_some() {
+            if let Some((_, log)) = self.replicas.iter_mut().find(|(b, _)| *b == broker) {
+                *log = PartitionLog::new().with_managed_watermark();
+            }
+        }
         let was_member = self.isr.contains(&broker);
         self.isr.retain(|&b| b != broker);
         if was_member {
@@ -236,13 +297,24 @@ impl ReplicaSet {
     }
 
     /// A broker came back: catch its replica up from the leader and restore
-    /// it to the ISR. (We copy the leader log wholesale — the simulation
-    /// equivalent of follower truncation + re-fetch.) `now_ms` timestamps
-    /// the emitted expand/election trace events.
+    /// it to the ISR.
+    ///
+    /// In memory mode we copy the leader log wholesale — the simulation
+    /// equivalent of follower truncation + re-fetch. In disk mode the
+    /// replica is rebuilt from its own segment files first (real recovery:
+    /// CRC scan, torn-tail truncation, snapshot-seeded producer state); if
+    /// the recovered log is a prefix of the leader's, only the missing
+    /// suffix is installed on top, otherwise (e.g. compaction ran while it
+    /// was down) we fall back to a full re-clone plus disk resync. `now_ms`
+    /// timestamps the emitted expand/election trace events.
     pub fn on_broker_up(&mut self, broker: usize, now_ms: i64) {
         if !self.assigned_brokers().contains(&broker) || self.isr.contains(&broker) {
             return;
         }
+        let recovered = self.replica_disk_config(broker).map(|cfg| {
+            let rec = DiskLog::recover(cfg).expect("recover replica log dir");
+            PartitionLog::from_recovered(rec).with_managed_watermark()
+        });
         if let Some(leader) = self.leader {
             let leader_log = self
                 .replicas
@@ -250,18 +322,57 @@ impl ReplicaSet {
                 .find(|(b, _)| *b == leader)
                 .map(|(_, l)| l.clone())
                 .expect("leader is assigned");
+            let caught_up = match recovered {
+                Some(mut rec) => {
+                    if Self::is_prefix_of(&rec, &leader_log) {
+                        // Fast path: install only the suffix the replica
+                        // missed while it was down (mirrors to its disk).
+                        let suffix: Vec<StoredBatch> = leader_log
+                            .batches()
+                            .filter(|b| b.base_offset() >= rec.log_end())
+                            .cloned()
+                            .collect();
+                        for b in suffix {
+                            rec.install_batch(b).expect("install leader suffix");
+                        }
+                        rec.advance_high_watermark(leader_log.high_watermark());
+                        kobs::count("kbroker.disk.suffix_catchups", 1);
+                        rec
+                    } else {
+                        // Divergence (compaction/retention while down): the
+                        // only safe repair is a full re-clone + disk resync.
+                        let mut log = leader_log;
+                        let cfg = self.replica_disk_config(broker).expect("disk mode");
+                        log.resync_disk(cfg).expect("resync replica disk");
+                        kobs::count("kbroker.disk.full_resyncs", 1);
+                        log
+                    }
+                }
+                None => leader_log,
+            };
             if let Some((_, log)) = self.replicas.iter_mut().find(|(b, _)| *b == broker) {
-                *log = leader_log;
+                *log = caught_up;
             }
             self.isr.push(broker);
         } else {
-            // Everyone was down; the recovered broker becomes leader with
-            // whatever it had (it was in sync when it died — synchronous
-            // replication keeps replicas identical).
+            // Everyone was down; the recovered broker becomes leader. In
+            // memory mode it leads with whatever it had (it was in sync
+            // when it died — synchronous replication keeps replicas
+            // identical); in disk mode it leads with what its files held.
             self.leader = Some(broker);
             self.leader_epoch += 1;
             self.isr.push(broker);
-            self.leader_log_mut().expect("just elected").recover_producer_state();
+            match recovered {
+                Some(rec) => {
+                    // `from_recovered` already rebuilt producer state
+                    // (snapshot + suffix replay); a full rescan here would
+                    // lose entries for batches retention truncated away.
+                    if let Some((_, log)) = self.replicas.iter_mut().find(|(b, _)| *b == broker) {
+                        *log = rec;
+                    }
+                }
+                None => self.leader_log_mut().expect("just elected").recover_producer_state(),
+            }
         }
         kobs::count("kbroker.isr.expands", 1);
         kobs::event!(
@@ -379,5 +490,83 @@ mod tests {
         rs.on_broker_down(2, 0);
         rs.append(BatchMeta::plain(), recs(3)).unwrap();
         assert_eq!(rs.leader_log().unwrap().high_watermark(), 3);
+    }
+
+    mod disk {
+        use super::*;
+        use klog::StorageMode;
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        fn disk_rs(root: &PathBuf, brokers: Vec<usize>) -> ReplicaSet {
+            let cfg = DiskConfig::at(root).with_roll_records(3);
+            ReplicaSet::new_with_storage(tp(), brokers, StorageMode::Disk(cfg))
+        }
+
+        fn root() -> PathBuf {
+            static N: AtomicUsize = AtomicUsize::new(0);
+            let n = N.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("kbroker-replica-{}-{n}", std::process::id()))
+        }
+
+        #[test]
+        fn killed_broker_loses_memory_but_recovers_from_files() {
+            let dir = root();
+            let mut rs = disk_rs(&dir, vec![0, 1]);
+            rs.append(BatchMeta::plain(), recs(4)).unwrap();
+            rs.on_broker_down(1, 0);
+            // The dead replica's in-memory log really is empty now.
+            let dead = &rs.replicas.iter().find(|(b, _)| *b == 1).unwrap().1;
+            assert_eq!(dead.log_end(), 0, "crash must discard in-memory state");
+            // More data while broker 1 is down.
+            rs.append(BatchMeta::plain(), recs(2)).unwrap();
+            rs.on_broker_up(1, 0);
+            // Fail the old leader: the recovered follower serves everything.
+            rs.on_broker_down(0, 0);
+            assert_eq!(rs.leader(), Some(1));
+            assert_eq!(rs.fetch(0, 100, IsolationLevel::ReadUncommitted).unwrap().count(), 6);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn total_outage_recovers_from_segment_files() {
+            let dir = root();
+            let mut rs = disk_rs(&dir, vec![0, 1]);
+            rs.append(BatchMeta::transactional(5, 0, 0), recs(3)).unwrap();
+            rs.append_control(5, 0, ControlType::Commit, 0).unwrap();
+            rs.on_broker_down(0, 0);
+            rs.on_broker_down(1, 0);
+            // Both in-memory logs are gone; only the files remain.
+            for (_, log) in &rs.replicas {
+                assert_eq!(log.log_end(), 0);
+            }
+            rs.on_broker_up(1, 0);
+            assert_eq!(rs.leader(), Some(1));
+            let f = rs.fetch(0, 100, IsolationLevel::ReadCommitted).unwrap();
+            assert_eq!(f.count(), 3, "committed data must survive a full-cluster crash");
+            // Dedup state also survived via the producer snapshot.
+            let retry = rs.append(BatchMeta::transactional(5, 0, 0), recs(3)).unwrap();
+            assert!(retry.duplicate);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn diverged_replica_full_resyncs() {
+            let dir = root();
+            let mut rs = disk_rs(&dir, vec![0, 1]);
+            rs.append(BatchMeta::plain(), recs(4)).unwrap();
+            rs.on_broker_down(1, 0);
+            // Retention moves the leader's log start while 1 is down, so
+            // the recovered files no longer share a log start with it.
+            rs.append(BatchMeta::plain(), recs(2)).unwrap();
+            rs.for_each_log(|l| l.truncate_prefix(3));
+            rs.on_broker_up(1, 0);
+            rs.on_broker_down(0, 0);
+            assert_eq!(rs.leader(), Some(1));
+            let f = rs.fetch(3, 100, IsolationLevel::ReadUncommitted).unwrap();
+            assert_eq!(f.count(), 3);
+            assert_eq!(rs.leader_log().unwrap().log_start(), 3);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

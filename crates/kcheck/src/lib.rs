@@ -27,9 +27,9 @@
 //! * at quiescence: exactly-once delivery of exactly the committed
 //!   transactions' records, and no transaction left open.
 //!
-//! The explorer ([`explore`]) is an iterative DFS with deterministic
+//! The explorer ([`explore()`]) is an iterative DFS with deterministic
 //! state-hash dedup and sleep-set partial-order reduction; a violation is
-//! returned as a [`Counterexample`](explore::Counterexample) holding the
+//! returned as a [`Counterexample`] holding the
 //! exact action trace plus a `simtest --script` replay line ([`trace`]).
 //!
 //! The crate ships two binaries: `kcheck` (the checker CLI; `--quick` is

@@ -86,10 +86,13 @@ impl BatchMeta {
         }
     }
 
+    /// True when the batch carries a real producer id and sequence
+    /// (i.e. it participates in idempotence checks).
     pub fn is_idempotent(&self) -> bool {
         self.producer_id != NO_PRODUCER_ID && self.base_sequence != NO_SEQUENCE
     }
 
+    /// True for transaction control-marker batches.
     pub fn is_control(&self) -> bool {
         self.control.is_some()
     }
@@ -103,6 +106,7 @@ impl BatchMeta {
 /// offsets through compaction and so do we, hence per-record offsets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredBatch {
+    /// Producer/transaction metadata stamped at append time.
     pub meta: BatchMeta,
     /// `(offset, record)` pairs in strictly increasing offset order.
     pub entries: Vec<(Offset, Record)>,
@@ -140,6 +144,7 @@ impl StoredBatch {
         self.entries.len()
     }
 
+    /// True when the batch holds no records (never true for stored batches).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -14,7 +14,7 @@
 //!   a `Prepare*` state and coordinator state only moves along legal edges
 //!   (§4.2.1, Figure 5).
 //!
-//! Production code asserts these with the [`invariant!`] macro. When the
+//! Production code asserts these with the [`crate::invariant!`] macro. When the
 //! (default-on) `invariants` feature is enabled, a failed check records a
 //! [`Violation`] in the process-global [sink](take_violations); tests drain
 //! the sink after fault-injection runs and assert it is empty. When the
@@ -47,7 +47,7 @@ fn sink() -> std::sync::MutexGuard<'static, Vec<Violation>> {
     SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Record a violation in the global sink. Called by [`invariant!`]; call
+/// Record a violation in the global sink. Called by [`crate::invariant!`]; call
 /// directly only when the failing condition is a match arm rather than a
 /// boolean expression.
 pub fn record_violation(invariant: &'static str, context: String) {
@@ -79,7 +79,7 @@ macro_rules! invariant {
     };
 }
 
-/// Disabled-feature form of [`invariant!`]: evaluates nothing, but still
+/// Disabled-feature form of [`crate::invariant!`]: evaluates nothing, but still
 /// "uses" the message arguments (inside a never-called closure) so call
 /// sites compile warning-free with the feature off.
 #[cfg(not(feature = "invariants"))]

@@ -33,9 +33,13 @@ pub struct CompactionOptions {
 /// What a compaction pass did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionStats {
+    /// Records in the compacted range before the pass.
     pub records_before: usize,
+    /// Records retained after the pass.
     pub records_after: usize,
+    /// Approximate bytes before the pass.
     pub bytes_before: usize,
+    /// Approximate bytes retained after the pass.
     pub bytes_after: usize,
 }
 

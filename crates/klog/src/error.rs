@@ -11,21 +11,47 @@ use std::fmt;
 pub enum LogError {
     /// The batch's base sequence is neither a duplicate nor the next
     /// expected sequence — a gap means a prior batch was lost.
-    OutOfOrderSequence { producer_id: i64, expected: i64, got: i64 },
+    OutOfOrderSequence {
+        /// Producer whose sequence was out of order.
+        producer_id: i64,
+        /// Next sequence the log expected from this producer.
+        expected: i64,
+        /// Sequence the rejected batch actually carried.
+        got: i64,
+    },
     /// The producer's epoch is older than the latest known epoch for its id:
     /// the producer is a zombie and must not write (§4.2.1 fencing).
-    ProducerFenced { producer_id: i64, current_epoch: i32, got_epoch: i32 },
+    ProducerFenced {
+        /// Producer id that was fenced.
+        producer_id: i64,
+        /// Latest epoch the log has seen for this producer.
+        current_epoch: i32,
+        /// Stale epoch the rejected batch carried.
+        got_epoch: i32,
+    },
     /// A fetch or lookup addressed an offset beyond the log end or before
     /// the log start (e.g. truncated away by retention).
-    OffsetOutOfRange { requested: i64, log_start: i64, log_end: i64 },
+    OffsetOutOfRange {
+        /// Offset the caller asked for.
+        requested: i64,
+        /// First retained offset.
+        log_start: i64,
+        /// Log-end offset (exclusive).
+        log_end: i64,
+    },
     /// A transactional operation referenced a producer id with no open
     /// transaction on this partition.
-    NoOngoingTransaction { producer_id: i64 },
+    NoOngoingTransaction {
+        /// Producer id with no open transaction.
+        producer_id: i64,
+    },
     /// A non-transactional append from a producer with an open transaction,
     /// or a transactional append from a non-transactional producer.
     InvalidTxnState(String),
     /// Batch failed validation (empty, bad control payload, …).
     CorruptBatch(String),
+    /// A disk-backend I/O operation failed (storage mirror or recovery).
+    Io(String),
 }
 
 impl fmt::Display for LogError {
@@ -47,6 +73,7 @@ impl fmt::Display for LogError {
             }
             LogError::InvalidTxnState(msg) => write!(f, "invalid transaction state: {msg}"),
             LogError::CorruptBatch(msg) => write!(f, "corrupt batch: {msg}"),
+            LogError::Io(msg) => write!(f, "storage i/o error: {msg}"),
         }
     }
 }

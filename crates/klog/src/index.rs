@@ -16,6 +16,7 @@ pub struct TimeIndex {
 }
 
 impl TimeIndex {
+    /// An empty time index.
     pub fn new() -> Self {
         Self::default()
     }
@@ -40,6 +41,7 @@ impl TimeIndex {
         self.entries.len()
     }
 
+    /// True when no entries have been indexed yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -16,8 +16,12 @@
 //! * [`segment`] — segment bookkeeping, retention, and prefix truncation
 //!   (used to purge consumed repartition-topic records, §3.2).
 //!
-//! `klog` is purely single-partition data structures with no threading or
-//! I/O; `kbroker` composes these into a replicated multi-broker cluster.
+//! `klog` is purely single-partition data structures with no threading and —
+//! by default — no I/O; `kbroker` composes these into a replicated
+//! multi-broker cluster. The optional [`storage`] disk backend mirrors a
+//! log's mutations into real segment files for honest crash recovery.
+
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod checks;
@@ -28,12 +32,14 @@ pub mod log;
 pub mod producer_state;
 pub mod record;
 pub mod segment;
+pub mod storage;
 
 pub use batch::{BatchMeta, ControlType, StoredBatch};
 pub use error::LogError;
 pub use log::{AbortedTxn, AppendOutcome, FetchResult, IsolationLevel, PartitionLog};
 pub use producer_state::{ProducerStateTable, SequenceCheck};
 pub use record::Record;
+pub use storage::{DiskConfig, DiskLog, FsyncPolicy, RecoveredLog, StorageMode};
 
 /// Offsets are dense, zero-based positions within one partition log.
 pub type Offset = i64;

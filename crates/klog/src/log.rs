@@ -21,6 +21,8 @@ use crate::index::TimeIndex;
 use crate::producer_state::{ProducerStateTable, SequenceCheck};
 use crate::record::Record;
 use crate::segment::SegmentList;
+use crate::storage::format::ProducerSnapshot;
+use crate::storage::{DiskConfig, DiskLog, RecoveredLog};
 use crate::{Offset, ProducerEpoch, ProducerId, NO_SEQUENCE, NO_TIMESTAMP};
 
 /// Consumer isolation level (§4.2.3).
@@ -38,6 +40,7 @@ pub enum IsolationLevel {
 /// read-committed fetches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AbortedTxn {
+    /// Producer that aborted the transaction.
     pub producer_id: ProducerId,
     /// First data offset the transaction wrote on this partition.
     pub first_offset: Offset,
@@ -48,7 +51,9 @@ pub struct AbortedTxn {
 /// Result of an append.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppendOutcome {
+    /// First offset assigned to the batch.
     pub base_offset: Offset,
+    /// Last offset assigned to the batch.
     pub last_offset: Offset,
     /// True when the batch was recognised as an idempotent-producer
     /// duplicate and **not** re-appended; offsets are the original ones.
@@ -59,12 +64,16 @@ pub struct AppendOutcome {
 /// consumer client needs to make progress.
 #[derive(Debug, Clone)]
 pub struct FetchResult {
+    /// Fetched batches, possibly trimmed to the fetch bounds.
     pub batches: Vec<StoredBatch>,
     /// Where the consumer should fetch from next. Advances past skipped
     /// control batches and aborted data so pollers never spin.
     pub next_offset: Offset,
+    /// High watermark at fetch time.
     pub high_watermark: Offset,
+    /// Last stable offset at fetch time (read-committed bound).
     pub last_stable_offset: Offset,
+    /// First retained offset at fetch time.
     pub log_start: Offset,
 }
 
@@ -81,7 +90,7 @@ impl FetchResult {
 }
 
 /// A single partition's log. Single-threaded; `kbroker` provides locking.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PartitionLog {
     segments: SegmentList,
     /// Earliest addressable offset. Advanced only by [`truncate_prefix`];
@@ -100,6 +109,10 @@ pub struct PartitionLog {
     /// single-replica behaviour. The replication layer switches this off and
     /// advances the watermark itself as followers catch up.
     auto_advance_hw: bool,
+    /// Optional durable mirror: when attached, every mutation (append,
+    /// marker, truncation, compaction) is also written to segment files, so
+    /// the log survives a crash of its in-memory incarnation.
+    disk: Option<DiskLog>,
 }
 
 impl Default for PartitionLog {
@@ -108,7 +121,27 @@ impl Default for PartitionLog {
     }
 }
 
+impl Clone for PartitionLog {
+    /// Clones are in-memory views: the disk attachment (if any) stays with
+    /// the original, because two logs must never write the same directory.
+    fn clone(&self) -> Self {
+        Self {
+            segments: self.segments.clone(),
+            log_start: self.log_start,
+            next_offset: self.next_offset,
+            high_watermark: self.high_watermark,
+            producers: self.producers.clone(),
+            aborted: self.aborted.clone(),
+            time_index: self.time_index.clone(),
+            max_timestamp: self.max_timestamp,
+            auto_advance_hw: self.auto_advance_hw,
+            disk: None,
+        }
+    }
+}
+
 impl PartitionLog {
+    /// An empty, in-memory partition log.
     pub fn new() -> Self {
         Self {
             segments: SegmentList::new(),
@@ -120,6 +153,7 @@ impl PartitionLog {
             time_index: TimeIndex::new(),
             max_timestamp: NO_TIMESTAMP,
             auto_advance_hw: true,
+            disk: None,
         }
     }
 
@@ -128,6 +162,117 @@ impl PartitionLog {
     pub fn with_managed_watermark(mut self) -> Self {
         self.auto_advance_hw = false;
         self
+    }
+
+    // ------------------------------------------------------------------
+    // Durable storage attachment
+    // ------------------------------------------------------------------
+
+    /// Attach a disk mirror; subsequent mutations are written through.
+    pub fn attach_disk(&mut self, disk: DiskLog) {
+        self.disk = Some(disk);
+    }
+
+    /// Detach and return the disk mirror, leaving the log purely in-memory.
+    pub fn detach_disk(&mut self) -> Option<DiskLog> {
+        self.disk.take()
+    }
+
+    /// Whether a disk mirror is attached.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Attach a *fresh* disk mirror at `cfg` and resync it to this log's
+    /// current contents (full rewrite + checkpoint + snapshot). Used when a
+    /// recovered replica's files diverged from the leader (e.g. compaction
+    /// ran while it was down) and a full re-clone is the only safe repair.
+    pub fn resync_disk(&mut self, cfg: DiskConfig) -> Result<(), LogError> {
+        let mut disk = DiskLog::open_clean(cfg)?;
+        disk.rewrite_all(self.segments.iter_from(i64::MIN))?;
+        self.disk = Some(disk);
+        self.disk_checkpoint()?;
+        self.disk_snapshot()
+    }
+
+    /// Rebuild a partition log from what [`DiskLog::recover`] read back:
+    /// surviving batches in offset order, checkpointed bounds, and (when a
+    /// valid producer snapshot exists) snapshot-seeded producer state with a
+    /// suffix replay — otherwise a full §4.1 rescan.
+    pub fn from_recovered(rec: RecoveredLog) -> Self {
+        let RecoveredLog { disk, batches, log_start, high_watermark, snapshot } = rec;
+        let mut time_index = TimeIndex::new();
+        let mut max_timestamp = NO_TIMESTAMP;
+        for b in &batches {
+            let ts = b.max_timestamp();
+            if ts > max_timestamp {
+                max_timestamp = ts;
+                time_index.maybe_add(ts, b.base_offset());
+            }
+        }
+        let next_offset =
+            batches.last().map_or(log_start.max(high_watermark), |b| b.last_offset() + 1);
+        // Snapshot fast path: seed the producer table and aborted index from
+        // the snapshot, then replay only the suffix at or above its offset.
+        let seeded = snapshot.map(|snap| {
+            let mut table = ProducerStateTable::from_snapshot_entries(snap.entries);
+            let mut aborted = snap.aborted;
+            for b in batches.iter().filter(|b| b.base_offset() >= snap.snapshot_offset) {
+                if b.meta.control == Some(ControlType::Abort) {
+                    if let Some(first) = table.txn_first_offset(b.meta.producer_id) {
+                        aborted.push(AbortedTxn {
+                            producer_id: b.meta.producer_id,
+                            first_offset: first,
+                            marker_offset: b.base_offset(),
+                        });
+                    }
+                }
+                table.apply_batch(b);
+            }
+            (table, aborted)
+        });
+        let mut log = Self {
+            segments: SegmentList::from_batches(batches),
+            log_start,
+            next_offset,
+            high_watermark,
+            producers: ProducerStateTable::new(),
+            aborted: Vec::new(),
+            time_index,
+            max_timestamp,
+            auto_advance_hw: true,
+            disk: Some(disk),
+        };
+        match seeded {
+            Some((table, aborted)) => {
+                log.producers = table;
+                log.aborted = aborted;
+            }
+            None => log.recover_producer_state(),
+        }
+        log
+    }
+
+    /// Mirror the `(log_start, high_watermark)` checkpoint when attached.
+    fn disk_checkpoint(&mut self) -> Result<(), LogError> {
+        let (start, hw) = (self.log_start, self.high_watermark);
+        match self.disk.as_mut() {
+            Some(d) => d.write_checkpoint(start, hw),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a fresh producer-state snapshot at the current log end.
+    fn disk_snapshot(&mut self) -> Result<(), LogError> {
+        if self.disk.is_none() {
+            return Ok(());
+        }
+        let snap = ProducerSnapshot {
+            snapshot_offset: self.next_offset,
+            entries: self.producers.snapshot_entries(),
+            aborted: self.aborted.clone(),
+        };
+        self.disk.as_mut().expect("checked above").write_snapshot(&snap)
     }
 
     // ------------------------------------------------------------------
@@ -199,6 +344,25 @@ impl PartitionLog {
             self.max_timestamp = max_ts;
             self.time_index.maybe_add(max_ts, base_offset);
         }
+        // Span only inside a traced lifecycle (a commit cycle's produce or
+        // marker path); harness-side feeder appends stay span-free. The disk
+        // mirror runs *inside* the append span so its `fsync` child nests.
+        let trace = kobs::ktrace::in_span().then(|| {
+            let ts = max_ts.max(0);
+            let h = kobs::child_span!(
+                ts,
+                "klog",
+                "append",
+                records = last_offset - base_offset + 1,
+                base_offset = base_offset,
+            );
+            (h, ts)
+        });
+        let mut rolled = false;
+        if let Some(d) = self.disk.as_mut() {
+            let _in_append = trace.as_ref().map(|(h, _)| kobs::ktrace::enter(*h));
+            rolled = d.append_batch(&batch)?;
+        }
         self.segments.append(batch);
         self.next_offset = last_offset + 1;
         if meta.producer_id >= 0 {
@@ -214,17 +378,13 @@ impl PartitionLog {
         if self.auto_advance_hw {
             self.high_watermark = self.next_offset;
         }
-        // Span only inside a traced lifecycle (a commit cycle's produce or
-        // marker path); harness-side feeder appends stay span-free.
-        if kobs::ktrace::in_span() {
-            let ts = max_ts.max(0);
-            let h = kobs::child_span!(
-                ts,
-                "klog",
-                "append",
-                records = last_offset - base_offset + 1,
-                base_offset = base_offset,
-            );
+        if rolled {
+            // A finished segment gets a producer-state snapshot, so recovery
+            // can seed the table and replay only the active segment.
+            self.disk_snapshot()?;
+        }
+        self.disk_checkpoint()?;
+        if let Some((h, ts)) = trace {
             kobs::ktrace::finish_span(h, ts * 1000);
         }
         Ok(AppendOutcome { base_offset, last_offset, duplicate: false })
@@ -257,6 +417,14 @@ impl PartitionLog {
             meta: BatchMeta::control(producer_id, epoch, ctl),
             entries: vec![(marker_offset, marker_record)],
         };
+        let trace = kobs::ktrace::in_span().then(|| {
+            kobs::child_span!(timestamp, "klog", "append_control", offset = marker_offset)
+        });
+        let mut rolled = false;
+        if let Some(d) = self.disk.as_mut() {
+            let _in_append = trace.as_ref().map(|h| kobs::ktrace::enter(*h));
+            rolled = d.append_batch(&batch)?;
+        }
         self.segments.append(batch);
         self.next_offset = marker_offset + 1;
         // Close the open transaction; Kafka tolerates markers for
@@ -278,11 +446,58 @@ impl PartitionLog {
         if self.auto_advance_hw {
             self.high_watermark = self.next_offset;
         }
-        if kobs::ktrace::in_span() {
-            let h = kobs::child_span!(timestamp, "klog", "append_control", offset = marker_offset);
+        if rolled {
+            self.disk_snapshot()?;
+        }
+        self.disk_checkpoint()?;
+        if let Some(h) = trace {
             kobs::ktrace::finish_span(h, timestamp * 1000);
         }
         Ok(marker_offset)
+    }
+
+    /// Install a batch verbatim at its original offsets — the follower
+    /// catch-up path after disk recovery (replicating the suffix the replica
+    /// missed while down). The batch must start at the current log end;
+    /// producer/transaction state advances exactly as a live append would.
+    pub fn install_batch(&mut self, batch: StoredBatch) -> Result<(), LogError> {
+        if batch.is_empty() {
+            return Err(LogError::CorruptBatch("empty batch".into()));
+        }
+        if batch.base_offset() != self.next_offset {
+            return Err(LogError::CorruptBatch(format!(
+                "install_batch at offset {} but log end is {}",
+                batch.base_offset(),
+                self.next_offset
+            )));
+        }
+        let mut rolled = false;
+        if let Some(d) = self.disk.as_mut() {
+            rolled = d.append_batch(&batch)?;
+        }
+        let max_ts = batch.max_timestamp();
+        if max_ts > self.max_timestamp {
+            self.max_timestamp = max_ts;
+            self.time_index.maybe_add(max_ts, batch.base_offset());
+        }
+        // Maintain the aborted index *before* applying the batch (the apply
+        // clears the open-txn marker an abort refers to).
+        if batch.meta.control == Some(ControlType::Abort) {
+            if let Some(first) = self.producers.txn_first_offset(batch.meta.producer_id) {
+                self.aborted.push(AbortedTxn {
+                    producer_id: batch.meta.producer_id,
+                    first_offset: first,
+                    marker_offset: batch.base_offset(),
+                });
+            }
+        }
+        self.producers.apply_batch(&batch);
+        self.next_offset = batch.last_offset() + 1;
+        self.segments.append(batch);
+        if rolled {
+            self.disk_snapshot()?;
+        }
+        self.disk_checkpoint()
     }
 
     // ------------------------------------------------------------------
@@ -389,6 +604,7 @@ impl PartitionLog {
         self.log_start
     }
 
+    /// Replication high watermark (records below it are commit-durable).
     pub fn high_watermark(&self) -> Offset {
         self.high_watermark
     }
@@ -397,6 +613,7 @@ impl PartitionLog {
     /// and never exceeds the log end.
     pub fn advance_high_watermark(&mut self, to: Offset) {
         self.high_watermark = self.high_watermark.max(to.min(self.next_offset));
+        self.disk_checkpoint().expect("disk checkpoint mirror");
     }
 
     /// First offset still covered by an open transaction, or the log end if
@@ -468,6 +685,10 @@ impl PartitionLog {
         }
         self.segments.truncate_prefix(new_start);
         self.log_start = new_start;
+        if let Some(d) = self.disk.as_mut() {
+            d.truncate_prefix(new_start).expect("disk prefix-truncation mirror");
+        }
+        self.disk_checkpoint().expect("disk checkpoint mirror");
     }
 
     /// Truncate the log suffix so that `log_end <= to` (follower divergence
@@ -481,6 +702,13 @@ impl PartitionLog {
         self.high_watermark = self.high_watermark.min(self.next_offset);
         self.aborted.retain(|a| a.marker_offset < self.next_offset);
         self.recover_producer_state();
+        if let Some(d) = self.disk.as_mut() {
+            d.truncate_suffix(to).expect("disk suffix-truncation mirror");
+        }
+        self.disk_checkpoint().expect("disk checkpoint mirror");
+        // The old snapshot may describe truncated-away state; rewrite it
+        // from the freshly rebuilt table.
+        self.disk_snapshot().expect("disk snapshot mirror");
     }
 
     /// First offset to retain under the given policies, or `None` when
@@ -576,6 +804,12 @@ impl PartitionLog {
     /// preserved by the caller.
     pub(crate) fn replace_batches(&mut self, batches: Vec<StoredBatch>) {
         self.segments = SegmentList::from_batches(batches);
+        if let Some(d) = self.disk.as_mut() {
+            d.rewrite_all(self.segments.iter_from(i64::MIN)).expect("disk compaction mirror");
+        }
+        // Refresh the snapshot at the log end: compaction may have removed
+        // suffix batches a snapshot-seeded replay would otherwise need.
+        self.disk_snapshot().expect("disk snapshot mirror");
     }
 }
 

@@ -15,8 +15,11 @@ use bytes::Bytes;
 /// * `timestamp` — event time in ms ([`crate::NO_TIMESTAMP`] if unset).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
+    /// Optional record key (drives partitioning and compaction).
     pub key: Option<Bytes>,
+    /// Optional value; `None` is a tombstone for compacted topics.
     pub value: Option<Bytes>,
+    /// Event-time timestamp in milliseconds ([`crate::NO_TIMESTAMP`] if unset).
     pub timestamp: i64,
     /// Application headers (used by the streams layer to carry revision
     /// metadata such as `Change<V>` old/new flags).

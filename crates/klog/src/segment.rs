@@ -48,6 +48,7 @@ impl Default for SegmentList {
 }
 
 impl SegmentList {
+    /// A list with a single empty active segment.
     pub fn new() -> Self {
         Self { segments: vec![Segment::default()] }
     }
@@ -233,5 +234,95 @@ mod tests {
         let got: Vec<&StoredBatch> = l.iter_from(0).collect();
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], &batches[0]);
+    }
+
+    // ---- segment-roll boundary arithmetic -------------------------------
+    // These pin the exact behaviour at roll boundaries so the disk backend
+    // (which mirrors the same roll rule) can rely on it.
+
+    #[test]
+    fn empty_fresh_list_has_no_offsets() {
+        let l = SegmentList::new();
+        assert_eq!(l.segment_count(), 1);
+        assert_eq!(l.log_start(), None);
+        assert_eq!(l.last_offset(), None);
+        assert_eq!(l.iter_from(i64::MIN).count(), 0);
+    }
+
+    #[test]
+    fn exactly_full_segment_rolls_lazily_on_next_append() {
+        // Filling a segment to exactly SEGMENT_ROLL_RECORDS must NOT create
+        // an empty trailing segment; the roll happens on the next append, so
+        // a freshly-rolled segment is never empty.
+        let n = SEGMENT_ROLL_RECORDS;
+        let mut l = SegmentList::new();
+        l.append(batch(0, n));
+        assert_eq!(l.segment_count(), 1, "roll is lazy");
+        assert_eq!(l.last_offset(), Some(n as i64 - 1));
+        l.append(batch(n as i64, 1));
+        assert_eq!(l.segment_count(), 2);
+        // The new segment's first batch IS the rolled-in batch — its base
+        // offset equals the previous log end, with no gap and no overlap.
+        assert_eq!(l.segments[1].base_offset(), Some(n as i64));
+        assert_eq!(l.segments[0].last_offset(), Some(n as i64 - 1));
+        assert_eq!(l.last_offset(), Some(n as i64));
+    }
+
+    #[test]
+    fn truncate_suffix_at_exact_segment_base_drops_whole_segment() {
+        let n = SEGMENT_ROLL_RECORDS as i64;
+        let mut l = SegmentList::new();
+        l.append(batch(0, SEGMENT_ROLL_RECORDS));
+        l.append(batch(n, SEGMENT_ROLL_RECORDS));
+        assert_eq!(l.segment_count(), 2);
+        l.truncate_suffix(n);
+        assert_eq!(l.segment_count(), 1);
+        assert_eq!(l.last_offset(), Some(n - 1));
+        assert_eq!(l.log_start(), Some(0));
+    }
+
+    #[test]
+    fn truncate_prefix_at_exact_segment_base_drops_whole_head() {
+        let n = SEGMENT_ROLL_RECORDS as i64;
+        let mut l = SegmentList::new();
+        l.append(batch(0, SEGMENT_ROLL_RECORDS));
+        l.append(batch(n, SEGMENT_ROLL_RECORDS));
+        l.truncate_prefix(n);
+        assert_eq!(l.segment_count(), 1);
+        assert_eq!(l.log_start(), Some(n));
+        assert_eq!(l.last_offset(), Some(2 * n - 1));
+    }
+
+    #[test]
+    fn truncate_to_empty_then_refill_rolls_correctly() {
+        let n = SEGMENT_ROLL_RECORDS;
+        let mut l = SegmentList::new();
+        l.append(batch(0, n));
+        l.truncate_suffix(0);
+        // Back to a single empty segment with no offsets.
+        assert_eq!(l.segment_count(), 1);
+        assert_eq!(l.log_start(), None);
+        assert_eq!(l.last_offset(), None);
+        // Refill at a later base: the empty segment absorbs a full batch
+        // without rolling (it was empty), then rolls on the next one.
+        l.append(batch(100, n));
+        assert_eq!(l.segment_count(), 1);
+        l.append(batch(100 + n as i64, 1));
+        assert_eq!(l.segment_count(), 2);
+        assert_eq!(l.log_start(), Some(100));
+        assert_eq!(l.last_offset(), Some(100 + n as i64));
+    }
+
+    #[test]
+    fn iter_from_exact_roll_boundary_starts_in_second_segment() {
+        let n = SEGMENT_ROLL_RECORDS as i64;
+        let mut l = SegmentList::new();
+        l.append(batch(0, SEGMENT_ROLL_RECORDS));
+        l.append(batch(n, SEGMENT_ROLL_RECORDS));
+        let got: Vec<Offset> = l.iter_from(n).map(StoredBatch::base_offset).collect();
+        assert_eq!(got, vec![n]);
+        // One before the boundary still includes the first segment's batch.
+        let got: Vec<Offset> = l.iter_from(n - 1).map(StoredBatch::base_offset).collect();
+        assert_eq!(got, vec![0, n]);
     }
 }

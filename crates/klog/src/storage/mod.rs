@@ -1,0 +1,121 @@
+//! Pluggable storage backends for the partition log.
+//!
+//! The default backend keeps everything in memory (the original behaviour of
+//! this reproduction); the [`disk`] backend mirrors every log mutation into
+//! real segment files with offset/time indexes, producer-state snapshots,
+//! and a `(log_start, high_watermark)` checkpoint — the durable substrate
+//! the paper's recovery story (§2.3, §5) assumes. Crash recovery then means
+//! what it means in Kafka: re-reading segment files, CRC-validating each
+//! frame, truncating at the first torn write, and rebuilding producer state
+//! from the latest snapshot plus a suffix scan.
+//!
+//! Determinism rules (the backend is used inside the deterministic
+//! simulation):
+//!
+//! * no wall-clock reads — I/O *cost* is modeled from [`DiskConfig`] knobs
+//!   and fed into kobs histograms / ktrace spans in virtual microseconds,
+//! * directory entries are always iterated in sorted name order,
+//! * file contents are a pure function of the appended batches, so two runs
+//!   with the same seed produce byte-identical segment files.
+
+pub mod disk;
+pub mod format;
+
+pub use disk::{DiskLog, RecoveredLog};
+pub use format::{crc32, ProducerSnapshot};
+
+use std::path::PathBuf;
+
+/// Which storage backend a log (or a whole simulated cluster) uses.
+#[derive(Debug, Clone, Default)]
+pub enum StorageMode {
+    /// Everything lives in memory; "crash" drops the struct (the seed
+    /// behaviour of this repo).
+    #[default]
+    Memory,
+    /// Mirror every mutation into segment files under the config's root
+    /// directory; crashes recover from disk.
+    Disk(DiskConfig),
+}
+
+impl StorageMode {
+    /// True for the disk-backed mode.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, StorageMode::Disk(_))
+    }
+}
+
+/// When the disk backend calls `fsync` on the active segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Sync after every appended batch (slowest, max durability).
+    Always,
+    /// Sync when a segment rolls and on snapshot/checkpoint writes —
+    /// Kafka's practical default (recovery re-validates the tail).
+    #[default]
+    OnRoll,
+    /// Never sync explicitly; rely on the page cache (fastest).
+    Never,
+}
+
+/// Tuning knobs for the disk backend. The `*_cost_us` fields are *modeled*
+/// latencies: they never sleep, they only feed the `klog.disk.*` metric
+/// family and the `fsync` ktrace spans, keeping simulated time deterministic
+/// while still exposing an fsync/page-cache cost axis to experiments.
+#[derive(Debug, Clone)]
+pub struct DiskConfig {
+    /// Directory holding this log's segment files (one directory per
+    /// partition replica).
+    pub dir: PathBuf,
+    /// Records per segment before rolling to a new file. Mirrors the
+    /// in-memory [`crate::segment::SEGMENT_ROLL_RECORDS`] by default.
+    pub roll_records: usize,
+    /// Bytes of log data between sparse offset/time index entries.
+    pub index_interval_bytes: u64,
+    /// Fsync policy for the active segment.
+    pub fsync: FsyncPolicy,
+    /// Modeled cost of one fsync, in microseconds.
+    pub fsync_cost_us: i64,
+    /// Modeled write cost per KiB appended, in microseconds.
+    pub write_cost_us_per_kb: i64,
+}
+
+impl DiskConfig {
+    /// A config rooted at `dir` with Kafka-flavoured defaults.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            roll_records: crate::segment::SEGMENT_ROLL_RECORDS,
+            index_interval_bytes: 4096,
+            fsync: FsyncPolicy::OnRoll,
+            fsync_cost_us: 120,
+            write_cost_us_per_kb: 3,
+        }
+    }
+
+    /// Derive the per-replica config for `broker`/`topic`/`partition` under
+    /// this config's root: `<root>/broker-<id>/<topic>-<partition>/`.
+    pub fn for_replica(&self, broker: usize, topic: &str, partition: u32) -> Self {
+        let mut cfg = self.clone();
+        cfg.dir = self.dir.join(format!("broker-{broker}")).join(format!("{topic}-{partition}"));
+        cfg
+    }
+
+    /// Override the segment-roll threshold (tests use tiny segments).
+    pub fn with_roll_records(mut self, records: usize) -> Self {
+        self.roll_records = records.max(1);
+        self
+    }
+
+    /// Override the fsync policy.
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Override the modeled fsync cost in microseconds.
+    pub fn with_fsync_cost_us(mut self, us: i64) -> Self {
+        self.fsync_cost_us = us;
+        self
+    }
+}

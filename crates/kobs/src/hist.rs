@@ -54,6 +54,7 @@ fn bucket_lower_bound(idx: usize) -> i64 {
 }
 
 impl LatencyHistogram {
+    /// Create an empty histogram.
     pub fn new() -> Self {
         Self {
             counts: vec![0; NUM_BUCKETS],
@@ -75,10 +76,12 @@ impl LatencyHistogram {
         self.max_ms = self.max_ms.max(ms);
     }
 
+    /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.total
     }
 
+    /// Mean latency in milliseconds (0 when empty).
     pub fn mean_ms(&self) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -86,6 +89,7 @@ impl LatencyHistogram {
         self.sum_ms as f64 / self.total as f64
     }
 
+    /// Minimum observed latency in milliseconds (0 when empty).
     pub fn min_ms(&self) -> i64 {
         if self.total == 0 {
             0
@@ -94,6 +98,7 @@ impl LatencyHistogram {
         }
     }
 
+    /// Maximum observed latency in milliseconds (0 when empty).
     pub fn max_ms(&self) -> i64 {
         if self.total == 0 {
             0
@@ -148,6 +153,7 @@ pub struct ThroughputMeter {
 }
 
 impl ThroughputMeter {
+    /// Create an empty meter.
     pub fn new() -> Self {
         Self::default()
     }
@@ -161,6 +167,7 @@ impl ThroughputMeter {
         self.events += n;
     }
 
+    /// Total events recorded.
     pub fn events(&self) -> u64 {
         self.events
     }

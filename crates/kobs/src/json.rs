@@ -9,11 +9,17 @@ use std::fmt;
 /// deterministically for identical runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A number (every JSON number renders as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object, as insertion-ordered key/value pairs.
     Obj(Vec<(String, Value)>),
 }
 
@@ -26,6 +32,7 @@ impl Value {
         }
     }
 
+    /// The contained string, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -33,6 +40,7 @@ impl Value {
         }
     }
 
+    /// The contained number, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -40,6 +48,7 @@ impl Value {
         }
     }
 
+    /// The contained elements, if this is an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(v) => Some(v),
@@ -47,6 +56,7 @@ impl Value {
         }
     }
 
+    /// The contained pairs, if this is an object.
     pub fn as_obj(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Obj(v) => Some(v),
@@ -118,10 +128,12 @@ pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// Number constructor.
 pub fn num(n: impl Into<f64>) -> Value {
     Value::Num(n.into())
 }
 
+/// String constructor.
 pub fn str(s: impl Into<String>) -> Value {
     Value::Str(s.into())
 }

@@ -62,10 +62,12 @@ pub struct Span {
     pub start_us: i64,
     /// Virtual end, microseconds (>= `start_us`).
     pub end_us: i64,
+    /// Structured fields attached at span start.
     pub fields: Vec<(&'static str, FieldValue)>,
 }
 
 impl Span {
+    /// Inclusive virtual duration in microseconds.
     pub fn duration_us(&self) -> i64 {
         self.end_us - self.start_us
     }
@@ -79,8 +81,10 @@ pub struct SpanHandle {
 }
 
 impl SpanHandle {
+    /// The disabled/absent handle; every operation on it is a no-op.
     pub const NONE: SpanHandle = SpanHandle { id: u64::MAX };
 
+    /// Whether this is the disabled handle.
     pub fn is_none(self) -> bool {
         self.id == u64::MAX
     }
@@ -111,6 +115,7 @@ pub enum Parent {
 /// order. Held by the flight recorder and rendered next to repro lines.
 #[derive(Debug, Clone)]
 pub struct SpanTree {
+    /// The root span of the tree.
     pub root: Span,
     /// Every span of the tree including the root, ascending id.
     pub spans: Vec<Span>,

@@ -30,6 +30,8 @@
 //! functional so downstream code needs no `cfg`. Downstream crates forward
 //! it as `kobs-off`. [`ENABLED`] reports which way this build went.
 
+#![deny(missing_docs)]
+
 pub mod hist;
 pub mod json;
 pub mod ktrace;

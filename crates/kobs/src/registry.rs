@@ -44,6 +44,7 @@ pub fn global() -> &'static Registry {
 }
 
 impl Registry {
+    /// Create an empty registry.
     pub const fn new() -> Self {
         Self {
             inner: Mutex::new(Inner {
@@ -149,37 +150,52 @@ impl Registry {
 /// Percentile summary of one histogram at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistSnapshot {
+    /// Metric name.
     pub name: String,
+    /// Number of observations.
     pub count: u64,
+    /// Mean latency in milliseconds.
     pub mean_ms: f64,
+    /// Minimum observed value.
     pub min_ms: i64,
+    /// 50th-percentile bucket lower bound.
     pub p50_ms: i64,
+    /// 90th-percentile bucket lower bound.
     pub p90_ms: i64,
+    /// 99th-percentile bucket lower bound.
     pub p99_ms: i64,
+    /// Maximum observed value.
     pub max_ms: i64,
 }
 
 /// A point-in-time export of a [`Registry`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
+    /// Counter values, name-ordered.
     pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-ordered.
     pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, name-ordered.
     pub hists: Vec<HistSnapshot>,
 }
 
 impl Snapshot {
+    /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
+    /// Value of a counter by exact name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Value of a gauge by exact name.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Histogram summary by exact name.
     pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
         self.hists.iter().find(|h| h.name == name)
     }

@@ -36,8 +36,11 @@ pub enum Level {
 /// One typed field value on an event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FieldValue {
+    /// A signed integer.
     I64(i64),
+    /// An unsigned integer.
     U64(u64),
+    /// A string.
     Str(String),
 }
 
@@ -105,14 +108,17 @@ pub struct Event {
     pub component: &'static str,
     /// Short event tag, e.g. `txn_complete`.
     pub kind: &'static str,
+    /// Structured fields attached at emit time.
     pub fields: Vec<(&'static str, FieldValue)>,
 }
 
 impl Event {
+    /// Field lookup by key (first match).
     pub fn field(&self, key: &str) -> Option<&FieldValue> {
         self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
+    /// The event as a JSON object (profiled report export).
     pub fn to_json(&self) -> Value {
         let mut pairs = vec![
             ("seq", json::num(self.seq as f64)),

@@ -7,6 +7,7 @@
 //! cargo run -p simkit --bin simtest -- --seed 42 --profile --json
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
 //! cargo run -p simkit --bin simtest -- --seed 42 --workers 4        # virtual scheduler
+//! cargo run -p simkit --bin simtest -- --seed 42 --storage disk     # durable backend
 //! cargo run -p simkit --bin simtest -- --seed 0 --script "TxnRpcAckLost@2;KillBroker@5"
 //! cargo run -p simkit --bin simtest -- --seed 42 --trace-out trace.json  # Perfetto
 //! cargo run -p simkit --bin simtest -- --seed 42 --inject-failure       # flight dump
@@ -33,11 +34,12 @@ struct Args {
     json: bool,
     trace_out: Option<String>,
     inject_failure: bool,
+    disk_storage: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--profile [count|windowed|suppressed]] [--script TOKENS] [--trace-out PATH] [--inject-failure] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--storage memory|disk] [--profile [count|windowed|suppressed]] [--script TOKENS] [--trace-out PATH] [--inject-failure] [--json]"
     );
     std::process::exit(2);
 }
@@ -54,6 +56,7 @@ fn parse_args() -> Args {
         json: false,
         trace_out: None,
         inject_failure: false,
+        disk_storage: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -98,6 +101,15 @@ fn parse_args() -> Args {
                 match value.parse() {
                     Ok(n) => args.cache = Some(n),
                     Err(_) => usage(),
+                }
+            }
+            "--storage" => {
+                let Some(value) = argv.get(i) else { usage() };
+                i += 1;
+                match value.as_str() {
+                    "memory" => args.disk_storage = false,
+                    "disk" => args.disk_storage = true,
+                    _ => usage(),
                 }
             }
             "--workers" => {
@@ -164,6 +176,9 @@ fn main() -> ExitCode {
         }
         if args.inject_failure {
             cfg = cfg.with_injected_failure();
+        }
+        if args.disk_storage {
+            cfg = cfg.with_disk_storage();
         }
         let report = run(&cfg);
         if args.json {

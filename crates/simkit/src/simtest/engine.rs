@@ -7,11 +7,12 @@ use crate::simtest::workload::{Profile, Workload, GRACE_MS, MAX_JITTER_MS, WINDO
 use crate::{DetRng, FaultPlan, FaultPoint, ManualClock};
 use kbroker::group::SESSION_TIMEOUT_MS;
 use kbroker::{
-    Cluster, Consumer, ConsumerConfig, ConsumerRecord, Producer, ProducerConfig, TopicConfig,
-    TopicPartition,
+    Cluster, Consumer, ConsumerConfig, ConsumerRecord, DiskConfig, Producer, ProducerConfig,
+    StorageMode, TopicConfig, TopicPartition,
 };
 use kstreams::{KSerde, KafkaStreamsApp, StreamsConfig, Windowed};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 /// Application id of the simulated app (also its consumer group).
@@ -65,6 +66,15 @@ pub struct SimConfig {
     /// Record a synthetic oracle failure after the drain so the
     /// flight-recorder dump path can be exercised on a healthy run.
     pub inject_failure: bool,
+    /// Run brokers on the durable disk backend (`--storage disk`) and app
+    /// instances with a state directory (post-commit spills). Segment files
+    /// and spills live in a per-`(pid, seed)` temp directory that is wiped
+    /// before and after the run; all I/O costs are *virtual* (charged to
+    /// kobs histograms, never slept), so a disk run is still byte-identical
+    /// per seed. Also unlocks the durable-crash fault class: kill+restore a
+    /// broker in one scheduled action (recovery from its segment files), or
+    /// crash+respawn an instance in one action (warm-start from spills).
+    pub disk_storage: bool,
 }
 
 impl SimConfig {
@@ -78,6 +88,7 @@ impl SimConfig {
             workers: 1,
             script: None,
             inject_failure: false,
+            disk_storage: false,
         }
     }
 
@@ -121,6 +132,18 @@ impl SimConfig {
         self.inject_failure = true;
         self
     }
+
+    /// Run on the durable disk backend (`--storage disk`): broker segment
+    /// files, app state-store spills, and the durable-crash fault class.
+    pub fn with_disk_storage(mut self) -> Self {
+        self.disk_storage = true;
+        self
+    }
+
+    /// Temp directory holding this run's segment files and spills.
+    fn disk_root(&self) -> PathBuf {
+        std::env::temp_dir().join(format!("simtest-disk-{}-{}", std::process::id(), self.seed))
+    }
 }
 
 /// One app slot: the instance index is the identity (`i{idx}`), the app is
@@ -143,6 +166,8 @@ struct Engine {
     events: EventCounts,
     step_errors: Vec<String>,
     failures: Vec<String>,
+    /// App state directory (spills); `Some` iff running on disk storage.
+    state_dir: Option<PathBuf>,
 }
 
 /// Run one simulation to completion and report the oracle outcome.
@@ -166,11 +191,24 @@ pub fn run(cfg: &SimConfig) -> SimReport {
     };
     let mut schedule = root.derive(3);
 
+    // Disk mode: segment files and spills live under a per-(pid, seed)
+    // temp root, wiped before the run (a stale tree from a killed earlier
+    // run must not leak state in) and after it (below).
+    let disk_root = cfg.disk_storage.then(|| cfg.disk_root());
+    if let Some(root) = &disk_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    let storage = match &disk_root {
+        Some(root) => StorageMode::Disk(DiskConfig::at(root.join("broker"))),
+        None => StorageMode::Memory,
+    };
+
     let clock = ManualClock::new();
     let cluster = Cluster::builder()
         .brokers(workload.brokers)
         .replication(workload.brokers)
         .clock(clock.shared())
+        .storage(storage)
         .faults(plan.clone())
         // Charge a small per-marker RPC cost so the txn-phase and
         // commit-cycle histograms in `--profile` reports have the Figure 5
@@ -197,6 +235,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         events: EventCounts::default(),
         step_errors: Vec::new(),
         failures: Vec::new(),
+        state_dir: disk_root.as_ref().map(|root| root.join("state")),
     };
     for idx in 0..engine.workload.instances {
         let slot = engine.spawn_instance(idx);
@@ -206,7 +245,11 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         engine.scripted_events(step);
         engine.scheduled_action(&mut schedule);
     }
-    engine.drain_and_check()
+    let report = engine.drain_and_check();
+    if let Some(root) = &disk_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    report
 }
 
 fn build_fault_plan(rng: &mut DetRng, seed: u64) -> FaultPlan {
@@ -228,11 +271,14 @@ fn build_fault_plan(rng: &mut DetRng, seed: u64) -> FaultPlan {
 
 impl Engine {
     fn app_config(&self) -> StreamsConfig {
-        let cfg = StreamsConfig::new(APP_ID)
+        let mut cfg = StreamsConfig::new(APP_ID)
             .exactly_once()
             .with_commit_interval_ms(10)
             .with_max_poll_records(64)
             .with_cache_max_entries(self.cfg.cache_max_entries);
+        if let Some(dir) = &self.state_dir {
+            cfg = cfg.with_state_dir(dir.clone());
+        }
         if self.cfg.workers > 1 {
             // Virtual mode: the scheduler's steal decisions come from the
             // run seed, so a multi-worker run replays byte-identically.
@@ -356,7 +402,11 @@ impl Engine {
     }
 
     fn cluster_event(&mut self, rng: &mut DetRng) {
-        match rng.range(0, 5) {
+        // Disk mode adds a sixth event class. Memory mode keeps the
+        // original 5-way draw so its schedules stay byte-identical with
+        // and without the disk backend compiled in.
+        let classes = if self.cfg.disk_storage { 6 } else { 5 };
+        match rng.range(0, classes) {
             0 => {
                 // Kill a broker, but never the last one alive: replication
                 // equals the broker count, so any survivor can lead every
@@ -396,9 +446,38 @@ impl Engine {
                     }
                 }
             }
-            _ => {
+            4 => {
                 self.cluster.group_force_rebalance(APP_ID);
                 self.events.forced_rebalances += 1;
+            }
+            _ => self.durable_crash(rng),
+        }
+    }
+
+    /// Disk-only fault class: an *honest* durable crash. A coin flip picks
+    /// the layer: kill-and-restore a broker in one action (its in-memory
+    /// replica is discarded; the restore must rebuild it from segment
+    /// files), or crash-and-respawn an app instance in one action (its
+    /// tasks must warm-start from the spill files). Either way the only
+    /// surviving state is what was actually on disk.
+    fn durable_crash(&mut self, rng: &mut DetRng) {
+        if rng.chance(0.5) {
+            let alive: Vec<usize> =
+                (0..self.workload.brokers).filter(|&b| self.cluster.broker_alive(b)).collect();
+            if alive.len() >= 2 {
+                let b = alive[rng.index(alive.len())];
+                self.cluster.kill_broker(b);
+                self.cluster.restore_broker(b);
+                self.events.durable_crashes += 1;
+            }
+        } else {
+            let live: Vec<usize> =
+                (0..self.slots.len()).filter(|&i| self.slots[i].is_some()).collect();
+            if !live.is_empty() {
+                let idx = live[rng.index(live.len())];
+                self.slots[idx].take().expect("picked from live set").crash();
+                self.slots[idx] = self.spawn_instance(idx);
+                self.events.durable_crashes += 1;
             }
         }
     }
@@ -554,6 +633,7 @@ impl Engine {
             },
             cache_max_entries: self.cfg.cache_max_entries,
             workers: self.cfg.workers,
+            storage: if self.cfg.disk_storage { "disk" } else { "memory" }.to_string(),
             brokers: self.workload.brokers,
             partitions: self.workload.partitions,
             n_keys: self.workload.keys.len(),

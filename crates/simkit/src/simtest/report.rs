@@ -13,6 +13,9 @@ pub struct EventCounts {
     pub instance_crashes: u64,
     pub instance_restarts: u64,
     pub forced_rebalances: u64,
+    /// Durable crash-restore cycles (`--storage disk` only): a broker or
+    /// instance killed and immediately revived from its on-disk state.
+    pub durable_crashes: u64,
 }
 
 /// The outcome of one simulated run.
@@ -27,6 +30,8 @@ pub struct SimReport {
     /// Scheduler workers per instance (`--workers`); 1 means the serial
     /// task loop, >1 the seed-derived virtual work-stealing scheduler.
     pub workers: usize,
+    /// Storage backend the brokers ran on: `"memory"` or `"disk"`.
+    pub storage: String,
     pub brokers: usize,
     pub partitions: u32,
     pub n_keys: usize,
@@ -89,6 +94,9 @@ impl SimReport {
         if self.workers > 1 {
             cmd.push_str(&format!(" --workers {}", self.workers));
         }
+        if self.storage == "disk" {
+            cmd.push_str(" --storage disk");
+        }
         if self.inject_failure {
             cmd.push_str(" --inject-failure");
         }
@@ -115,6 +123,7 @@ impl SimReport {
             ("profile", jstr(self.profile.clone())),
             ("cache_max_entries", num(self.cache_max_entries as f64)),
             ("workers", num(self.workers as f64)),
+            ("storage", jstr(self.storage.clone())),
             ("brokers", num(self.brokers as f64)),
             ("partitions", num(self.partitions as f64)),
             ("instances", num(self.instances as f64)),
@@ -169,12 +178,13 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "simtest seed={} steps={} profile={} cache={} workers={} brokers={} partitions={} keys={} instances={}",
+            "simtest seed={} steps={} profile={} cache={} workers={} storage={} brokers={} partitions={} keys={} instances={}",
             self.seed,
             self.steps,
             self.profile,
             self.cache_max_entries,
             self.workers,
+            self.storage,
             self.brokers,
             self.partitions,
             self.n_keys,
@@ -187,12 +197,13 @@ impl fmt::Display for SimReport {
         )?;
         writeln!(
             f,
-            "  events: broker_kills={} broker_restores={} instance_crashes={} instance_restarts={} forced_rebalances={}",
+            "  events: broker_kills={} broker_restores={} instance_crashes={} instance_restarts={} forced_rebalances={} durable_crashes={}",
             self.events.broker_kills,
             self.events.broker_restores,
             self.events.instance_crashes,
             self.events.instance_restarts,
-            self.events.forced_rebalances
+            self.events.forced_rebalances,
+            self.events.durable_crashes
         )?;
         writeln!(f, "  faults:")?;
         for (point, observed, injected) in &self.fault_counts {

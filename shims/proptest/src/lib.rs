@@ -2,7 +2,7 @@
 //!
 //! The workspace builds hermetically (no crates.io), so this shim
 //! re-implements the slice of proptest the test suites use: the
-//! [`Strategy`] trait with `prop_map`, range / tuple / regex-literal
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range / tuple / regex-literal
 //! strategies, `prop::collection::{vec, hash_set}`, `prop::option::of`,
 //! `any::<T>()`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
 //! macros. Inputs are generated from a deterministic per-test RNG so
