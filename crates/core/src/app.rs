@@ -20,7 +20,9 @@
 //! [`StreamsError::Fenced`] / `IllegalGeneration` error and must stop,
 //! never corrupting committed results (§2.1, §4.2.1).
 
-use crate::assignment::assign_tasks;
+use crate::assignment::{
+    decode_group_metadata, encode_member_metadata, plan_assignment, AssignmentPlan,
+};
 use crate::config::{ProcessingGuarantee, StreamsConfig};
 use crate::error::StreamsError;
 use crate::metrics::StreamsMetrics;
@@ -29,9 +31,10 @@ use crate::standby::{assign_standbys, StandbyTask};
 use crate::task::StreamTask;
 use crate::topology::{TaskId, Topology};
 use bytes::Bytes;
+use kbroker::group::GroupView;
 use kbroker::producer::{Producer, ProducerConfig};
 use kbroker::{Cluster, IsolationLevel, TopicConfig, TopicPartition};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// What one [`KafkaStreamsApp::step`] did.
@@ -56,7 +59,24 @@ pub struct KafkaStreamsApp {
     // BTreeMaps, not HashMaps: task iteration order feeds processing,
     // flush, and commit order, all of which must replay byte-identically.
     tasks: BTreeMap<TaskId, StreamTask>,
+    /// Owned tasks whose changelog replay could not reach the log end — a
+    /// zombie producer's open transaction pins the last-stable offset below
+    /// committed records. Parked (no processing, no offsets contributed)
+    /// and retried every step until the replay catches up.
+    restoring: BTreeMap<TaskId, StreamTask>,
     standbys: BTreeMap<TaskId, StandbyTask>,
+    /// Warming standbys for tasks this instance is the deferred-transfer
+    /// *target* of (cooperative rebalancing): tailed like standbys, promoted
+    /// once the transfer generation arrives.
+    warmups: BTreeMap<TaskId, StandbyTask>,
+    /// Warm-up tasks last reported warm to the group coordinator (via
+    /// membership metadata), so readiness is published exactly once.
+    reported_warm: BTreeSet<TaskId>,
+    /// A rebalance this instance wants (released a task, or a warm-up
+    /// became ready). Fired at the end of the step, *after* the step's
+    /// commit — a mid-cycle generation bump would abort our own in-flight
+    /// work.
+    pending_rebalance_request: bool,
     last_commit_ms: i64,
     txn_open: bool,
     started: bool,
@@ -105,7 +125,11 @@ impl KafkaStreamsApp {
             producer,
             generation: 0,
             tasks: BTreeMap::new(),
+            restoring: BTreeMap::new(),
             standbys: BTreeMap::new(),
+            warmups: BTreeMap::new(),
+            reported_warm: BTreeSet::new(),
+            pending_rebalance_request: false,
             last_commit_ms: 0,
             txn_open: false,
             started: false,
@@ -245,26 +269,94 @@ impl KafkaStreamsApp {
         if self.config.guarantee == ProcessingGuarantee::ExactlyOnce {
             self.producer.init_transactions()?;
         }
-        let counts = self.plan_partitions()?;
-        let view =
-            self.cluster.group_join(self.app_id(), &self.instance_id, &self.subscribed_topics())?;
+        if self.config.rebalance_debounce_ms > 0 {
+            self.cluster
+                .group_set_rebalance_debounce_ms(self.app_id(), self.config.rebalance_debounce_ms);
+        }
+        self.plan_partitions()?;
+        let view = self.cluster.group_join_with_metadata(
+            self.app_id(),
+            &self.instance_id,
+            &self.subscribed_topics(),
+            &[],
+        )?;
         self.generation = view.generation;
+        let plan = self.compute_plan(&view)?;
+        self.apply_assignment(&plan)?;
+        self.last_commit_ms = self.cluster.now_ms();
+        self.started = true;
+        Ok(())
+    }
+
+    /// Compute this generation's cooperative plan from the frozen group
+    /// view (identical on every member — no leader election).
+    fn compute_plan(&self, view: &GroupView) -> Result<AssignmentPlan, StreamsError> {
+        let counts = self.plan_partitions()?;
         let all = Self::all_task_ids(&counts);
-        let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
+        let (previous, warm) = decode_group_metadata(&view.member_metadata);
+        Ok(plan_assignment(
+            &all,
+            &view.members,
+            &previous,
+            &warm,
+            self.config.cooperative_rebalancing,
+        ))
+    }
+
+    /// Adopt this instance's share of the plan: active tasks, warm-up
+    /// standbys, configured standby replicas. Tasks the plan tells us to
+    /// *release* (their destination is warm) are dropped — the commit that
+    /// preceded this call made them clean — and the handover generation is
+    /// requested at the end of the step. Publishes the resulting ownership
+    /// as membership metadata so the *next* generation's frozen view sees
+    /// it.
+    fn apply_assignment(&mut self, plan: &AssignmentPlan) -> Result<(), StreamsError> {
+        let mut mine = plan.active.get(&self.instance_id).cloned().unwrap_or_default();
+        let releases = plan.releases.get(&self.instance_id).cloned().unwrap_or_default();
+        if !releases.is_empty() {
+            mine.retain(|t| !releases.contains(t));
+            kobs::count("kstreams.rebalance.tasks_released", releases.len() as u64);
+            // The handover rebalance fires at the end of this step, after
+            // the step's own commit — never mid-cycle.
+            self.pending_rebalance_request = true;
+        }
+        let my_warmups = plan.warmups.get(&self.instance_id).cloned().unwrap_or_default();
         self.adopt_tasks(mine)?;
-        let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
+        self.adopt_warmups(my_warmups)?;
+        let my_standbys = assign_standbys(&plan.active, self.config.num_standby_replicas)
             .remove(&self.instance_id)
             .unwrap_or_default();
         self.adopt_standbys(my_standbys)?;
-        self.last_commit_ms = self.cluster.now_ms();
-        self.started = true;
+        self.reported_warm.retain(|id| self.warmups.contains_key(id));
+        self.publish_metadata()?;
+        Ok(())
+    }
+
+    /// Report current task ownership (and warm-up readiness) to the group
+    /// coordinator. No generation bump: the metadata is frozen into the
+    /// view at the next rebalance, as the assignor's `previous`/`warm`
+    /// inputs.
+    fn publish_metadata(&self) -> Result<(), StreamsError> {
+        // Restoring tasks are owned too — they are assigned to us, merely
+        // not yet caught up; the assignor must keep them sticky.
+        let owned: Vec<TaskId> = self.tasks.keys().chain(self.restoring.keys()).copied().collect();
+        let warm: Vec<TaskId> = self.reported_warm.iter().copied().collect();
+        self.cluster.group_update_metadata(
+            self.app_id(),
+            &self.instance_id,
+            &encode_member_metadata(&owned, &warm),
+        )?;
         Ok(())
     }
 
     fn adopt_standbys(&mut self, target: Vec<TaskId>) -> Result<(), StreamsError> {
         self.standbys.retain(|id, _| target.contains(id));
         for id in target {
-            if self.standbys.contains_key(&id) || self.tasks.contains_key(&id) {
+            if self.standbys.contains_key(&id)
+                || self.tasks.contains_key(&id)
+                || self.restoring.contains_key(&id)
+                || self.warmups.contains_key(&id)
+            {
                 continue;
             }
             self.standbys.insert(id, StandbyTask::new(&self.topology, id, self.app_id())?);
@@ -272,30 +364,73 @@ impl KafkaStreamsApp {
         Ok(())
     }
 
+    /// Host warming standbys for deferred-transfer targets. A configured
+    /// standby replica for the same task is re-used as the warm-up (it is
+    /// already warm); cancelled warm-ups are dropped.
+    fn adopt_warmups(&mut self, target: Vec<TaskId>) -> Result<(), StreamsError> {
+        self.warmups.retain(|id, _| target.contains(id));
+        for id in target {
+            if self.warmups.contains_key(&id)
+                || self.tasks.contains_key(&id)
+                || self.restoring.contains_key(&id)
+            {
+                continue;
+            }
+            let warmup = match self.standbys.remove(&id) {
+                Some(standby) => standby,
+                None => StandbyTask::new(&self.topology, id, self.app_id())?,
+            };
+            self.warmups.insert(id, warmup);
+            kobs::count("kstreams.rebalance.warmups_started", 1);
+        }
+        Ok(())
+    }
+
     fn adopt_tasks(&mut self, target: Vec<TaskId>) -> Result<(), StreamsError> {
         // Drop revoked tasks (their state is disposable; offsets/state were
         // committed by the last commit cycle). Keep sticky ones.
-        let revoked: Vec<TaskId> =
-            self.tasks.keys().filter(|id| !target.contains(id)).copied().collect();
+        let revoked: Vec<TaskId> = self
+            .tasks
+            .keys()
+            .chain(self.restoring.keys())
+            .filter(|id| !target.contains(id))
+            .copied()
+            .collect();
+        if !revoked.is_empty() {
+            kobs::count("kstreams.rebalance.tasks_revoked", revoked.len() as u64);
+        }
         for id in revoked {
             if let Some(task) = self.tasks.remove(&id) {
                 self.retired_metrics.merge(task.metrics());
             }
+            if let Some(task) = self.restoring.remove(&id) {
+                self.retired_metrics.merge(task.metrics());
+            }
+        }
+        let kept = target
+            .iter()
+            .filter(|id| self.tasks.contains_key(id) || self.restoring.contains_key(id))
+            .count();
+        if kept > 0 {
+            kobs::count("kstreams.rebalance.tasks_kept", kept as u64);
         }
         let isolation = self.consume_isolation();
         for id in target {
-            if self.tasks.contains_key(&id) {
+            if self.tasks.contains_key(&id) || self.restoring.contains_key(&id) {
                 continue; // sticky: keep state and positions
             }
+            kobs::count("kstreams.rebalance.tasks_moved_in", 1);
             let mut task = StreamTask::with_cache(
                 &self.topology,
                 id,
                 self.app_id(),
                 self.config.cache_max_entries,
             )?;
-            // Promote a warm standby if we host one: only the changelog
-            // suffix written after the standby's positions replays (§3.3).
-            if let Some(standby) = self.standbys.remove(&id) {
+            // Promote warm stores if we host them — a warming standby (the
+            // cooperative transfer path) or a configured standby replica:
+            // only the changelog suffix written after the standby's
+            // positions replays (§3.3).
+            if let Some(standby) = self.warmups.remove(&id).or_else(|| self.standbys.remove(&id)) {
                 let (stores, positions) = standby.into_parts();
                 task.adopt_warm_stores(stores, positions);
             }
@@ -316,11 +451,53 @@ impl KafkaStreamsApp {
             if let Some(dir) = self.config.state_dir.clone() {
                 task.load_spills(&dir);
             }
-            task.restore(&self.cluster, isolation, &starts)?;
-            for (tp, start) in &starts {
-                task.set_position(tp, *start);
+            if task.restore(&self.cluster, isolation, &starts)? {
+                for (tp, start) in &starts {
+                    task.set_position(tp, *start);
+                }
+                self.tasks.insert(id, task);
+            } else {
+                // The changelog has committed records the replay could not
+                // reach (LSO pinned by a zombie transaction). Activating now
+                // would process new input against stale state — park the
+                // task and retry once the pending transaction resolves.
+                kobs::count("kstreams.restore.stalled", 1);
+                self.restoring.insert(id, task);
             }
-            self.tasks.insert(id, task);
+        }
+        Ok(())
+    }
+
+    /// Retry parked restores. Changelog replay is an idempotent upsert, so
+    /// each retry re-runs the remaining suffix from the same warm point; a
+    /// task activates only once its replay reaches the changelog log end
+    /// (i.e. the pinning transaction was fenced, aborted, or timed out).
+    fn try_finish_restores(&mut self) -> Result<(), StreamsError> {
+        if self.restoring.is_empty() {
+            return Ok(());
+        }
+        let isolation = self.consume_isolation();
+        let ids: Vec<TaskId> = self.restoring.keys().copied().collect();
+        for id in ids {
+            let mut task = self.restoring.remove(&id).expect("parked");
+            let mut starts = HashMap::new();
+            for tp in task.input_partitions() {
+                let committed = self.cluster.group_committed_offset(self.app_id(), &tp)?;
+                let start = match committed {
+                    Some(off) => off,
+                    None => self.cluster.earliest_offset(&tp).unwrap_or(0),
+                };
+                starts.insert(tp, start);
+            }
+            if task.restore(&self.cluster, isolation, &starts)? {
+                for (tp, start) in &starts {
+                    task.set_position(tp, *start);
+                }
+                kobs::count("kstreams.restore.resumed", 1);
+                self.tasks.insert(id, task);
+            } else {
+                self.restoring.insert(id, task);
+            }
         }
         Ok(())
     }
@@ -331,30 +508,78 @@ impl KafkaStreamsApp {
         if view.generation == self.generation {
             return Ok(false);
         }
-        // Commit what we have before adopting the new assignment. The
-        // rebalance may have overtaken us (our generation is already
-        // stale); in that case the in-flight work cannot be committed —
-        // abort it and close every task "dirty", rebuilding from committed
-        // changelogs/offsets so nothing half-processed leaks through.
+        let rebalance_start = self.cluster.now_ms();
+        let from_generation = self.generation;
+        let plan = self.compute_plan(&view)?;
+        // Commit what we have before adopting the new assignment. Two
+        // cases:
+        //
+        // * Every dirty task is one the new plan *retains* on this
+        //   instance (with cooperative rebalancing, the common case — only
+        //   released/expired tasks ever leave a live owner). Then the
+        //   in-flight work is safe to keep: no other member can own those
+        //   tasks in the new generation, so we *rejoin first* (adopt the
+        //   new generation number) and commit under it. Unaffected tasks
+        //   never lose work to a rebalance. Tasks that are leaving but
+        //   clean are dropped before the commit so their (possibly stale)
+        //   offsets are not re-committed over a new owner's progress.
+        //
+        // * Some dirty task is leaving us (eager mode, or we were expelled
+        //   and re-admitted). Its work cannot be committed — the commit
+        //   carries our stale generation, the broker fences it, and every
+        //   dirty task closes, rebuilding from committed changelogs and
+        //   offsets so nothing half-processed leaks through.
+        let active: BTreeSet<TaskId> = plan
+            .active
+            .get(&self.instance_id)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let leaving_clean: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(id, t)| !active.contains(id) && !t.is_dirty())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in leaving_clean {
+            if let Some(task) = self.tasks.remove(&id) {
+                self.retired_metrics.merge(task.metrics());
+            }
+            kobs::count("kstreams.rebalance.tasks_revoked", 1);
+        }
+        self.restoring.retain(|id, _| active.contains(id));
+        let dirty_retained =
+            self.tasks.iter().filter(|(_, t)| t.is_dirty()).all(|(id, _)| active.contains(id));
+        if dirty_retained {
+            self.generation = view.generation;
+        }
         self.commit_or_dirty_close()?;
         kobs::event!(
-            self.cluster.now_ms(),
+            rebalance_start,
             "kstreams",
             "rebalance_applied",
             instance = self.instance_id.clone(),
-            from_generation = self.generation,
+            from_generation = from_generation,
             to_generation = view.generation,
         );
         kobs::gauge_max("kstreams.rebalance_generation", view.generation as i64);
         self.generation = view.generation;
-        let counts = self.plan_partitions()?;
-        let all = Self::all_task_ids(&counts);
-        let mine = assign_tasks(&all, &view.members).remove(&self.instance_id).unwrap_or_default();
-        self.adopt_tasks(mine)?;
-        let my_standbys = assign_standbys(&all, &view.members, self.config.num_standby_replicas)
-            .remove(&self.instance_id)
-            .unwrap_or_default();
-        self.adopt_standbys(my_standbys)?;
+        let span = kobs::span!(
+            rebalance_start,
+            "kstreams",
+            "rebalance",
+            instance = self.instance_id.clone(),
+            to_generation = view.generation,
+        );
+        let entered = kobs::ktrace::enter(span);
+        let applied = self.apply_assignment(&plan);
+        drop(entered);
+        kobs::ktrace::finish_span(span, self.cluster.now_ms() * 1000);
+        applied?;
+        // Pause time this instance spent applying the rebalance (commit/
+        // abort + restore of moved-in tasks); unaffected tasks resume in the
+        // same step, so under cooperative rebalancing this stays near the
+        // plain commit cost.
+        kobs::observe("kstreams.rebalance.pause_ms", self.cluster.now_ms() - rebalance_start);
         Ok(true)
     }
 
@@ -383,6 +608,7 @@ impl KafkaStreamsApp {
     }
 
     fn step_inner(&mut self, cycle_span: kobs::SpanHandle) -> Result<StepSummary, StreamsError> {
+        self.try_finish_restores()?;
         let isolation = self.consume_isolation();
         let task_ids: Vec<TaskId> = self.tasks.keys().copied().collect();
         let processed = match self.config.scheduler_mode() {
@@ -445,6 +671,13 @@ impl KafkaStreamsApp {
             let applied = standby.poll(&self.cluster, isolation)?;
             self.retired_metrics.standby_records_applied += applied;
         }
+        // Warming standbys for deferred transfers tail the same way; once
+        // one catches up to within `max_warmup_lag`, readiness is reported
+        // and the transfer generation requested.
+        for warmup in self.warmups.values_mut() {
+            let applied = warmup.poll(&self.cluster, isolation)?;
+            self.retired_metrics.standby_records_applied += applied;
+        }
         // Even an all-filtered cycle advances input offsets, which must be
         // committed through the transaction.
         if processed > 0 {
@@ -467,7 +700,42 @@ impl KafkaStreamsApp {
         } else {
             false
         };
+        // Warm-up readiness and release handovers trigger rebalances only
+        // here, after the step's commit: a mid-cycle generation bump would
+        // abort the very work this step just processed.
+        self.maybe_report_warmth()?;
+        if self.pending_rebalance_request {
+            self.pending_rebalance_request = false;
+            self.cluster.group_request_rebalance(self.app_id(), &self.instance_id)?;
+        }
         Ok(StepSummary { processed, committed })
+    }
+
+    /// If the set of warm-enough warm-ups changed, publish it and — when
+    /// something *became* warm — ask the coordinator for the transfer
+    /// rebalance. The assignor recomputes the same sticky target on every
+    /// member; with the destination now warm, the deferred move applies.
+    fn maybe_report_warmth(&mut self) -> Result<(), StreamsError> {
+        if self.warmups.is_empty() && self.reported_warm.is_empty() {
+            return Ok(());
+        }
+        let ready: BTreeSet<TaskId> = self
+            .warmups
+            .iter()
+            .filter(|(_, w)| w.replay_lag(&self.cluster) <= self.config.max_warmup_lag)
+            .map(|(id, _)| *id)
+            .collect();
+        if ready == self.reported_warm {
+            return Ok(());
+        }
+        let newly_ready = ready.difference(&self.reported_warm).count();
+        self.reported_warm = ready;
+        self.publish_metadata()?;
+        if newly_ready > 0 {
+            kobs::count("kstreams.rebalance.warmups_ready", newly_ready as u64);
+            self.cluster.group_request_rebalance(self.app_id(), &self.instance_id)?;
+        }
+        Ok(())
     }
 
     fn begin_txn_if_needed(&mut self) -> Result<(), StreamsError> {
@@ -590,6 +858,12 @@ impl KafkaStreamsApp {
                 self.tasks.get(id).expect("owned").spill_stores(&dir, &self.cluster)?;
             }
         }
+        // Everything buffered is now durable: each task's in-memory state
+        // equals its committed state, so a later aborted generation can keep
+        // these tasks alive (see `commit_or_dirty_close`).
+        for task in self.tasks.values_mut() {
+            task.mark_clean();
+        }
         self.commits += 1;
         self.last_commit_ms = self.cluster.now_ms();
         // The commit cycle's virtual-clock cost is dominated by the txn
@@ -626,9 +900,13 @@ impl KafkaStreamsApp {
 
     /// Commit, tolerating a rebalance that has already overtaken this
     /// instance's generation: in that case the in-flight work cannot be
-    /// committed — abort it and close every task "dirty", so the work is
-    /// reprocessed from committed changelogs/offsets by whoever owns the
-    /// tasks next. Nothing half-processed leaks through.
+    /// committed — abort it and close *dirty* tasks (those with uncommitted
+    /// processing), so their work is reprocessed from committed
+    /// changelogs/offsets by whoever owns them next. Clean tasks — whose
+    /// in-memory state equals their last committed state — stay alive; with
+    /// cooperative rebalancing they are exactly the unaffected tasks, which
+    /// therefore keep state and positions straight through the rebalance.
+    /// Nothing half-processed leaks through either way.
     fn commit_or_dirty_close(&mut self) -> Result<(), StreamsError> {
         match self.commit() {
             Ok(()) => Ok(()),
@@ -637,8 +915,15 @@ impl KafkaStreamsApp {
                     self.producer.abort_transaction()?;
                     self.txn_open = false;
                 }
-                for (_, task) in std::mem::take(&mut self.tasks) {
-                    self.retired_metrics.merge(task.metrics());
+                let dirty: Vec<TaskId> =
+                    self.tasks.iter().filter(|(_, t)| t.is_dirty()).map(|(id, _)| *id).collect();
+                if !dirty.is_empty() {
+                    kobs::count("kstreams.rebalance.dirty_closed", dirty.len() as u64);
+                }
+                for id in dirty {
+                    if let Some(task) = self.tasks.remove(&id) {
+                        self.retired_metrics.merge(task.metrics());
+                    }
                 }
                 self.last_commit_ms = self.cluster.now_ms();
                 Ok(())
@@ -684,6 +969,11 @@ impl KafkaStreamsApp {
     /// Task ids of hosted standby replicas.
     pub fn standby_ids(&self) -> Vec<TaskId> {
         self.standbys.keys().copied().collect()
+    }
+
+    /// Task ids currently warming for a deferred cooperative transfer.
+    pub fn warmup_ids(&self) -> Vec<TaskId> {
+        self.warmups.keys().copied().collect()
     }
 
     /// Interactive query against a *standby* replica's KV store — the

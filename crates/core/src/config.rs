@@ -65,6 +65,23 @@ pub struct StreamsConfig {
     /// harness so parallel runs replay byte-identically; `None` (default)
     /// uses real OS threads.
     pub scheduler_seed: Option<u64>,
+    /// Cooperative incremental rebalancing (default on): a task whose
+    /// sticky target moved between two live instances stays with its
+    /// previous owner — which keeps processing and committing it — while
+    /// the destination warms a standby replica; the transfer happens only
+    /// once the destination's changelog replay lag is at most
+    /// [`Self::max_warmup_lag`]. `false` restores eager transfers (the
+    /// destination rebuilds from the changelog immediately).
+    pub cooperative_rebalancing: bool,
+    /// Maximum changelog replay lag (records) at which a warming standby is
+    /// reported *warm* and its deferred task transfer may proceed — the
+    /// KIP-441-style `acceptable.recovery.lag` analog.
+    pub max_warmup_lag: i64,
+    /// Broker-side rebalance debounce window (virtual-clock ms): joins and
+    /// warm-up transfer requests within the window coalesce into a single
+    /// generation bump instead of N back-to-back re-assignments. `0`
+    /// (default) keeps immediate rebalancing.
+    pub rebalance_debounce_ms: i64,
 }
 
 impl StreamsConfig {
@@ -81,6 +98,9 @@ impl StreamsConfig {
             num_worker_threads: 1,
             state_dir: None,
             scheduler_seed: None,
+            cooperative_rebalancing: true,
+            max_warmup_lag: 10_000,
+            rebalance_debounce_ms: 0,
         }
     }
 
@@ -158,6 +178,30 @@ impl StreamsConfig {
     /// warm-start recovery from those spills (bounded changelog replay).
     pub fn with_state_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Disable cooperative rebalancing: task moves apply immediately (the
+    /// destination stops-the-world restoring from the changelog) instead of
+    /// being deferred behind a standby warm-up.
+    pub fn with_eager_rebalancing(mut self) -> Self {
+        self.cooperative_rebalancing = false;
+        self
+    }
+
+    /// Replay-lag threshold (records) under which a warming standby is
+    /// considered warm enough to receive its task.
+    pub fn with_max_warmup_lag(mut self, lag: i64) -> Self {
+        assert!(lag >= 0);
+        self.max_warmup_lag = lag;
+        self
+    }
+
+    /// Coalesce joins/transfer-requests within `ms` virtual-clock
+    /// milliseconds into a single rebalance (0 = immediate).
+    pub fn with_rebalance_debounce_ms(mut self, ms: i64) -> Self {
+        assert!(ms >= 0);
+        self.rebalance_debounce_ms = ms;
         self
     }
 

@@ -98,6 +98,24 @@ impl StandbyTask {
         self.records_applied
     }
 
+    /// Changelog records not yet applied: the distance between this
+    /// standby's positions and the changelog log-end offsets. The warm-up
+    /// gate compares this against `StreamsConfig::max_warmup_lag` before
+    /// allowing a deferred task transfer (KIP-441-style recovery lag).
+    pub fn replay_lag(&self, cluster: &Cluster) -> i64 {
+        let mut lag = 0;
+        for (tp, pos) in self.positions.values() {
+            if !cluster.topic_exists(&tp.topic) {
+                continue;
+            }
+            let start = if *pos == 0 { cluster.earliest_offset(tp).unwrap_or(0) } else { *pos };
+            if let Ok(end) = cluster.latest_offset(tp) {
+                lag += (end - start).max(0);
+            }
+        }
+        lag
+    }
+
     /// Hand the warm stores (and their changelog positions) to a task being
     /// promoted to active. The promotion replays only the suffix written
     /// after `positions`.
@@ -117,31 +135,31 @@ impl StandbyTask {
     }
 }
 
-/// Standby assignment: for each task, the `replicas` members after the
-/// active owner in the sorted member ring host standbys.
+/// Standby assignment, derived from the *actual* active assignment: each
+/// task's standbys land on the `replicas` members after its active owner in
+/// the sorted member ring — so a standby is never colocated with its active
+/// task no matter how stickiness shaped the active placement.
 pub fn assign_standbys(
-    tasks: &[TaskId],
-    members: &[String],
+    active: &BTreeMap<String, Vec<TaskId>>,
     replicas: usize,
 ) -> BTreeMap<String, Vec<TaskId>> {
-    let mut members_sorted: Vec<&String> = members.iter().collect();
-    members_sorted.sort();
-    members_sorted.dedup();
-    let mut tasks_sorted: Vec<TaskId> = tasks.to_vec();
-    tasks_sorted.sort();
+    let members: Vec<&String> = active.keys().collect();
     let mut out: BTreeMap<String, Vec<TaskId>> =
-        members_sorted.iter().map(|m| ((*m).clone(), Vec::new())).collect();
-    let n = members_sorted.len();
+        members.iter().map(|m| ((*m).clone(), Vec::new())).collect();
+    let n = members.len();
     if n <= 1 || replicas == 0 {
         return out;
     }
-    for (i, task) in tasks_sorted.into_iter().enumerate() {
-        // Active owner is members[i % n] (mirrors assignment::assign_tasks);
-        // standbys go to the next `replicas` distinct members.
-        for r in 1..=replicas.min(n - 1) {
-            let member = members_sorted[(i + r) % n];
-            out.get_mut(member).expect("initialized").push(task);
+    for (idx, (_, tasks)) in active.iter().enumerate() {
+        for task in tasks {
+            for r in 1..=replicas.min(n - 1) {
+                let member = members[(idx + r) % n];
+                out.get_mut(member.as_str()).expect("initialized").push(*task);
+            }
         }
+    }
+    for v in out.values_mut() {
+        v.sort();
     }
     out
 }
@@ -154,9 +172,14 @@ mod tests {
         TaskId { subtopology: 0, partition: p }
     }
 
+    fn actives_for(tasks: &[TaskId], members: &[String]) -> BTreeMap<String, Vec<TaskId>> {
+        crate::assignment::assign_tasks(tasks, members)
+    }
+
     #[test]
     fn no_standbys_with_single_member() {
-        let a = assign_standbys(&[tid(0), tid(1)], &["only".into()], 1);
+        let actives = actives_for(&[tid(0), tid(1)], &["only".into()]);
+        let a = assign_standbys(&actives, 1);
         assert!(a.values().all(Vec::is_empty));
     }
 
@@ -164,8 +187,8 @@ mod tests {
     fn standby_never_colocated_with_active() {
         let tasks: Vec<TaskId> = (0..6).map(tid).collect();
         let members = vec!["a".to_string(), "b".to_string(), "c".to_string()];
-        let actives = crate::assignment::assign_tasks(&tasks, &members);
-        let standbys = assign_standbys(&tasks, &members, 1);
+        let actives = actives_for(&tasks, &members);
+        let standbys = assign_standbys(&actives, 1);
         for (member, stand) in &standbys {
             for t in stand {
                 assert!(!actives[member].contains(t), "{member} hosts {t} both active and standby");
@@ -174,10 +197,21 @@ mod tests {
     }
 
     #[test]
+    fn standby_follows_sticky_active_placement() {
+        // A sticky (non-positional) active layout: all tasks on one member.
+        let tasks: Vec<TaskId> = (0..4).map(tid).collect();
+        let actives: BTreeMap<String, Vec<TaskId>> =
+            [("a".to_string(), tasks.clone()), ("b".to_string(), Vec::new())].into();
+        let standbys = assign_standbys(&actives, 1);
+        assert!(standbys["a"].is_empty(), "owner never hosts its own standby");
+        assert_eq!(standbys["b"], tasks, "standbys land on the other member");
+    }
+
+    #[test]
     fn each_task_gets_requested_replicas() {
         let tasks: Vec<TaskId> = (0..5).map(tid).collect();
         let members = vec!["a".to_string(), "b".to_string(), "c".to_string()];
-        let standbys = assign_standbys(&tasks, &members, 2);
+        let standbys = assign_standbys(&actives_for(&tasks, &members), 2);
         let mut per_task: BTreeMap<TaskId, usize> = BTreeMap::new();
         for stand in standbys.values() {
             for t in stand {
@@ -191,9 +225,8 @@ mod tests {
 
     #[test]
     fn replicas_clamped_to_cluster_size() {
-        let tasks = vec![tid(0)];
-        let members = vec!["a".to_string(), "b".to_string()];
-        let standbys = assign_standbys(&tasks, &members, 5);
+        let actives = actives_for(&[tid(0)], &["a".to_string(), "b".to_string()]);
+        let standbys = assign_standbys(&actives, 5);
         let total: usize = standbys.values().map(Vec::len).sum();
         assert_eq!(total, 1, "only one other member exists");
     }

@@ -56,6 +56,12 @@ pub struct StreamTask {
     source_restore_tps: HashMap<String, TopicPartition>,
     /// Configured per-store record-cache capacity (0 = caching off).
     cache_max_entries: usize,
+    /// Whether this task has processed input, produced output, or mutated
+    /// state since the last successful commit. A clean task's in-memory
+    /// state equals its committed state, so a rebalance that aborts the
+    /// in-flight transaction can keep it alive — only dirty tasks need a
+    /// close-and-rebuild.
+    dirty: bool,
 }
 
 impl StreamTask {
@@ -115,7 +121,20 @@ impl StreamTask {
             restore_from: HashMap::new(),
             source_restore_tps,
             cache_max_entries,
+            dirty: false,
         })
+    }
+
+    /// Whether uncommitted work (processed input, pending output, or store
+    /// mutation) has accumulated since the last [`Self::mark_clean`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Reset the dirty flag — called by the instance after the commit
+    /// covering this task's work succeeds.
+    pub fn mark_clean(&mut self) {
+        self.dirty = false;
     }
 
     /// Adopt the warm stores of a standby replica (§3.3): restore will then
@@ -158,14 +177,24 @@ impl StreamTask {
     /// use their *source topic* as changelog (§3.3 optimization) restore up
     /// to exactly the committed offset, so state never runs ahead of
     /// processing progress.
+    ///
+    /// Returns whether the replay *caught up*. `false` means a changelog has
+    /// records the replay could not reach — a zombie owner's still-open
+    /// transaction pins the last-stable offset below committed records that
+    /// were appended after it. Activating the task now would process new
+    /// input against stale state, so the caller must park the task and retry
+    /// once the pending transaction resolves (fencing restart, abort, or
+    /// coordinator timeout). Replays are idempotent upserts, so retrying the
+    /// whole restore is safe.
     pub fn restore(
         &mut self,
         cluster: &Cluster,
         isolation: IsolationLevel,
         committed: &HashMap<TopicPartition, i64>,
-    ) -> Result<(), StreamsError> {
+    ) -> Result<bool, StreamsError> {
         let restore_start_ms = cluster.now_ms();
         let replayed_before = self.env.metrics.restore_records;
+        let mut caught_up = true;
         // Source-as-changelog stores: replay the source prefix we already
         // processed (per committed offsets).
         for (store_name, tp) in self.source_restore_tps.clone() {
@@ -194,6 +223,9 @@ impl StreamTask {
                 }
                 pos = fetch.next_offset;
             }
+            if pos < bound {
+                caught_up = false;
+            }
         }
         for (store_name, tp) in self.changelog_tps.clone() {
             if !cluster.topic_exists(&tp.topic) {
@@ -217,6 +249,9 @@ impl StreamTask {
                 }
                 pos = fetch.next_offset;
             }
+            if pos < cluster.latest_offset(&tp)? {
+                caught_up = false;
+            }
         }
         let replayed = self.env.metrics.restore_records - replayed_before;
         kobs::count("kstreams.restore.records_replayed", replayed);
@@ -231,7 +266,7 @@ impl StreamTask {
                 elapsed_ms = cluster.now_ms() - restore_start_ms,
             );
         }
-        Ok(())
+        Ok(caught_up)
     }
 
     /// Set the consume position of an input partition (from the group's
@@ -311,13 +346,23 @@ impl StreamTask {
             processed += 1;
         }
         kobs::ktrace::finish_span(process_span, cluster.now_ms() * 1000);
+        if processed > 0 {
+            self.dirty = true;
+        }
         Ok(processed)
     }
 
     /// Run time-driven operators (suppress flushes, join padding, GC).
     pub fn punctuate(&mut self, wall_time: i64) -> Result<(), StreamsError> {
         let span = kobs::child_span!(wall_time, "worker", "punctuate", task = self.id.to_string());
+        let before = self.env.outputs.len() + self.env.changelog.len();
+        let cache_before = self.env.cache_dirty_entries();
         let result = self.driver.punctuate(&mut self.env, wall_time);
+        if self.env.outputs.len() + self.env.changelog.len() != before
+            || self.env.cache_dirty_entries() != cache_before
+        {
+            self.dirty = true;
+        }
         kobs::ktrace::finish_span(span, wall_time * 1000);
         result
     }
@@ -338,6 +383,10 @@ impl StreamTask {
         if dirty == 0 {
             return Ok(());
         }
+        // Flushing moves cached writes into the (abortable) transaction:
+        // from here until the commit lands this task is not at its
+        // committed state.
+        self.dirty = true;
         let span = kobs::child_span!(
             wall_time,
             "kstreams",

@@ -33,6 +33,11 @@ pub const SESSION_TIMEOUT_MS: i64 = 30_000;
 struct MemberInfo {
     subscribed: BTreeSet<String>,
     last_seen_ms: i64,
+    /// Opaque client metadata (streams-layer assignors encode task
+    /// ownership and standby warm-up readiness here). Updated live via
+    /// [`Cluster::group_update_metadata`]; snapshotted into the frozen view
+    /// at each rebalance.
+    metadata: Vec<String>,
 }
 
 /// Partition assignment strategy for a group.
@@ -54,14 +59,33 @@ struct GroupState {
     members: BTreeMap<String, MemberInfo>,
     assignment: HashMap<String, Vec<TopicPartition>>,
     strategy: AssignmentStrategy,
+    /// Member ids frozen at the last generation bump. Views expose this
+    /// snapshot (not the live set), so every member of generation G
+    /// computes its assignment from identical inputs even while later
+    /// joins are being debounced.
+    frozen_members: Vec<String>,
+    /// Member metadata frozen alongside `frozen_members`.
+    frozen_metadata: BTreeMap<String, Vec<String>>,
+    /// Coalescing window for join/request-triggered rebalances (0 = bump
+    /// immediately, the historical behavior). Leaves and expirations always
+    /// rebalance immediately.
+    debounce_ms: i64,
+    /// Virtual-clock instant the first pending (debounced) trigger arrived;
+    /// the rebalance fires once `now - pending_since >= debounce_ms`.
+    pending_since: Option<i64>,
 }
 
 /// A member's view of its group after a join or poll-time check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupView {
     pub generation: i32,
-    /// All member ids, sorted (streams-layer assignors use this).
+    /// Member ids frozen at this generation's rebalance, sorted
+    /// (streams-layer assignors use this).
     pub members: Vec<String>,
+    /// Each frozen member's metadata at the rebalance instant — the shared
+    /// input from which streams-layer assignors recover previous task
+    /// ownership and warm-up readiness.
+    pub member_metadata: BTreeMap<String, Vec<String>>,
     /// Partitions assigned to *this* member.
     pub assignment: Vec<TopicPartition>,
 }
@@ -232,6 +256,14 @@ fn range_assign(
 impl Cluster {
     fn rebalance(&self, state: &mut GroupState) {
         state.generation += 1;
+        state.pending_since = None;
+        // Freeze the membership and metadata for this generation: every
+        // member's view of generation G carries this exact snapshot, so
+        // leaderless assignors compute from identical inputs even while
+        // later joins are still being debounced.
+        state.frozen_members = state.members.keys().cloned().collect();
+        state.frozen_metadata =
+            state.members.iter().map(|(m, i)| (m.clone(), i.metadata.clone())).collect();
         kobs::count("kbroker.group.rebalances", 1);
         kobs::event!(
             self.now_ms(),
@@ -252,6 +284,41 @@ impl Cluster {
                 })
             }
         };
+    }
+
+    /// Register a debounced rebalance trigger (join or member request):
+    /// with no window configured it fires immediately; otherwise the first
+    /// trigger opens the window and [`Self::fire_pending_rebalance`] bumps
+    /// the generation once the window has elapsed, coalescing every trigger
+    /// that arrived in between into a single generation bump.
+    fn trigger_rebalance(&self, state: &mut GroupState, now: i64) {
+        if state.debounce_ms <= 0 {
+            self.rebalance(state);
+            return;
+        }
+        if state.pending_since.is_none() {
+            state.pending_since = Some(now);
+            kobs::count("kbroker.group.rebalances_deferred", 1);
+        }
+        self.fire_pending_rebalance(state, now);
+    }
+
+    /// Fire an overdue debounced rebalance, if any.
+    fn fire_pending_rebalance(&self, state: &mut GroupState, now: i64) {
+        if let Some(t0) = state.pending_since {
+            if now - t0 >= state.debounce_ms {
+                self.rebalance(state);
+            }
+        }
+    }
+
+    fn view_for(state: &GroupState, member: &str) -> GroupView {
+        GroupView {
+            generation: state.generation,
+            members: state.frozen_members.clone(),
+            member_metadata: state.frozen_metadata.clone(),
+            assignment: state.assignment.get(member).cloned().unwrap_or_default(),
+        }
     }
 
     /// Set a group's assignment strategy (takes effect on the next
@@ -275,27 +342,94 @@ impl Cluster {
         self.rebalance(state);
     }
 
-    /// Join (or re-join) a group, triggering a rebalance. Returns the
-    /// member's new view.
+    /// Join (or re-join) a group, triggering a rebalance (immediately, or
+    /// after the group's debounce window). Returns the member's view.
     pub fn group_join(
         &self,
         group: &str,
         member: &str,
         topics: &[String],
     ) -> Result<GroupView, BrokerError> {
+        self.group_join_with_metadata(group, member, topics, &[])
+    }
+
+    /// [`Self::group_join`] carrying client metadata (streams assignors
+    /// encode previous task ownership here). With a debounce window
+    /// configured, back-to-back joins coalesce into one generation bump;
+    /// the view returned to a still-pending joiner carries the *previous*
+    /// generation's frozen membership (which may not include the joiner
+    /// yet).
+    pub fn group_join_with_metadata(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[String],
+        metadata: &[String],
+    ) -> Result<GroupView, BrokerError> {
         let now = self.now_ms();
         let mut groups = self.inner.groups.stripe(group).lock();
         let state = groups.entry(group.to_string()).or_default();
         state.members.insert(
             member.to_string(),
-            MemberInfo { subscribed: topics.iter().cloned().collect(), last_seen_ms: now },
+            MemberInfo {
+                subscribed: topics.iter().cloned().collect(),
+                last_seen_ms: now,
+                metadata: metadata.to_vec(),
+            },
         );
-        self.rebalance(state);
-        Ok(GroupView {
-            generation: state.generation,
-            members: state.members.keys().cloned().collect(),
-            assignment: state.assignment.get(member).cloned().unwrap_or_default(),
-        })
+        self.trigger_rebalance(state, now);
+        Ok(Self::view_for(state, member))
+    }
+
+    /// Update a member's metadata in place — no generation bump, no
+    /// re-assignment. The new metadata becomes visible to assignors at the
+    /// *next* rebalance, when it is frozen into the group view.
+    pub fn group_update_metadata(
+        &self,
+        group: &str,
+        member: &str,
+        metadata: &[String],
+    ) -> Result<(), BrokerError> {
+        let mut groups = self.inner.groups.stripe(group).lock();
+        let state = groups.get_mut(group).ok_or_else(|| BrokerError::UnknownMember {
+            group: group.to_string(),
+            member: member.to_string(),
+        })?;
+        let info = state.members.get_mut(member).ok_or_else(|| BrokerError::UnknownMember {
+            group: group.to_string(),
+            member: member.to_string(),
+        })?;
+        info.metadata = metadata.to_vec();
+        Ok(())
+    }
+
+    /// A member asks for a rebalance (e.g. a streams instance whose warming
+    /// standby caught up and wants the deferred task transfer to happen).
+    /// Honors the group's debounce window like a join does.
+    pub fn group_request_rebalance(&self, group: &str, member: &str) -> Result<(), BrokerError> {
+        let now = self.now_ms();
+        let mut groups = self.inner.groups.stripe(group).lock();
+        let state = groups.get_mut(group).ok_or_else(|| BrokerError::UnknownMember {
+            group: group.to_string(),
+            member: member.to_string(),
+        })?;
+        if !state.members.contains_key(member) {
+            return Err(BrokerError::UnknownMember {
+                group: group.to_string(),
+                member: member.to_string(),
+            });
+        }
+        self.trigger_rebalance(state, now);
+        Ok(())
+    }
+
+    /// Configure the group's rebalance debounce window (virtual-clock ms).
+    /// Joins and member requests within the window coalesce into a single
+    /// generation bump; 0 restores immediate rebalancing. Creates the group
+    /// if it does not exist yet.
+    pub fn group_set_rebalance_debounce_ms(&self, group: &str, debounce_ms: i64) {
+        let mut groups = self.inner.groups.stripe(group).lock();
+        groups.entry(group.to_string()).or_default().debounce_ms = debounce_ms;
     }
 
     /// Leave a group, triggering a rebalance.
@@ -330,11 +464,10 @@ impl Cluster {
             member: member.to_string(),
         })?;
         info.last_seen_ms = now;
-        Ok(GroupView {
-            generation: state.generation,
-            members: state.members.keys().cloned().collect(),
-            assignment: state.assignment.get(member).cloned().unwrap_or_default(),
-        })
+        // Heartbeats drive the debounce clock: an overdue coalesced
+        // rebalance fires on the next check-in.
+        self.fire_pending_rebalance(state, now);
+        Ok(Self::view_for(state, member))
     }
 
     /// Evict members that have not checked in within the session timeout —
@@ -615,6 +748,78 @@ mod tests {
         assert_eq!(evicted, vec!["b".to_string()]);
         let va = c.group_view("g", "a").unwrap();
         assert_eq!(va.assignment.len(), 2, "a inherits b's partitions");
+    }
+
+    #[test]
+    fn simultaneous_joins_coalesce_into_one_generation_bump() {
+        let clock = simkit::ManualClock::new();
+        let c = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+        c.create_topic("t", TopicConfig::new(6)).unwrap();
+        c.group_set_rebalance_debounce_ms("g", 50);
+        // Three back-to-back joins inside the window: zero bumps yet.
+        for m in ["a", "b", "c"] {
+            c.group_join("g", m, &["t".to_string()]).unwrap();
+        }
+        assert_eq!(c.group_generation("g"), 0, "joins are pending inside the window");
+        clock.advance(50);
+        let v = c.group_view("g", "a").unwrap();
+        assert_eq!(v.generation, 1, "exactly one bump for the whole burst");
+        assert_eq!(v.members, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(v.assignment.len(), 2, "all three members were assigned together");
+    }
+
+    #[test]
+    fn undebounced_group_keeps_immediate_rebalances() {
+        let c = cluster();
+        c.create_topic("t", TopicConfig::new(4)).unwrap();
+        c.group_join("g", "a", &["t".to_string()]).unwrap();
+        let v = c.group_join("g", "b", &["t".to_string()]).unwrap();
+        assert_eq!(v.generation, 2, "no window configured: every join bumps");
+    }
+
+    #[test]
+    fn leave_fires_immediately_even_with_debounce() {
+        let clock = simkit::ManualClock::new();
+        let c = Cluster::builder().brokers(1).replication(1).clock(clock.shared()).build();
+        c.create_topic("t", TopicConfig::new(2)).unwrap();
+        c.group_join("g", "a", &["t".to_string()]).unwrap();
+        c.group_join("g", "b", &["t".to_string()]).unwrap();
+        c.group_set_rebalance_debounce_ms("g", 1000);
+        c.group_leave("g", "b").unwrap();
+        let v = c.group_view("g", "a").unwrap();
+        assert_eq!(v.generation, 3, "leave is not debounced");
+        assert_eq!(v.members, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn metadata_is_frozen_until_the_next_rebalance() {
+        let c = cluster();
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        c.group_join_with_metadata("g", "m", &["t".to_string()], &["o:0_0".to_string()]).unwrap();
+        c.group_update_metadata("g", "m", &["o:0_1".to_string()]).unwrap();
+        let v = c.group_view("g", "m").unwrap();
+        assert_eq!(
+            v.member_metadata["m"],
+            vec!["o:0_0".to_string()],
+            "live update invisible until frozen by a rebalance"
+        );
+        c.group_force_rebalance("g");
+        let v = c.group_view("g", "m").unwrap();
+        assert_eq!(v.member_metadata["m"], vec!["o:0_1".to_string()]);
+    }
+
+    #[test]
+    fn member_requested_rebalance_bumps_generation() {
+        let c = cluster();
+        c.create_topic("t", TopicConfig::new(1)).unwrap();
+        let v = c.group_join("g", "m", &["t".to_string()]).unwrap();
+        c.group_request_rebalance("g", "m").unwrap();
+        let v2 = c.group_view("g", "m").unwrap();
+        assert_eq!(v2.generation, v.generation + 1);
+        assert!(matches!(
+            c.group_request_rebalance("g", "ghost"),
+            Err(BrokerError::UnknownMember { .. })
+        ));
     }
 
     #[test]

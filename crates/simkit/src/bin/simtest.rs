@@ -8,6 +8,7 @@
 //! cargo run -p simkit --bin simtest -- --sweep 0..50
 //! cargo run -p simkit --bin simtest -- --seed 42 --workers 4        # virtual scheduler
 //! cargo run -p simkit --bin simtest -- --seed 42 --storage disk     # durable backend
+//! cargo run -p simkit --bin simtest -- --seed 42 --churn            # rebalance churn
 //! cargo run -p simkit --bin simtest -- --seed 0 --script "TxnRpcAckLost@2;KillBroker@5"
 //! cargo run -p simkit --bin simtest -- --seed 42 --trace-out trace.json  # Perfetto
 //! cargo run -p simkit --bin simtest -- --seed 42 --inject-failure       # flight dump
@@ -35,11 +36,12 @@ struct Args {
     trace_out: Option<String>,
     inject_failure: bool,
     disk_storage: bool,
+    churn: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--storage memory|disk] [--profile [count|windowed|suppressed]] [--script TOKENS] [--trace-out PATH] [--inject-failure] [--json]"
+        "usage: simtest (--seed N | --sweep A..B) [--steps M] [--cache N] [--workers K] [--storage memory|disk] [--churn] [--profile [count|windowed|suppressed]] [--script TOKENS] [--trace-out PATH] [--inject-failure] [--json]"
     );
     std::process::exit(2);
 }
@@ -57,6 +59,7 @@ fn parse_args() -> Args {
         trace_out: None,
         inject_failure: false,
         disk_storage: false,
+        churn: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +69,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--json" => args.json = true,
             "--inject-failure" => args.inject_failure = true,
+            "--churn" => args.churn = true,
             "--trace-out" => {
                 let Some(value) = argv.get(i) else { usage() };
                 i += 1;
@@ -179,6 +183,9 @@ fn main() -> ExitCode {
         }
         if args.disk_storage {
             cfg = cfg.with_disk_storage();
+        }
+        if args.churn {
+            cfg = cfg.with_churn();
         }
         let report = run(&cfg);
         if args.json {

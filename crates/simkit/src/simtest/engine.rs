@@ -37,6 +37,14 @@ const TRACE_TAIL: usize = 32;
 /// drown the repro line).
 const FLIGHT_DUMP_TREES: usize = 2;
 
+/// Broker-side rebalance debounce window used in `--churn` runs
+/// (virtual-clock ms): churn bursts coalesce into one generation bump.
+const CHURN_DEBOUNCE_MS: i64 = 25;
+
+/// Cap on instances the churn fleet-resize class may grow beyond the
+/// workload's starting fleet.
+const CHURN_MAX_EXTRA_INSTANCES: usize = 3;
+
 /// The `klog::checks` violation sink is process-global, so concurrent runs
 /// (e.g. `cargo test` threads) would steal each other's violations.
 static RUN_LOCK: Mutex<()> = Mutex::new(());
@@ -75,6 +83,15 @@ pub struct SimConfig {
     /// broker in one scheduled action (recovery from its segment files), or
     /// crash+respawn an instance in one action (warm-start from spills).
     pub disk_storage: bool,
+    /// Rebalance-churn fault classes (`--churn`): rolling restarts
+    /// (graceful close + immediate rejoin under the same instance id) and
+    /// fleet resizing (instances added to / removed from the group under
+    /// load). Apps additionally run with a broker-side rebalance debounce
+    /// window, so back-to-back churn coalesces. Off by default so the
+    /// no-churn schedule stream stays byte-identical with earlier seeds;
+    /// oracles are unchanged — exactly-once and completeness must hold
+    /// through every rebalance.
+    pub churn: bool,
 }
 
 impl SimConfig {
@@ -89,6 +106,7 @@ impl SimConfig {
             script: None,
             inject_failure: false,
             disk_storage: false,
+            churn: false,
         }
     }
 
@@ -137,6 +155,14 @@ impl SimConfig {
     /// files, app state-store spills, and the durable-crash fault class.
     pub fn with_disk_storage(mut self) -> Self {
         self.disk_storage = true;
+        self
+    }
+
+    /// Enable the rebalance-churn fault classes (`--churn`): rolling
+    /// restarts and fleet resizing under load, with a broker-side rebalance
+    /// debounce window on the group.
+    pub fn with_churn(mut self) -> Self {
+        self.churn = true;
         self
     }
 
@@ -279,6 +305,12 @@ impl Engine {
         if let Some(dir) = &self.state_dir {
             cfg = cfg.with_state_dir(dir.clone());
         }
+        if self.cfg.churn {
+            // Churn mode exercises the broker-side debounce window too:
+            // back-to-back joins/transfer-requests coalesce into one
+            // generation bump (virtual clock, so still deterministic).
+            cfg = cfg.with_rebalance_debounce_ms(CHURN_DEBOUNCE_MS);
+        }
         if self.cfg.workers > 1 {
             // Virtual mode: the scheduler's steal decisions come from the
             // run seed, so a multi-worker run replays byte-identically.
@@ -344,6 +376,12 @@ impl Engine {
                         }
                     }
                 }
+                ScriptEvent::AddInstance => {
+                    let idx = self.slots.len();
+                    let slot = self.spawn_instance(idx);
+                    self.slots.push(slot);
+                    self.events.instance_adds += 1;
+                }
             }
         }
     }
@@ -402,11 +440,30 @@ impl Engine {
     }
 
     fn cluster_event(&mut self, rng: &mut DetRng) {
-        // Disk mode adds a sixth event class. Memory mode keeps the
-        // original 5-way draw so its schedules stay byte-identical with
-        // and without the disk backend compiled in.
-        let classes = if self.cfg.disk_storage { 6 } else { 5 };
-        match rng.range(0, classes) {
+        // Disk mode adds a sixth event class; churn mode appends two more
+        // (rolling restart, fleet resize). The base 5-way draw is untouched
+        // when both are off, so historical memory-mode schedules stay
+        // byte-identical.
+        let mut classes = 5;
+        if self.cfg.disk_storage {
+            classes += 1;
+        }
+        if self.cfg.churn {
+            classes += 2;
+        }
+        let draw = rng.range(0, classes);
+        // Map the appended classes back to their handler: durable crash
+        // occupies the slot right after the base classes (when enabled),
+        // churn the last two.
+        if self.cfg.churn && draw >= classes - 2 {
+            if draw == classes - 2 {
+                self.rolling_restart(rng);
+            } else {
+                self.fleet_resize(rng);
+            }
+            return;
+        }
+        match draw {
             0 => {
                 // Kill a broker, but never the last one alive: replication
                 // equals the broker count, so any survivor can lead every
@@ -451,6 +508,51 @@ impl Engine {
                 self.events.forced_rebalances += 1;
             }
             _ => self.durable_crash(rng),
+        }
+    }
+
+    /// Churn fault class: rolling restart — one live instance leaves
+    /// *gracefully* (final commit + group leave) and immediately rejoins
+    /// under the same id, the way a rolling deploy cycles a fleet. A close
+    /// error is a crash (broker faults can kill the final commit).
+    fn rolling_restart(&mut self, rng: &mut DetRng) {
+        let live: Vec<usize> = (0..self.slots.len()).filter(|&i| self.slots[i].is_some()).collect();
+        if live.is_empty() {
+            return;
+        }
+        let idx = live[rng.index(live.len())];
+        let mut app = self.slots[idx].take().expect("picked from live set");
+        if let Err(e) = app.close() {
+            self.step_errors.push(format!("rolling close i{idx}: {e}"));
+            app.crash();
+        }
+        self.events.rolling_restarts += 1;
+        self.slots[idx] = self.spawn_instance(idx);
+    }
+
+    /// Churn fault class: fleet resize — grow the group with a brand-new
+    /// instance id, or gracefully retire a live one (never the last), under
+    /// sustained load.
+    fn fleet_resize(&mut self, rng: &mut DetRng) {
+        let live: Vec<usize> = (0..self.slots.len()).filter(|&i| self.slots[i].is_some()).collect();
+        let can_grow = self.slots.len() < self.workload.instances + CHURN_MAX_EXTRA_INSTANCES;
+        let grow = if live.len() <= 1 { true } else { can_grow && rng.chance(0.5) };
+        if grow {
+            if !can_grow {
+                return;
+            }
+            let idx = self.slots.len();
+            let slot = self.spawn_instance(idx);
+            self.slots.push(slot);
+            self.events.instance_adds += 1;
+        } else {
+            let idx = live[rng.index(live.len())];
+            let mut app = self.slots[idx].take().expect("picked from live set");
+            if let Err(e) = app.close() {
+                self.step_errors.push(format!("retire close i{idx}: {e}"));
+                app.crash();
+            }
+            self.events.instance_removes += 1;
         }
     }
 
@@ -634,6 +736,7 @@ impl Engine {
             cache_max_entries: self.cfg.cache_max_entries,
             workers: self.cfg.workers,
             storage: if self.cfg.disk_storage { "disk" } else { "memory" }.to_string(),
+            churn: self.cfg.churn,
             brokers: self.workload.brokers,
             partitions: self.workload.partitions,
             n_keys: self.workload.keys.len(),

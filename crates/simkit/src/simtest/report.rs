@@ -16,6 +16,14 @@ pub struct EventCounts {
     /// Durable crash-restore cycles (`--storage disk` only): a broker or
     /// instance killed and immediately revived from its on-disk state.
     pub durable_crashes: u64,
+    /// Rolling restarts (`--churn` only): graceful leave + immediate
+    /// rejoin under the same instance id.
+    pub rolling_restarts: u64,
+    /// Fleet growths (`--churn` or scripted `AddInstance`): brand-new
+    /// instances joined under load.
+    pub instance_adds: u64,
+    /// Fleet shrinks (`--churn` only): live instances gracefully retired.
+    pub instance_removes: u64,
 }
 
 /// The outcome of one simulated run.
@@ -32,6 +40,8 @@ pub struct SimReport {
     pub workers: usize,
     /// Storage backend the brokers ran on: `"memory"` or `"disk"`.
     pub storage: String,
+    /// Whether the rebalance-churn fault classes were enabled (`--churn`).
+    pub churn: bool,
     pub brokers: usize,
     pub partitions: u32,
     pub n_keys: usize,
@@ -97,6 +107,9 @@ impl SimReport {
         if self.storage == "disk" {
             cmd.push_str(" --storage disk");
         }
+        if self.churn {
+            cmd.push_str(" --churn");
+        }
         if self.inject_failure {
             cmd.push_str(" --inject-failure");
         }
@@ -124,6 +137,7 @@ impl SimReport {
             ("cache_max_entries", num(self.cache_max_entries as f64)),
             ("workers", num(self.workers as f64)),
             ("storage", jstr(self.storage.clone())),
+            ("churn", Value::Bool(self.churn)),
             ("brokers", num(self.brokers as f64)),
             ("partitions", num(self.partitions as f64)),
             ("instances", num(self.instances as f64)),
@@ -197,13 +211,16 @@ impl fmt::Display for SimReport {
         )?;
         writeln!(
             f,
-            "  events: broker_kills={} broker_restores={} instance_crashes={} instance_restarts={} forced_rebalances={} durable_crashes={}",
+            "  events: broker_kills={} broker_restores={} instance_crashes={} instance_restarts={} forced_rebalances={} durable_crashes={} rolling_restarts={} instance_adds={} instance_removes={}",
             self.events.broker_kills,
             self.events.broker_restores,
             self.events.instance_crashes,
             self.events.instance_restarts,
             self.events.forced_rebalances,
-            self.events.durable_crashes
+            self.events.durable_crashes,
+            self.events.rolling_restarts,
+            self.events.instance_adds,
+            self.events.instance_removes
         )?;
         writeln!(f, "  faults:")?;
         for (point, observed, injected) in &self.fault_counts {

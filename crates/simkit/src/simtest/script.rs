@@ -7,8 +7,9 @@
 //!   point is hit: the ack is dropped (or, for `ProduceRequestLost`, the
 //!   request itself). Fault points are the [`FaultPoint`] names, e.g.
 //!   `TxnRpcAckLost@2;ProduceAckLost@1`.
-//! * `KillBroker@<s>` / `RestoreBroker@<s>` / `RestartInstance@<s>` — a
-//!   cluster-level event fired before scheduled step `s` (1-based).
+//! * `KillBroker@<s>` / `RestoreBroker@<s>` / `RestartInstance@<s>` /
+//!   `AddInstance@<s>` — a cluster-level event fired before scheduled step
+//!   `s` (1-based).
 //!
 //! A scripted run replaces the seed-derived probabilistic fault plan with
 //! exactly the scripted decisions, so the injected faults are the ones the
@@ -26,6 +27,9 @@ pub enum ScriptEvent {
     RestoreBroker,
     /// Crash-restart the lowest-numbered live app instance.
     RestartInstance,
+    /// Add a brand-new app instance to the group (fleet growth; several at
+    /// the same step model a simultaneous N-join).
+    AddInstance,
 }
 
 /// A parsed `--script` value.
@@ -56,6 +60,7 @@ impl Script {
                 "KillBroker" => script.events.push((n, ScriptEvent::KillBroker)),
                 "RestoreBroker" => script.events.push((n, ScriptEvent::RestoreBroker)),
                 "RestartInstance" => script.events.push((n, ScriptEvent::RestartInstance)),
+                "AddInstance" => script.events.push((n, ScriptEvent::AddInstance)),
                 _ => {
                     let point = FaultPoint::ALL
                         .into_iter()

@@ -29,12 +29,11 @@ fn setup(partitions: u32) -> Setup {
 }
 
 fn app(s: &Setup, id: &str) -> KafkaStreamsApp {
-    KafkaStreamsApp::new(
-        s.cluster.clone(),
-        counting_topology(),
-        StreamsConfig::new("scale-app").exactly_once().with_commit_interval_ms(10),
-        id,
-    )
+    app_with(s, id, StreamsConfig::new("scale-app").exactly_once().with_commit_interval_ms(10))
+}
+
+fn app_with(s: &Setup, id: &str, config: StreamsConfig) -> KafkaStreamsApp {
+    KafkaStreamsApp::new(s.cluster.clone(), counting_topology(), config, id)
 }
 
 fn send_round(cluster: &Cluster, keys: usize, round: i64) {
@@ -308,5 +307,210 @@ fn more_instances_than_tasks_leaves_spares_idle() {
     assert_eq!(total, 6);
     for a in &mut apps {
         a.close().unwrap();
+    }
+}
+
+#[test]
+fn rolling_restart_battery_preserves_eos_and_unaffected_commits() {
+    // The cooperative-rebalancing acceptance battery: a 5-instance fleet is
+    // rolled one instance at a time under sustained input. During every
+    // departure window the survivors — whose tasks are unaffected by the
+    // membership change — must keep committing (zero-pause incremental
+    // rebalancing), and the final output must be exactly-once across all
+    // ten generations of churn.
+    let s = setup(10);
+    let ids = ["i0", "i1", "i2", "i3", "i4"];
+    let mut apps: Vec<(String, KafkaStreamsApp)> =
+        ids.iter().map(|id| (id.to_string(), app(&s, id))).collect();
+    for (_, a) in apps.iter_mut() {
+        a.start().unwrap();
+    }
+    let mut rounds: i64 = 0;
+    send_round(&s.cluster, 40, rounds);
+    rounds += 1;
+    for _ in 0..25 {
+        for (_, a) in apps.iter_mut() {
+            a.step().unwrap();
+        }
+        s.clock.advance(10);
+    }
+
+    for victim in ids {
+        // Roll `victim`: graceful close, fleet of 4 keeps processing.
+        let idx = apps.iter().position(|(id, _)| id == victim).unwrap();
+        let (vid, mut gone) = apps.remove(idx);
+        gone.close().unwrap();
+        let commits_before: Vec<u64> = apps.iter().map(|(_, a)| a.metrics().commits).collect();
+        send_round(&s.cluster, 40, rounds);
+        rounds += 1;
+        for _ in 0..20 {
+            for (_, a) in apps.iter_mut() {
+                a.step().unwrap();
+            }
+            s.clock.advance(10);
+        }
+        for (i, (sid, a)) in apps.iter().enumerate() {
+            assert!(
+                a.metrics().commits > commits_before[i],
+                "survivor {sid} stopped committing while {victim} was rolled"
+            );
+        }
+
+        // The replacement rejoins under the same id and the fleet re-settles.
+        let mut reborn = app(&s, &vid);
+        reborn.start().unwrap();
+        apps.push((vid, reborn));
+        send_round(&s.cluster, 40, rounds);
+        rounds += 1;
+        for _ in 0..30 {
+            for (_, a) in apps.iter_mut() {
+                a.step().unwrap();
+            }
+            s.clock.advance(10);
+        }
+    }
+
+    let owned: usize = apps.iter().map(|(_, a)| a.task_ids().len()).sum();
+    assert_eq!(owned, 10, "all tasks owned after the full roll");
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 40 * rounds as usize, "exactly once through ten rebalances");
+    assert!(latest.values().all(|&v| v == rounds), "{latest:?}");
+    for (_, mut a) in apps {
+        a.close().unwrap();
+    }
+}
+
+#[test]
+fn standby_promotion_hands_store_over_without_full_restore() {
+    // Satellite regression: when an instance already hosts a standby replica
+    // for a task it is newly assigned, promotion must hand the standby's
+    // stores over in place — replaying only the changelog suffix written
+    // after the standby's last applied offset, not the whole changelog.
+    let s = setup(4);
+    let cfg = || {
+        StreamsConfig::new("scale-app")
+            .exactly_once()
+            .with_commit_interval_ms(10)
+            .with_standby_replicas(1)
+    };
+    let mut a = app_with(&s, "a", cfg());
+    let mut b = app_with(&s, "b", cfg());
+    a.start().unwrap();
+    b.start().unwrap();
+    // Build real state: five rounds, fully settled so the standbys are
+    // caught up with everything the actives committed.
+    for round in 0..5 {
+        send_round(&s.cluster, 8, round);
+        for _ in 0..15 {
+            a.step().unwrap();
+            b.step().unwrap();
+            s.clock.advance(10);
+        }
+    }
+    assert!(b.metrics().standby_tasks > 0, "b hosts standby replicas");
+    assert!(
+        b.metrics().standby_records_applied > 0,
+        "standbys tailed the changelog while a was active"
+    );
+    let restored_before = b.metrics().restore_records;
+
+    // a leaves; b inherits a's tasks — for which it holds warm standbys.
+    a.close().unwrap();
+    for _ in 0..15 {
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+    assert_eq!(b.task_ids().len(), 4, "b owns every task after a left");
+    assert_eq!(
+        b.metrics().restore_records,
+        restored_before,
+        "promotion reused the standby stores: no changelog replay on takeover"
+    );
+
+    // The promoted state is correct: counts continue, exactly once.
+    send_round(&s.cluster, 8, 5);
+    for _ in 0..10 {
+        b.step().unwrap();
+        s.clock.advance(10);
+    }
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 48, "exactly once through the promotion");
+    assert!(latest.values().all(|&v| v == 6), "{latest:?}");
+    b.close().unwrap();
+}
+
+#[test]
+fn simultaneous_joins_coalesce_into_one_generation() {
+    // Scaling out by three instances at once must cost ONE generation bump,
+    // not three: joins landing inside the coordinator's debounce window are
+    // coalesced, so incumbents react to the final membership instead of
+    // re-planning after every arrival.
+    let s = setup(8);
+    let cfg = || {
+        StreamsConfig::new("scale-app")
+            .exactly_once()
+            .with_commit_interval_ms(10)
+            .with_rebalance_debounce_ms(50)
+    };
+    let mut a = app_with(&s, "a", cfg());
+    a.start().unwrap();
+    // Even the founding join is debounced: no generation until the window
+    // elapses.
+    assert_eq!(s.cluster.group_generation("scale-app"), 0, "founding join debounced");
+    s.clock.advance(60);
+    a.step().unwrap();
+    assert_eq!(s.cluster.group_generation("scale-app"), 1);
+    send_round(&s.cluster, 8, 0);
+    for _ in 0..10 {
+        a.step().unwrap();
+        s.clock.advance(10);
+    }
+    assert_eq!(a.task_ids().len(), 8, "solo incumbent owns everything");
+
+    // Three instances join back-to-back, inside one debounce window.
+    let before = s.cluster.group_generation("scale-app");
+    let mut joiners: Vec<KafkaStreamsApp> =
+        ["b", "c", "d"].iter().map(|id| app_with(&s, id, cfg())).collect();
+    for j in joiners.iter_mut() {
+        j.start().unwrap();
+    }
+    assert_eq!(
+        s.cluster.group_generation("scale-app"),
+        before,
+        "joins inside the window must not bump the generation"
+    );
+
+    // The window elapses: all three joins fire as ONE rebalance.
+    s.clock.advance(60);
+    a.step().unwrap();
+    for j in joiners.iter_mut() {
+        j.step().unwrap();
+    }
+    assert_eq!(
+        s.cluster.group_generation("scale-app"),
+        before + 1,
+        "three simultaneous joins must coalesce into exactly one generation bump"
+    );
+
+    // Warm-ups replay and hand-overs complete in later (also debounced)
+    // generations; the fleet converges to a ±1-balanced assignment.
+    send_round(&s.cluster, 8, 1);
+    for _ in 0..60 {
+        a.step().unwrap();
+        for j in joiners.iter_mut() {
+            j.step().unwrap();
+        }
+        s.clock.advance(10);
+    }
+    let mut owned = vec![a.task_ids().len()];
+    owned.extend(joiners.iter().map(|j| j.task_ids().len()));
+    assert_eq!(owned.iter().sum::<usize>(), 8, "{owned:?}");
+    assert!(owned.iter().all(|&n| n == 2), "±1-balanced fleet: {owned:?}");
+    let (latest, total) = final_counts(&s.cluster);
+    assert_eq!(total, 16, "exactly once through the coalesced scale-out");
+    assert!(latest.values().all(|&v| v == 2), "{latest:?}");
+    a.close().unwrap();
+    for mut j in joiners {
+        j.close().unwrap();
     }
 }

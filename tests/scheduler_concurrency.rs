@@ -214,7 +214,9 @@ fn rebalance_while_parallel_is_exactly_once() {
         s.clock.advance(5);
     }
     // i1 joins mid-flight: i0's next commit hits IllegalGeneration, aborts,
-    // and both instances re-form on the new generation.
+    // and both instances re-form on the new generation. Cooperative
+    // rebalancing transfers i1's share only after its warm-ups catch up, so
+    // step until the deferred transfer lands before checking the split.
     let mut b = KafkaStreamsApp::new(
         s.cluster.clone(),
         counting_topology(),
@@ -223,6 +225,15 @@ fn rebalance_while_parallel_is_exactly_once() {
     );
     b.start().unwrap();
     let mut apps = vec![a, b];
+    for _ in 0..100 {
+        if apps.iter().all(|app| !app.task_ids().is_empty()) {
+            break;
+        }
+        for app in apps.iter_mut() {
+            app.step().unwrap();
+        }
+        s.clock.advance(20);
+    }
     run_until_committed(&mut apps, &s.cluster, &s.clock, "reb-app");
     let owned: usize = apps.iter().map(|app| app.task_ids().len()).sum();
     assert_eq!(owned, 8, "all tasks live across the two instances");

@@ -129,3 +129,34 @@ fn fifty_seed_sweep_exercises_all_fault_points_and_cluster_events() {
     assert!(restarts > 0, "no instance ever restarted across the sweep");
     assert!(rebalances > 0, "no forced rebalance across the sweep");
 }
+
+/// Cooperative rebalancing under the churn fault classes (rolling restarts,
+/// fleet grow/shrink, coordinator-forced rebalances — all debounced) must
+/// preserve every oracle AND simtest's headline replay property: for a fixed
+/// seed, `--churn --workers 4` is byte-identical across runs. 25 seeds, two
+/// runs each, compared as rendered bytes.
+#[test]
+fn twenty_five_seed_churn_sweep_replays_byte_identically_with_four_workers() {
+    let mut rolling = 0u64;
+    let mut adds = 0u64;
+    let mut removes = 0u64;
+    for seed in 0..25 {
+        let cfg = SimConfig::new(seed).with_workers(4).with_churn();
+        let first = run(&cfg);
+        first.assert_passed();
+        let second = run(&cfg);
+        let (a, b) = (format!("{first}"), format!("{second}"));
+        assert_eq!(a, b, "seed {seed}: churn replay diverged at --workers 4");
+        assert!(
+            first.repro().contains("--churn"),
+            "repro command must carry the churn flag: {}",
+            first.repro()
+        );
+        rolling += first.events.rolling_restarts;
+        adds += first.events.instance_adds;
+        removes += first.events.instance_removes;
+    }
+    assert!(rolling > 0, "no rolling restart fired across the churn sweep");
+    assert!(adds > 0, "no instance was ever added across the churn sweep");
+    assert!(removes > 0, "no instance was ever removed across the churn sweep");
+}
